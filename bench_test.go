@@ -1,0 +1,301 @@
+// Package distperm_test benchmarks the regeneration of every table and
+// figure in the paper's evaluation (Tables 1–3, Figures 1–7, the Eq. 12
+// counterexample, and the Corollary 5/8 analyses), plus micro-benchmarks of
+// the hot paths. Workloads run at experiments.TestScale so `go test
+// -bench=.` completes quickly; the cmd/tables and cmd/figures binaries run
+// the same code at paper scale.
+package distperm_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"distperm/internal/core"
+	"distperm/internal/counting"
+	"distperm/internal/dataset"
+	"distperm/internal/experiments"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+	"distperm/internal/sisap"
+	"distperm/internal/tree"
+	"distperm/internal/voronoi"
+)
+
+func benchCfg() experiments.Config { return experiments.TestScale() }
+
+// BenchmarkTable1 regenerates the exact Euclidean counts N_{d,2}(k) for
+// d = 1..10, k = 2..12 (paper Table 1), bypassing the shared memo each
+// iteration by rendering the table too.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunTable1()
+		t.Write(io.Discard)
+	}
+}
+
+// BenchmarkTable2 regenerates the SISAP-analogue database counts (paper
+// Table 2) at test scale.
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchCfg()
+	cfg.SISAPScale = 400
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable2(cfg).Write(io.Discard)
+	}
+}
+
+// BenchmarkTable3 regenerates the uniform-random-vector counts (paper
+// Table 3) at test scale.
+func BenchmarkTable3(b *testing.B) {
+	cfg := experiments.Config{VectorN: 5_000, VectorRuns: 1, SISAPScale: 100, GridSide: 100, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable3(cfg).Write(io.Discard)
+	}
+}
+
+// BenchmarkFig1Order1Voronoi rasterises the order-1 (classical) Voronoi
+// diagram of the four-site configuration (paper Fig 1).
+func BenchmarkFig1Order1Voronoi(b *testing.B) {
+	sites := voronoi.PaperFourSites()
+	g := voronoi.Grid{Rect: voronoi.WidePlane, W: 300, H: 300}
+	for i := 0; i < b.N; i++ {
+		if cells := voronoi.Order(metric.L2{}, sites, 1, g).Cells(); cells != 4 {
+			b.Fatalf("cells = %d", cells)
+		}
+	}
+}
+
+// BenchmarkFig2Order2Voronoi rasterises the order-2 diagram (paper Fig 2).
+func BenchmarkFig2Order2Voronoi(b *testing.B) {
+	sites := voronoi.PaperFourSites()
+	g := voronoi.Grid{Rect: voronoi.WidePlane, W: 300, H: 300}
+	for i := 0; i < b.N; i++ {
+		voronoi.Order(metric.L2{}, sites, 2, g)
+	}
+}
+
+// BenchmarkFig3PermDiagramL2 rasterises the full distance-permutation
+// diagram under L2 (paper Fig 3; 18 cells).
+func BenchmarkFig3PermDiagramL2(b *testing.B) {
+	sites := voronoi.PaperFourSites()
+	g := voronoi.Grid{Rect: voronoi.WidePlane, W: 300, H: 300}
+	for i := 0; i < b.N; i++ {
+		voronoi.Permutations(metric.L2{}, sites, g)
+	}
+}
+
+// BenchmarkFig4PermDiagramL1 rasterises the full diagram under L1 (paper
+// Fig 4; 18 cells, different permutation set).
+func BenchmarkFig4PermDiagramL1(b *testing.B) {
+	sites := voronoi.PaperFourSites()
+	g := voronoi.Grid{Rect: voronoi.WidePlane, W: 300, H: 300}
+	for i := 0; i < b.N; i++ {
+		voronoi.Permutations(metric.L1{}, sites, g)
+	}
+}
+
+// BenchmarkFig5PrefixMetric recomputes the prefix-metric example and its
+// trie cross-validation (paper Fig 5).
+func BenchmarkFig5PrefixMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.RunFigurePrefix()
+		if !f.TrieOK {
+			b.Fatal("trie mismatch")
+		}
+	}
+}
+
+// BenchmarkFig6Construction builds and verifies the Theorem 6 construction
+// realising all k! permutations (paper Fig 6), k=5 in 4 dimensions.
+func BenchmarkFig6Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.RunFigureConstruction(5, 2)
+		if f.VerifyErr != nil {
+			b.Fatal(f.VerifyErr)
+		}
+	}
+}
+
+// BenchmarkFig7Coverage regenerates the box-limited cell coverage series
+// (paper Fig 7).
+func BenchmarkFig7Coverage(b *testing.B) {
+	cfg := experiments.Config{VectorN: 10_000, GridSide: 300, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigureCoverage(cfg)
+	}
+}
+
+// BenchmarkCounterexample reruns the Eq. 12 refutation (paper §5) at
+// 100k points.
+func BenchmarkCounterexample(b *testing.B) {
+	cfg := experiments.Config{VectorN: 100_000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		experiments.RunCounterexample(cfg)
+	}
+}
+
+// BenchmarkCorollary5 builds the tree-metric path construction and counts
+// its permutations (paper §3), k = 10.
+func BenchmarkCorollary5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp, sites, points := tree.Corollary5Construction(10)
+		if got := core.CountDistinct(sp, sites, points); got != 46 {
+			b.Fatalf("count = %d", got)
+		}
+	}
+}
+
+// BenchmarkStorageBits regenerates the Corollary 8 storage analysis.
+func BenchmarkStorageBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunStorageTable(4, 16).Write(io.Discard)
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkPermutationL2 measures one distance-permutation computation
+// (k=12 sites, 8-dim L2), the inner loop of every experiment.
+func BenchmarkPermutationL2(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sites := dataset.UniformVectors(rng, 12, 8)
+	pm := core.NewPermuter(metric.L2{}, sites)
+	y := dataset.UniformVectors(rng, 1, 8)[0]
+	buf := make(perm.Permutation, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pm.PermutationInto(y, buf)
+	}
+}
+
+// BenchmarkCounterAdd measures the streaming distinct-permutation counter.
+func BenchmarkCounterAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	sites := dataset.UniformVectors(rng, 8, 4)
+	pts := dataset.UniformVectors(rng, 4096, 4)
+	c := core.NewCounter(metric.L2{}, sites)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(pts[i&4095])
+	}
+}
+
+// BenchmarkEuclideanCount measures the memoised Theorem 7 recurrence at a
+// fresh large argument each iteration cycle.
+func BenchmarkEuclideanCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		counting.EuclideanCount(10, 50+i%8)
+	}
+}
+
+// BenchmarkKendallTau measures the O(k log k) discordant-pair count, k=64.
+func BenchmarkKendallTau(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := perm.Permutation(rng.Perm(64))
+	q := perm.Permutation(rng.Perm(64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perm.KendallTau(p, q)
+	}
+}
+
+// BenchmarkEditDistance measures the Levenshtein dynamic program on
+// dictionary-length words.
+func BenchmarkEditDistance(b *testing.B) {
+	a, c := "counterexample", "counting"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metric.EditDistance(a, c)
+	}
+}
+
+// benchmarkIndexKNN shares the query loop across index benchmarks.
+func benchmarkIndexKNN(b *testing.B, build func(db *sisap.DB, rng *rand.Rand) sisap.Index) {
+	rng := rand.New(rand.NewSource(4))
+	db := sisap.NewDB(metric.L2{}, dataset.UniformVectors(rng, 2_000, 6))
+	idx := build(db, rng)
+	queries := dataset.UniformVectors(rng, 64, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.KNN(queries[i&63], 1)
+	}
+}
+
+// BenchmarkKNNLinear is the baseline scan.
+func BenchmarkKNNLinear(b *testing.B) {
+	benchmarkIndexKNN(b, func(db *sisap.DB, rng *rand.Rand) sisap.Index {
+		return sisap.NewLinearScan(db)
+	})
+}
+
+// BenchmarkKNNLAESA measures LAESA with 12 max-spread pivots.
+func BenchmarkKNNLAESA(b *testing.B) {
+	benchmarkIndexKNN(b, func(db *sisap.DB, rng *rand.Rand) sisap.Index {
+		return sisap.NewLAESAMaxSpread(db, 12)
+	})
+}
+
+// BenchmarkKNNVPTree measures the vantage-point tree.
+func BenchmarkKNNVPTree(b *testing.B) {
+	benchmarkIndexKNN(b, func(db *sisap.DB, rng *rand.Rand) sisap.Index {
+		return sisap.NewVPTree(db, rng)
+	})
+}
+
+// BenchmarkKNNPermIndexBudget measures the distperm index at a 5% scan
+// budget (its intended operating point).
+func BenchmarkKNNPermIndexBudget(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	db := sisap.NewDB(metric.L2{}, dataset.UniformVectors(rng, 2_000, 6))
+	idx := sisap.NewPermIndex(db, rng.Perm(2_000)[:12], sisap.Footrule)
+	queries := dataset.UniformVectors(rng, 64, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.KNNBudget(queries[i&63], 1, 100)
+	}
+}
+
+// BenchmarkRecallCurve regenerates the distperm cost/quality curve and
+// reports recall at a 5% budget as a custom metric (the search-performance
+// side of the paper's storage/search trade-off).
+func BenchmarkRecallCurve(b *testing.B) {
+	cfg := experiments.Config{VectorN: 3_000, Seed: 1}
+	var recall5 float64
+	for i := 0; i < b.N; i++ {
+		rc := experiments.RunRecallCurve(cfg, 4, 10, 20, sisap.Footrule)
+		recall5 = rc.Recall[2] // n/20 budget
+	}
+	b.ReportMetric(recall5, "recall@5%")
+}
+
+// BenchmarkSiteSweep regenerates the §4 diminishing-returns sweep (bits and
+// search quality vs number of sites).
+func BenchmarkSiteSweep(b *testing.B) {
+	cfg := experiments.Config{VectorN: 3_000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		experiments.RunSiteSweep(cfg, 4, []int{2, 4, 8, 16}, 10)
+	}
+}
+
+// BenchmarkAblationPermDistance compares the three candidate-ordering
+// permutation distances (the DESIGN.md ablation).
+func BenchmarkAblationPermDistance(b *testing.B) {
+	for _, d := range []sisap.PermDistance{sisap.Footrule, sisap.KendallTau, sisap.SpearmanRho} {
+		d := d
+		b.Run(d.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			db := sisap.NewDB(metric.L2{}, dataset.UniformVectors(rng, 1_000, 5))
+			idx := sisap.NewPermIndex(db, rng.Perm(1_000)[:10], d)
+			queries := dataset.UniformVectors(rng, 32, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.ScanOrder(queries[i&31])
+			}
+		})
+	}
+}

@@ -1,0 +1,176 @@
+// Command distperm counts the distinct distance permutations of a dataset,
+// the measurement at the heart of the paper's experiments. It mirrors the
+// author's SISAP-library "build-distperm-*" programs: it can emit the raw
+// permutations in ASCII (one per line, 1-based, the format those programs
+// wrote for `sort | uniq | wc` pipelines) or just the count, against either
+// a generated dataset or vectors read from a file.
+//
+// Usage:
+//
+//	distperm -gen uniform -d 4 -n 100000 -metric L2 -k 8
+//	distperm -gen english -n 5000 -k 6 -emit      # print permutations
+//	distperm -file points.txt -metric L1 -k 5     # whitespace-separated vectors
+//	distperm -gen uniform -d 3 -n 100000 -metric L1 -k 5 -bounds
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"distperm/internal/core"
+	"distperm/internal/counting"
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "uniform", "generator: uniform, gauss, clustered, dutch, english, french, german, italian, norwegian, spanish, listeria, long, short, colors, nasa")
+		file   = flag.String("file", "", "read whitespace-separated vectors from a file instead of generating")
+		n      = flag.Int("n", 100_000, "points to generate")
+		d      = flag.Int("d", 4, "dimensions (vector generators)")
+		k      = flag.Int("k", 8, "number of sites")
+		mname  = flag.String("metric", "", "override metric: L1, L2, Linf, edit, prefix, angular (generators pick a default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		emit   = flag.Bool("emit", false, "write every point's permutation to stdout (1-based)")
+		bounds = flag.Bool("bounds", false, "also print the applicable theoretical bounds")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	ds, err := buildDataset(rng, *gen, *file, *n, *d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *mname != "" {
+		m, err := metricByName(*mname)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ds.Metric = m
+	}
+
+	sites := ds.ChooseSites(rng, *k)
+	if *emit {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		pm := core.NewPermuter(ds.Metric, sites)
+		buf := make(perm.Permutation, *k)
+		for _, pt := range ds.Points {
+			pm.PermutationInto(pt, buf)
+			fmt.Fprintln(w, buf.String())
+		}
+		return
+	}
+
+	count := core.CountDistinct(ds.Metric, sites, ds.Points)
+	fmt.Printf("%s: n=%d metric=%s k=%d distinct permutations=%d (k!=%s)\n",
+		ds.Name, ds.N(), ds.Metric.Name(), *k, count, counting.Factorial(*k))
+	if *bounds {
+		fmt.Printf("  Euclidean max N(%d,%d) = %s\n", *d, *k, counting.EuclideanCount(*d, *k))
+		fmt.Printf("  tree-metric bound C(k,2)+1 = %s\n", counting.TreeBound(*k))
+		if *d <= 6 {
+			fmt.Printf("  Theorem 9 L1 bound = %s\n", counting.L1Bound(*d, *k))
+			fmt.Printf("  Theorem 9 Linf bound = %s\n", counting.LInfBound(*d, *k))
+		}
+	}
+}
+
+func buildDataset(rng *rand.Rand, gen, file string, n, d int) (*dataset.Dataset, error) {
+	if file != "" {
+		return readVectorFile(file)
+	}
+	switch gen {
+	case "uniform":
+		return dataset.UniformDataset(rng, n, d, metric.L2{}), nil
+	case "gauss":
+		return &dataset.Dataset{Name: "gauss", Metric: metric.L2{},
+			Points: dataset.GaussianVectors(rng, n, d, 0.5, 0.15)}, nil
+	case "clustered":
+		return &dataset.Dataset{Name: "clustered", Metric: metric.L2{},
+			Points: dataset.ClusteredVectors(rng, n, d, 10, 0.03)}, nil
+	case "listeria":
+		return dataset.GeneSequences(rng.Int63(), n), nil
+	case "long":
+		return dataset.DocumentVectors(rng.Int63(), "long", n, 400, 12, 600), nil
+	case "short":
+		return dataset.DocumentVectors(rng.Int63(), "short", n, 400, 40, 30), nil
+	case "colors":
+		return dataset.ColorHistograms(rng.Int63(), n, 112), nil
+	case "nasa":
+		return dataset.NASAFeatures(rng.Int63(), n, 20, 4), nil
+	default:
+		for _, p := range dataset.Languages() {
+			if strings.EqualFold(p.Name, gen) {
+				return dataset.Dictionary(p, n), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+func metricByName(name string) (metric.Metric, error) {
+	switch name {
+	case "L1":
+		return metric.L1{}, nil
+	case "L2":
+		return metric.L2{}, nil
+	case "Linf":
+		return metric.LInf{}, nil
+	case "edit":
+		return metric.Edit{}, nil
+	case "prefix":
+		return metric.Prefix{}, nil
+	case "angular":
+		return metric.Angular{}, nil
+	default:
+		return nil, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+func readVectorFile(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts []metric.Point
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	dims := -1
+	for line := 1; sc.Scan(); line++ {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if dims == -1 {
+			dims = len(fields)
+		} else if len(fields) != dims {
+			return nil, fmt.Errorf("%s:%d: %d fields, want %d", path, line, len(fields), dims)
+		}
+		v := make(metric.Vector, len(fields))
+		for i, fld := range fields {
+			x, err := strconv.ParseFloat(fld, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			v[i] = x
+		}
+		pts = append(pts, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("%s: no points", path)
+	}
+	return &dataset.Dataset{Name: path, Metric: metric.L2{}, Points: pts}, nil
+}

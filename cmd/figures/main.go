@@ -1,0 +1,108 @@
+// Command figures regenerates the data behind the paper's Figures 1–7 and
+// the §5 counterexample.
+//
+// Usage:
+//
+//	figures -fig voronoi          # Figs 1-4: cell counts + ASCII renderings
+//	figures -fig prefix           # Fig 5: prefix-metric distance matrix
+//	figures -fig construction -k 5 -p 2
+//	figures -fig coverage         # Fig 7: cells the database cannot hit
+//	figures -fig counterexample -n 1000000
+//	figures -fig search -d 3 -k 5 -trials 50   # rerun the discovery search
+//	figures -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"distperm/internal/experiments"
+	"distperm/internal/metric"
+	"distperm/internal/sisap"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", `"voronoi", "prefix", "construction", "coverage", "counterexample", "convergence", "recall", "search", or "all"`)
+		k      = flag.Int("k", 5, "sites for the construction / search")
+		p      = flag.Float64("p", 2, "Lp parameter for the construction (1, 2, or +Inf via -p inf)")
+		d      = flag.Int("d", 3, "dimension for the counterexample search")
+		trials = flag.Int("trials", 50, "site draws for the counterexample search")
+		n      = flag.Int("n", 0, "override database size")
+		grid   = flag.Int("grid", 0, "override rasterisation grid side")
+		seed   = flag.Int64("seed", 1, "random seed")
+		mname  = flag.String("metric", "L1", "metric for the search: L1, L2, Linf")
+		refine = flag.Bool("refine", false, "add the octree-refined unit-cube cell count to the counterexample (slow)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultScale()
+	if *n > 0 {
+		cfg.VectorN = *n
+	}
+	if *grid > 0 {
+		cfg.GridSide = *grid
+	}
+	cfg.Seed = *seed
+
+	var m metric.Metric
+	switch *mname {
+	case "L1":
+		m = metric.L1{}
+	case "L2":
+		m = metric.L2{}
+	case "Linf":
+		m = metric.LInf{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown metric %q\n", *mname)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	show := func(name string) bool { return *fig == name || *fig == "all" }
+	if show("voronoi") {
+		experiments.RunFigureVoronoi(cfg).Write(w)
+	}
+	if show("prefix") {
+		experiments.RunFigurePrefix().Write(w)
+	}
+	if show("construction") {
+		kk := *k
+		if *fig == "all" && kk > 5 {
+			kk = 5 // keep the default sweep quick
+		}
+		pp := *p
+		if math.IsInf(pp, 1) {
+			pp = math.Inf(1)
+		}
+		experiments.RunFigureConstruction(kk, pp).Write(w)
+	}
+	if show("coverage") {
+		experiments.RunFigureCoverage(cfg).Write(w)
+	}
+	if show("counterexample") {
+		if *refine {
+			experiments.RunCounterexampleRefined(cfg, 10, 6).Write(w)
+		} else {
+			experiments.RunCounterexample(cfg).Write(w)
+		}
+	}
+	if show("convergence") {
+		sizes := []int{1_000, 10_000, 100_000, cfg.VectorN}
+		experiments.RunConvergence(cfg, metric.L2{}, 2, 5, sizes).Write(w)
+		experiments.RunConvergence(cfg, m, *d, *k, sizes).Write(w)
+	}
+	if show("sitesweep") {
+		experiments.RunSiteSweep(cfg, *d, []int{2, 3, 4, 6, 8, 12, 16, 24}, 100).Write(w)
+	}
+	if show("recall") {
+		for _, pd := range []sisap.PermDistance{sisap.Footrule, sisap.KendallTau, sisap.SpearmanRho} {
+			experiments.RunRecallCurve(cfg, *d, *k, 100, pd).Write(w)
+		}
+	}
+	if *fig == "search" {
+		experiments.RunCounterexampleSearch(cfg, m, *d, *k, *trials).Write(w)
+	}
+}

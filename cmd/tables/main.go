@@ -1,0 +1,71 @@
+// Command tables regenerates the paper's Tables 1–3 and the Corollary 8
+// storage analysis.
+//
+// Usage:
+//
+//	tables -table 1                 # exact Euclidean counts (instant)
+//	tables -table 2 -scale 8        # SISAP-analogue databases, sizes /8
+//	tables -table 3 -n 200000 -runs 10
+//	tables -table bits -d 4 -kmax 16
+//	tables -table all -paper        # everything at paper scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distperm/internal/experiments"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", `which table: "1", "2", "3", "bits", or "all"`)
+		paper = flag.Bool("paper", false, "use full paper-scale workloads (slow)")
+		n     = flag.Int("n", 0, "override Table 3 database size")
+		runs  = flag.Int("runs", 0, "override Table 3 runs per cell")
+		scale = flag.Int("scale", 0, "override Table 2 size divisor (1 = paper sizes)")
+		d     = flag.Int("d", 4, "dimension for the storage analysis")
+		kmax  = flag.Int("kmax", 16, "max sites for the storage analysis")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultScale()
+	if *paper {
+		cfg = experiments.PaperScale()
+	}
+	if *n > 0 {
+		cfg.VectorN = *n
+	}
+	if *runs > 0 {
+		cfg.VectorRuns = *runs
+	}
+	if *scale > 0 {
+		cfg.SISAPScale = *scale
+	}
+	cfg.Seed = *seed
+
+	w := os.Stdout
+	switch *table {
+	case "1":
+		experiments.RunTable1().Write(w)
+	case "2":
+		experiments.RunTable2(cfg).Write(w)
+	case "3":
+		experiments.RunTable3(cfg).Write(w)
+	case "bits":
+		experiments.RunStorageTable(*d, *kmax).Write(w)
+	case "all":
+		experiments.RunTable1().Write(w)
+		fmt.Fprintln(w)
+		experiments.RunTable2(cfg).Write(w)
+		fmt.Fprintln(w)
+		experiments.RunTable3(cfg).Write(w)
+		fmt.Fprintln(w)
+		experiments.RunStorageTable(*d, *kmax).Write(w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

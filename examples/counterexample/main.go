@@ -1,0 +1,27 @@
+// Counterexample: reproduces the paper's §5 refutation of the conjecture
+// that the Euclidean maximum N_{d,2}(k) bounds every Lp metric. With the
+// paper's exact five sites (Eq. 12) in three-dimensional L1 space, a uniform
+// database realises more than the 96 permutations possible in Euclidean
+// 3-space.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"distperm/internal/experiments"
+	"distperm/internal/metric"
+)
+
+func main() {
+	cfg := experiments.Config{VectorN: 500_000, VectorRuns: 1, GridSide: 600, Seed: 1}
+	experiments.RunCounterexample(cfg).Write(os.Stdout)
+
+	// Rerun the paper's discovery process on a fresh random instance:
+	// random site draws under L∞ in 3-space, k=5 (another of the paper's
+	// reported counterexample settings).
+	fmt.Println()
+	search := experiments.RunCounterexampleSearch(
+		experiments.Config{VectorN: 200_000, Seed: 2}, metric.LInf{}, 3, 5, 40)
+	search.Write(os.Stdout)
+}

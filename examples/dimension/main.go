@@ -1,0 +1,87 @@
+// Dimension estimation: the paper's closing observation (§5) is that the
+// number of distance permutations a database realises characterises its
+// dimensionality "in a highly general way" — compare a database's counts
+// against uniform Euclidean baselines and read off the equivalent dimension.
+//
+// This example runs that procedure on three databases of very different
+// character (clustered vectors, a synthetic dictionary under edit distance,
+// and gene sequences), none of which is a vector space of obvious dimension.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distperm/internal/core"
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+)
+
+const (
+	k       = 8
+	baseN   = 30_000
+	maxDim  = 8
+	seed    = 7
+	repeats = 3
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Baselines: mean distinct-permutation counts for uniform Euclidean
+	// databases of each dimension.
+	fmt.Printf("uniform Euclidean baselines (n=%d, k=%d):\n", baseN, k)
+	baseline := make([]float64, maxDim+1)
+	for d := 1; d <= maxDim; d++ {
+		total := 0
+		for r := 0; r < repeats; r++ {
+			db := dataset.UniformDataset(rng, baseN, d, metric.L2{})
+			sites := db.ChooseSites(rng, k)
+			total += core.CountDistinct(db.Metric, sites, db.Points)
+		}
+		baseline[d] = float64(total) / repeats
+		fmt.Printf("  d=%d: %.0f permutations\n", d, baseline[d])
+	}
+
+	subjects := []*dataset.Dataset{
+		{
+			Name:   "clustered-6d",
+			Metric: metric.L2{},
+			Points: dataset.ClusteredVectors(rng, baseN, 6, 12, 0.02),
+		},
+		dataset.Dictionary(dataset.Languages()[1], baseN), // English analogue
+		// Gene sequences are ~600 characters, so each edit distance costs
+		// ~360k cell updates; 6000 points keeps the example under a minute
+		// without changing its conclusion.
+		dataset.GeneSequences(99, 6_000),
+	}
+
+	fmt.Println("\nsubject databases:")
+	for _, db := range subjects {
+		total := 0
+		for r := 0; r < repeats; r++ {
+			sites := db.ChooseSites(rng, k)
+			total += core.CountDistinct(db.Metric, sites, db.Points)
+		}
+		count := float64(total) / repeats
+		rho := dataset.Rho(rng, db, 10_000)
+		fmt.Printf("  %-12s n=%-6d metric=%-7s rho=%6.2f  perms=%7.0f  equivalent dimension ~ %s\n",
+			db.Name, db.N(), db.Metric.Name(), rho, count, equivalent(count, baseline))
+	}
+	fmt.Println("\n(the clustered 6-d data reads far below 6; edit-distance dictionaries")
+	fmt.Println(" read like mid-dimensional uniform data; gene sequences read very low —")
+	fmt.Println(" the same qualitative conclusions as the paper's Table 2 commentary.)")
+}
+
+// equivalent brackets count between baseline dimensions.
+func equivalent(count float64, baseline []float64) string {
+	if count <= baseline[1] {
+		return "<1"
+	}
+	for d := 2; d < len(baseline); d++ {
+		if count <= baseline[d] {
+			return fmt.Sprintf("%d-%d", d-1, d)
+		}
+	}
+	return fmt.Sprintf(">%d", len(baseline)-1)
+}

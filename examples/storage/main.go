@@ -1,0 +1,64 @@
+// Storage: the paper's Corollary 8 claim, realised in actual bits. Builds
+// a permutation index over databases of increasing dimensionality and
+// compares three concrete encodings of the same permutation sequence:
+//
+//   - raw ints (what a naive implementation stores),
+//   - bit-packed Lehmer ranks at ⌈lg k!⌉ bits each (the unrestricted-
+//     permutation lower bound, O(k log k) per point), and
+//   - the shared-table encoding at ⌈lg #distinct⌉ bits per point (the
+//     paper's improvement: Θ(d log k) per point in d-dimensional Euclidean
+//     space, because only N(d,k) ≪ k! permutations can occur).
+//
+// Low-dimensional data compresses dramatically under the table encoding;
+// as d grows toward k−1 the advantage vanishes — exactly the paper's story.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distperm/internal/core"
+	"distperm/internal/counting"
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+const (
+	n     = 100_000
+	k     = 10
+	seed  = 11
+	maxD  = 8
+	width = 12
+)
+
+func main() {
+	fmt.Printf("n = %d points, k = %d sites, Euclidean metric\n\n", n, k)
+	fmt.Printf("%3s %10s | %*s %*s %*s | %9s %12s\n",
+		"d", "distinct", width, "raw bits", width, "packed bits", width, "table bits",
+		"N(d,k)", "lg N / lg k!")
+	for d := 1; d <= maxD; d++ {
+		rng := rand.New(rand.NewSource(seed + int64(d)))
+		pts := dataset.UniformVectors(rng, n, d)
+		sites := pts[:k]
+		pm := core.NewPermuter(metric.L2{}, sites)
+
+		packed := perm.NewPackedArray(k)
+		table := perm.NewTableArray(k)
+		buf := make(perm.Permutation, k)
+		for _, y := range pts {
+			pm.PermutationInto(y, buf)
+			packed.Append(buf)
+			table.Append(buf)
+		}
+		rawBits := int64(n) * int64(k) * 64 // []int64 per point
+		fmt.Printf("%3d %10d | %*d %*d %*d | %9d %12.3f\n",
+			d, table.Distinct(),
+			width, rawBits, width, packed.SizeBits(), width, table.SizeBits(),
+			counting.EuclideanCount64(d, k),
+			counting.InformationRatio(d, k))
+	}
+	fmt.Println("\nthe table encoding tracks lg(distinct) per point: a multiple smaller for")
+	fmt.Println("small d, and losing to plain packing once d -> k-1 makes most permutations")
+	fmt.Println("realisable (the table itself then dominates) — the paper's §4 crossover.")
+}

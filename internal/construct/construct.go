@@ -1,0 +1,245 @@
+// Package construct implements the constructive proof of Theorem 6: for any
+// k ≥ 2, ε > 0, and p ≥ 1, it places k sites in (k−1)-dimensional Lp space
+// such that every one of the k! permutations occurs as the distance
+// permutation of some point near the origin, and produces an explicit
+// witness point for each permutation.
+//
+// The construction follows the paper's induction exactly:
+//
+//   - Basis (k = 2): sites ⟨−1⟩ and ⟨1⟩; witnesses ⟨−ε/2⟩ and ⟨ε/2⟩.
+//   - Step (k > 2): recursively construct k−1 sites and witnesses in k−2
+//     dimensions with ε/4; extend all by a zero coordinate; add site
+//     x_k = (0,…,0, 1+ε/4). For each permutation π of k sites with π' = π
+//     minus k, take the recursive witness for π' and choose its new last
+//     coordinate z ∈ (−ε/2, 3ε/4) to slot site k into the required position
+//     of the distance order — found here by binary-search on each adjacent
+//     gap of the recursive witness's sorted distances.
+package construct
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distperm/internal/core"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+// Witness pairs a permutation with a point realising it.
+type Witness struct {
+	Perm  perm.Permutation
+	Point metric.Vector
+}
+
+// Result holds a full Theorem 6 construction: the sites and one witness per
+// permutation of the sites.
+type Result struct {
+	K         int
+	P         float64 // Lp parameter
+	Eps       float64
+	Sites     []metric.Vector
+	Witnesses []Witness // length k!
+}
+
+// Build runs the construction for k sites under the Lp metric with the given
+// ε ∈ (0, 1/2). It panics for k < 2 or k > 7 (8! = 40320 witnesses is
+// already generous; the construction is exponential by nature).
+func Build(k int, p float64, eps float64) *Result {
+	if k < 2 || k > 7 {
+		panic(fmt.Sprintf("construct: Build supports 2 <= k <= 7, got %d", k))
+	}
+	if eps <= 0 || eps >= 0.5 {
+		panic(fmt.Sprintf("construct: need 0 < eps < 1/2, got %g", eps))
+	}
+	m := metric.NewLP(p)
+	sites, wit := build(k, m, eps)
+	res := &Result{K: k, P: p, Eps: eps, Sites: sites, Witnesses: wit}
+	return res
+}
+
+// build returns sites in k−1 dimensions and a witness for every permutation
+// of {0..k−1}.
+func build(k int, m metric.Metric, eps float64) ([]metric.Vector, []Witness) {
+	if k == 2 {
+		sites := []metric.Vector{{-1}, {1}}
+		return sites, []Witness{
+			{Perm: perm.Permutation{0, 1}, Point: metric.Vector{-eps / 2}},
+			{Perm: perm.Permutation{1, 0}, Point: metric.Vector{eps / 2}},
+		}
+	}
+	subSites, subWit := build(k-1, m, eps/4)
+	// Extend sites by a zero coordinate; add the new site on the new axis.
+	sites := make([]metric.Vector, 0, k)
+	for _, s := range subSites {
+		sites = append(sites, append(s.Clone(), 0))
+	}
+	newSite := make(metric.Vector, k-1)
+	newSite[k-2] = 1 + eps/4
+	sites = append(sites, newSite)
+
+	witnesses := make([]Witness, 0, len(subWit)*k)
+	for _, w := range subWit {
+		base := append(w.Point.Clone(), 0)
+		// For each insertion position of site k−1 (0-based index k−1)
+		// into the recursive permutation, find z realising it.
+		for pos := 0; pos <= k-1; pos++ {
+			target := insertAt(w.Perm, k-1, pos)
+			z := findZ(m, sites, base, target, eps)
+			pt := base.Clone()
+			pt[k-2] = z
+			witnesses = append(witnesses, Witness{Perm: target, Point: pt})
+		}
+	}
+	return sites, witnesses
+}
+
+// insertAt returns sub with value v inserted at index pos.
+func insertAt(sub perm.Permutation, v, pos int) perm.Permutation {
+	out := make(perm.Permutation, 0, len(sub)+1)
+	out = append(out, sub[:pos]...)
+	out = append(out, v)
+	out = append(out, sub[pos:]...)
+	return out
+}
+
+// findZ locates a last-coordinate value z ∈ (−ε/2, 3ε/4) at which the point
+// base-with-z has distance permutation target. Following the proof, the new
+// site's distance is strictly decreasing in z on this interval while the old
+// sites' relative order is unchanged, so the new site's rank is a
+// non-increasing step function of z sweeping from k−1 (at z = −ε/2) to 0
+// (at z = 3ε/4). Each target rank is realised on a plateau of positive
+// width; bisecting to *both* plateau edges and returning the midpoint keeps
+// the witness safely away from the tie boundaries where ranks change.
+func findZ(m metric.Metric, sites []metric.Vector, base metric.Vector, target perm.Permutation, eps float64) float64 {
+	k := len(sites)
+	newIdx := k - 1
+	wantRank := rankOf(target, newIdx)
+
+	pt := base.Clone()
+	rankAt := func(z float64) int {
+		pt[len(pt)-1] = z
+		d := make([]float64, k)
+		for i, s := range sites {
+			d[i] = m.Distance(s, pt)
+		}
+		// Rank of the new site under the paper's tie-break: number of
+		// sites strictly closer, plus those tied with smaller index
+		// (every old index is smaller than newIdx).
+		r := 0
+		for i := 0; i < k; i++ {
+			if i == newIdx {
+				continue
+			}
+			if d[i] < d[newIdx] || d[i] == d[newIdx] {
+				r++
+			}
+		}
+		return r
+	}
+
+	lo, hi := -eps/2, 3*eps/4
+	if r := rankAt(lo); r != k-1 {
+		panic(fmt.Sprintf("construct: rank %d at interval start, want %d", r, k-1))
+	}
+	if r := rankAt(hi); r != 0 {
+		panic(fmt.Sprintf("construct: rank %d at interval end, want 0", r))
+	}
+	// crossing(t) ≈ the z at which rank first becomes ≤ t (rank is
+	// non-increasing in z). crossing(k−1) = lo and crossing(−1) = hi by the
+	// endpoint checks above.
+	crossing := func(t int) float64 {
+		if t >= k-1 {
+			return lo
+		}
+		if t < 0 {
+			return hi
+		}
+		a, b := lo, hi // rank(a) > t, rank(b) <= t
+		for iter := 0; iter < 100; iter++ {
+			mid := (a + b) / 2
+			if rankAt(mid) > t {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		return (a + b) / 2
+	}
+	z := (crossing(wantRank) + crossing(wantRank-1)) / 2
+	if got := permOf(m, sites, pt, z); !got.Equal(target) {
+		panic(fmt.Sprintf("construct: z=%v realises %v, want %v (eps=%g)", z, got, target, eps))
+	}
+	return z
+}
+
+func permOf(m metric.Metric, sites []metric.Vector, pt metric.Vector, z float64) perm.Permutation {
+	pt[len(pt)-1] = z
+	pts := make([]metric.Point, len(sites))
+	for i, s := range sites {
+		pts[i] = s
+	}
+	return core.NewPermuter(m, pts).Permutation(pt)
+}
+
+// rankOf returns the position of v within p.
+func rankOf(p perm.Permutation, v int) int {
+	for i, x := range p {
+		if x == v {
+			return i
+		}
+	}
+	panic("construct: value not in permutation")
+}
+
+// Verify recomputes the distance permutation of every witness and checks it
+// matches, that all k! permutations are covered exactly once, and the
+// proof's side conditions (2)–(4): witnesses within ε of the origin, site
+// distances within ε of 1, and no exact ties. It returns the first
+// discrepancy as an error, or nil.
+func (r *Result) Verify() error {
+	m := metric.NewLP(r.P)
+	sitePts := make([]metric.Point, len(r.Sites))
+	for i, s := range r.Sites {
+		sitePts[i] = s
+	}
+	pm := core.NewPermuter(m, sitePts)
+	origin := make(metric.Vector, r.K-1)
+
+	fact := 1
+	for i := 2; i <= r.K; i++ {
+		fact *= i
+	}
+	if len(r.Witnesses) != fact {
+		return fmt.Errorf("construct: %d witnesses, want %d", len(r.Witnesses), fact)
+	}
+	seen := make(map[string]bool, fact)
+	for _, w := range r.Witnesses {
+		got := pm.Permutation(w.Point)
+		if !got.Equal(w.Perm) {
+			return fmt.Errorf("construct: witness for %v realises %v", w.Perm, got)
+		}
+		key := w.Perm.Key()
+		if seen[key] {
+			return fmt.Errorf("construct: duplicate witness for %v", w.Perm)
+		}
+		seen[key] = true
+		if d := m.Distance(origin, w.Point); d >= r.Eps {
+			return fmt.Errorf("construct: witness for %v at distance %g from origin, want < %g", w.Perm, d, r.Eps)
+		}
+		dists := pm.Distances(w.Point)
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] == sorted[i-1] {
+				return fmt.Errorf("construct: witness for %v has tied site distances", w.Perm)
+			}
+		}
+		for _, d := range dists {
+			if math.Abs(1-d) >= r.Eps {
+				return fmt.Errorf("construct: witness for %v has site distance %g, want within %g of 1", w.Perm, d, r.Eps)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package construct
+
+import (
+	"math"
+	"testing"
+
+	"distperm/internal/metric"
+)
+
+func TestBuildVerifiesAcrossKAndP(t *testing.T) {
+	for _, p := range []float64{1, 2, 3, math.Inf(1)} {
+		for k := 2; k <= 5; k++ {
+			r := Build(k, p, 0.3)
+			if err := r.Verify(); err != nil {
+				t.Errorf("k=%d p=%v: %v", k, p, err)
+			}
+		}
+	}
+}
+
+func TestBuildK6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("720 witnesses in 5 dimensions")
+	}
+	for _, p := range []float64{1, 2, math.Inf(1)} {
+		r := Build(6, p, 0.3)
+		if err := r.Verify(); err != nil {
+			t.Errorf("k=6 p=%v: %v", p, err)
+		}
+	}
+}
+
+func TestWitnessCount(t *testing.T) {
+	r := Build(4, 2, 0.25)
+	if len(r.Witnesses) != 24 {
+		t.Errorf("witnesses = %d, want 24", len(r.Witnesses))
+	}
+	if len(r.Sites) != 4 {
+		t.Errorf("sites = %d, want 4", len(r.Sites))
+	}
+	for _, s := range r.Sites {
+		if len(s) != 3 {
+			t.Errorf("site dimension %d, want 3 (k−1)", len(s))
+		}
+	}
+}
+
+func TestSmallerEpsilonStillWorks(t *testing.T) {
+	r := Build(4, 2, 0.05)
+	if err := r.Verify(); err != nil {
+		t.Error(err)
+	}
+	// Witnesses must be within ε of the origin.
+	origin := make(metric.Vector, 3)
+	for _, w := range r.Witnesses {
+		if d := (metric.L2{}).Distance(origin, w.Point); d >= 0.05 {
+			t.Errorf("witness at distance %v, want < 0.05", d)
+		}
+	}
+}
+
+func TestBasisCase(t *testing.T) {
+	r := Build(2, 2, 0.4)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Witnesses) != 2 {
+		t.Fatalf("k=2 should have 2 witnesses")
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	cases := []struct {
+		k   int
+		p   float64
+		eps float64
+	}{
+		{1, 2, 0.3},  // k too small
+		{8, 2, 0.3},  // k too large
+		{4, 2, 0},    // eps zero
+		{4, 2, 0.5},  // eps at the boundary
+		{4, 2, -0.1}, // eps negative
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Build(%d,%v,%v) should panic", c.k, c.p, c.eps)
+				}
+			}()
+			Build(c.k, c.p, c.eps)
+		}()
+	}
+}
+
+func TestSitesNearUnitDistanceFromOrigin(t *testing.T) {
+	// The construction places sites approximately unit distance from the
+	// origin (Fig 6's geometry): within ε·(levels) in the Lp metric used.
+	r := Build(5, 2, 0.2)
+	m := metric.L2{}
+	origin := make(metric.Vector, 4)
+	for i, s := range r.Sites {
+		d := m.Distance(origin, s)
+		if math.Abs(d-1) > 0.3 {
+			t.Errorf("site %d at distance %v from origin", i, d)
+		}
+	}
+}

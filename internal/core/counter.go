@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+// Counter tallies the distinct distance permutations occurring in a stream
+// of points, the statistic measured throughout the paper's Section 5. It
+// also records how many points mapped to each permutation, which supports
+// the paper's "≈10 database points per observed permutation" style of
+// analysis (occupancy).
+type Counter struct {
+	p      *Permuter
+	counts map[string]int
+	buf    perm.Permutation
+}
+
+// NewCounter returns a Counter over the given sites and metric.
+func NewCounter(m metric.Metric, sites []metric.Point) *Counter {
+	p := NewPermuter(m, sites)
+	return &Counter{
+		p:      p,
+		counts: make(map[string]int),
+		buf:    make(perm.Permutation, p.K()),
+	}
+}
+
+// Add computes the distance permutation of y and records it. It returns
+// true if the permutation had not been seen before.
+func (c *Counter) Add(y metric.Point) bool {
+	c.p.PermutationInto(y, c.buf)
+	k := c.buf.Key()
+	_, seen := c.counts[k]
+	c.counts[k]++
+	return !seen
+}
+
+// AddAll records every point in the slice.
+func (c *Counter) AddAll(points []metric.Point) {
+	for _, y := range points {
+		c.Add(y)
+	}
+}
+
+// Distinct returns the number of distinct permutations observed so far —
+// |{Π_y : y added}|.
+func (c *Counter) Distinct() int { return len(c.counts) }
+
+// Total returns the number of points added.
+func (c *Counter) Total() int {
+	n := 0
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// Permutations returns the observed permutations, each decoded, in
+// ascending lexicographic-rank order. Available only for k ≤ 20 (the packed
+// key range); it panics otherwise.
+func (c *Counter) Permutations() []perm.Permutation {
+	k := c.p.K()
+	if k > 20 {
+		panic("core: Permutations decoding supports k <= 20")
+	}
+	ranks := make([]uint64, 0, len(c.counts))
+	for key := range c.counts {
+		var r uint64
+		for i := 0; i < 8; i++ {
+			r |= uint64(key[i]) << (8 * i)
+		}
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(a, b int) bool { return ranks[a] < ranks[b] })
+	out := make([]perm.Permutation, len(ranks))
+	for i, r := range ranks {
+		out[i] = perm.Unrank64(k, r)
+	}
+	return out
+}
+
+// Occupancy returns the multiset of per-permutation point counts, sorted
+// descending. Occupancy[0] is the population of the most popular cell of the
+// generalized Voronoi diagram that the database actually hit.
+func (c *Counter) Occupancy() []int {
+	out := make([]int, 0, len(c.counts))
+	for _, v := range c.counts {
+		out = append(out, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// CountDistinct is the one-shot convenience: the number of distinct
+// distance permutations of points with respect to sites under m.
+func CountDistinct(m metric.Metric, sites, points []metric.Point) int {
+	c := NewCounter(m, sites)
+	c.AddAll(points)
+	return c.Distinct()
+}

@@ -1,0 +1,99 @@
+// Package core implements the paper's central object: the distance
+// permutation. Given k fixed reference points (sites) x_1..x_k in a metric
+// space, the distance permutation Π_y of a point y is the unique permutation
+// sorting the site indices into order of increasing distance from y, with
+// ties broken toward the lower site index (Chávez, Figueroa, Navarro 2005;
+// Skala 2008 Definition in §1).
+//
+// The package provides a reusable Permuter that computes Π_y with a single
+// distance evaluation per site, and a Counter that streams over a point set
+// tallying the distinct permutations that occur — the quantity the paper's
+// experiments (Tables 2 and 3) measure.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+// Permuter computes distance permutations with respect to a fixed list of
+// sites under a fixed metric. It reuses internal buffers; a Permuter is not
+// safe for concurrent use (clone one per goroutine with Clone).
+type Permuter struct {
+	m     metric.Metric
+	sites []metric.Point
+	dists []float64
+	order []int
+}
+
+// NewPermuter returns a Permuter for the given sites under m. It panics if
+// fewer than one site is supplied.
+func NewPermuter(m metric.Metric, sites []metric.Point) *Permuter {
+	if len(sites) == 0 {
+		panic("core: NewPermuter requires at least one site")
+	}
+	return &Permuter{
+		m:     m,
+		sites: sites,
+		dists: make([]float64, len(sites)),
+		order: make([]int, len(sites)),
+	}
+}
+
+// K returns the number of sites.
+func (p *Permuter) K() int { return len(p.sites) }
+
+// Metric returns the metric the Permuter evaluates.
+func (p *Permuter) Metric() metric.Metric { return p.m }
+
+// Sites returns the site list (shared, not copied).
+func (p *Permuter) Sites() []metric.Point { return p.sites }
+
+// Clone returns an independent Permuter sharing the same sites and metric,
+// for concurrent use.
+func (p *Permuter) Clone() *Permuter {
+	return NewPermuter(p.m, p.sites)
+}
+
+// Permutation returns Π_y: position i holds the index (0-based) of the
+// (i+1)-th closest site to y, ties broken toward the smaller site index.
+// The returned slice is freshly allocated. Exactly k distance evaluations
+// are performed.
+func (p *Permuter) Permutation(y metric.Point) perm.Permutation {
+	out := make(perm.Permutation, len(p.sites))
+	p.PermutationInto(y, out)
+	return out
+}
+
+// PermutationInto computes Π_y into out, which must have length k. It is
+// the allocation-free variant for hot loops.
+func (p *Permuter) PermutationInto(y metric.Point, out perm.Permutation) {
+	if len(out) != len(p.sites) {
+		panic(fmt.Sprintf("core: PermutationInto buffer length %d, want %d", len(out), len(p.sites)))
+	}
+	for i, s := range p.sites {
+		p.dists[i] = p.m.Distance(s, y)
+		p.order[i] = i
+	}
+	d, o := p.dists, p.order
+	sort.Slice(o, func(a, b int) bool {
+		if d[o[a]] != d[o[b]] {
+			return d[o[a]] < d[o[b]]
+		}
+		return o[a] < o[b] // the paper's tie-break: lower index is closer
+	})
+	copy(out, o)
+}
+
+// Distances returns the distances from y to every site, in site order. The
+// returned slice is freshly allocated.
+func (p *Permuter) Distances(y metric.Point) []float64 {
+	out := make([]float64, len(p.sites))
+	for i, s := range p.sites {
+		out[i] = p.m.Distance(s, y)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/metric"
+)
+
+func randomPoints(rng *rand.Rand, n, d int) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		v := make(metric.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func TestParallelCountMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 10; trial++ {
+		d := 1 + rng.Intn(4)
+		k := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(5000)
+		pts := randomPoints(rng, n, d)
+		sites := randomPoints(rng, k, d)
+		seq := CountDistinct(metric.L1{}, sites, pts)
+		par := ParallelCount(metric.L1{}, sites, pts)
+		if seq != par {
+			t.Fatalf("trial %d: sequential %d != parallel %d", trial, seq, par)
+		}
+	}
+}
+
+func TestParallelCountTinyInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	sites := randomPoints(rng, 3, 2)
+	for _, n := range []int{1, 2, 3} {
+		pts := randomPoints(rng, n, 2)
+		if got, want := ParallelCount(metric.L2{}, sites, pts),
+			CountDistinct(metric.L2{}, sites, pts); got != want {
+			t.Errorf("n=%d: %d != %d", n, got, want)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	sites := randomPoints(rng, 4, 2)
+	pts := randomPoints(rng, 1000, 2)
+
+	whole := NewCounter(metric.L2{}, sites)
+	whole.AddAll(pts)
+
+	a := NewCounter(metric.L2{}, sites)
+	b := NewCounter(metric.L2{}, sites)
+	a.AddAll(pts[:400])
+	b.AddAll(pts[400:])
+	a.Merge(b)
+
+	if a.Distinct() != whole.Distinct() {
+		t.Errorf("merged distinct %d != whole %d", a.Distinct(), whole.Distinct())
+	}
+	if a.Total() != whole.Total() {
+		t.Errorf("merged total %d != whole %d", a.Total(), whole.Total())
+	}
+}
+
+func TestMergePanicsOnMismatchedK(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	a := NewCounter(metric.L2{}, randomPoints(rng, 3, 2))
+	b := NewCounter(metric.L2{}, randomPoints(rng, 4, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched k should panic")
+		}
+	}()
+	a.Merge(b)
+}

@@ -1,0 +1,277 @@
+package counting
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// paperTable1 is the full Table 1 from the paper, transcribed verbatim:
+// rows d = 1..10, columns k = 2..12.
+var paperTable1 = [10][11]int64{
+	{2, 4, 7, 11, 16, 22, 29, 37, 46, 56, 67},
+	{2, 6, 18, 46, 101, 197, 351, 583, 916, 1376, 1992},
+	{2, 6, 24, 96, 326, 932, 2311, 5119, 10366, 19526, 34662},
+	{2, 6, 24, 120, 600, 2556, 9080, 27568, 73639, 177299, 392085},
+	{2, 6, 24, 120, 720, 4320, 22212, 94852, 342964, 1079354, 3029643},
+	{2, 6, 24, 120, 720, 5040, 35280, 212976, 1066644, 4496284, 16369178},
+	{2, 6, 24, 120, 720, 5040, 40320, 322560, 2239344, 12905784, 62364908},
+	{2, 6, 24, 120, 720, 5040, 40320, 362880, 3265920, 25659360, 167622984},
+	{2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800, 36288000, 318540960},
+	{2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800, 39916800, 439084800},
+}
+
+func TestEuclideanCountMatchesPaperTable1(t *testing.T) {
+	for di, row := range paperTable1 {
+		d := di + 1
+		for ki, want := range row {
+			k := ki + 2
+			if got := EuclideanCount64(d, k); got != want {
+				t.Errorf("N(%d,%d) = %d, want %d (paper Table 1)", d, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEuclideanCountBaseCases(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		if got := EuclideanCount64(0, k); got != 1 {
+			t.Errorf("N(0,%d) = %d, want 1", k, got)
+		}
+	}
+	for d := 0; d <= 10; d++ {
+		if got := EuclideanCount64(d, 1); got != 1 {
+			t.Errorf("N(%d,1) = %d, want 1", d, got)
+		}
+	}
+}
+
+func TestEuclideanCountRecurrence(t *testing.T) {
+	// N(d,k) = N(d,k−1) + (k−1)·N(d−1,k−1) must hold on the whole grid.
+	for d := 1; d <= 8; d++ {
+		for k := 2; k <= 14; k++ {
+			lhs := EuclideanCount(d, k)
+			rhs := new(big.Int).Mul(big.NewInt(int64(k-1)), EuclideanCount(d-1, k-1))
+			rhs.Add(rhs, EuclideanCount(d, k-1))
+			if lhs.Cmp(rhs) != 0 {
+				t.Errorf("recurrence fails at (%d,%d): %v vs %v", d, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestTheorem6FactorialRegime(t *testing.T) {
+	// N(d,k) = k! whenever d ≥ k−1 (Theorem 6).
+	for k := 1; k <= 9; k++ {
+		for d := k - 1; d <= k+2; d++ {
+			if d < 0 {
+				continue
+			}
+			if got, want := EuclideanCount(d, k), Factorial(k); got.Cmp(want) != 0 {
+				t.Errorf("N(%d,%d) = %v, want %d! = %v", d, k, got, k, want)
+			}
+		}
+	}
+	// And strictly less than k! when d < k−1 (and d ≥ 1, k ≥ 3).
+	for k := 3; k <= 9; k++ {
+		for d := 1; d < k-1; d++ {
+			if EuclideanCount(d, k).Cmp(Factorial(k)) >= 0 {
+				t.Errorf("N(%d,%d) should be < %d!", d, k, k)
+			}
+		}
+	}
+}
+
+func TestOneDimensionEqualsTreeBound(t *testing.T) {
+	// The paper notes N(1,k) = C(k,2)+1, equal to the tree-metric bound.
+	for k := 1; k <= 20; k++ {
+		if got, want := EuclideanCount(1, k), TreeBound(k); got.Cmp(want) != 0 {
+			t.Errorf("N(1,%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestTreeBound(t *testing.T) {
+	cases := map[int]int64{1: 1, 2: 2, 3: 4, 4: 7, 5: 11, 12: 67}
+	for k, want := range cases {
+		if got := TreeBound64(k); got != want {
+			t.Errorf("TreeBound(%d) = %d, want %d", k, got, want)
+		}
+		if TreeBound(k).Int64() != want {
+			t.Errorf("big TreeBound(%d) mismatch", k)
+		}
+	}
+}
+
+func TestCorollary8UpperBound(t *testing.T) {
+	// N(d,k) ≤ k^{2d}.
+	for d := 1; d <= 6; d++ {
+		for k := 1; k <= 14; k++ {
+			bound := new(big.Int).Exp(big.NewInt(int64(k)), big.NewInt(int64(2*d)), nil)
+			if EuclideanCount(d, k).Cmp(bound) > 0 {
+				t.Errorf("N(%d,%d) exceeds k^2d", d, k)
+			}
+		}
+	}
+}
+
+func TestCorollary8Asymptotics(t *testing.T) {
+	// N(d,k) / (k^{2d}/(2^d d!)) → 1; at k = 400 the ratio should be
+	// within a few percent for small d.
+	for d := 1; d <= 3; d++ {
+		k := 400
+		n := new(big.Float).SetInt(EuclideanCount(d, k))
+		approx := big.NewFloat(Asymptotic(d, k))
+		ratio, _ := new(big.Float).Quo(n, approx).Float64()
+		if math.Abs(ratio-1) > 0.05 {
+			t.Errorf("d=%d: asymptotic ratio %v at k=%d", d, ratio, k)
+		}
+	}
+}
+
+func TestLeadingCoefficient(t *testing.T) {
+	cases := map[int]float64{0: 1, 1: 0.5, 2: 0.125, 3: 1.0 / 48}
+	for d, want := range cases {
+		if got := LeadingCoefficient(d); math.Abs(got-want) > 1e-15 {
+			t.Errorf("LeadingCoefficient(%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestCakeNumbers(t *testing.T) {
+	// Classical values: S_2(m) = 1 + m(m+1)/2 ("lazy caterer"),
+	// S_3 = "cake numbers".
+	lazyCaterer := []int64{1, 2, 4, 7, 11, 16, 22, 29}
+	for m, want := range lazyCaterer {
+		if got := Cake(2, m); got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("S_2(%d) = %v, want %d", m, got, want)
+		}
+	}
+	cake3 := []int64{1, 2, 4, 8, 15, 26, 42, 64, 93}
+	for m, want := range cake3 {
+		if got := Cake(3, m); got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("S_3(%d) = %v, want %d", m, got, want)
+		}
+	}
+}
+
+func TestCakeRecurrence(t *testing.T) {
+	// S_d(m) = S_d(m−1) + S_{d−1}(m−1), S_d(0) = S_0(m) = 1 (Price).
+	for d := 1; d <= 5; d++ {
+		for m := 1; m <= 12; m++ {
+			lhs := Cake(d, m)
+			rhs := new(big.Int).Add(Cake(d, m-1), Cake(d-1, m-1))
+			if lhs.Cmp(rhs) != 0 {
+				t.Errorf("cake recurrence fails at (%d,%d)", d, m)
+			}
+		}
+	}
+	// S_d(m) = 2^m when d ≥ m (every subset of cuts).
+	for m := 0; m <= 6; m++ {
+		want := new(big.Int).Lsh(big.NewInt(1), uint(m))
+		if got := Cake(m, m); got.Cmp(want) != 0 {
+			t.Errorf("S_%d(%d) = %v, want 2^%d", m, m, got, m)
+		}
+	}
+}
+
+func TestTheorem9BoundsDominateEuclidean(t *testing.T) {
+	// The L1/L∞ bounds are (loose) upper bounds built from more
+	// hyperplanes than the Euclidean case uses, so they must dominate
+	// N(d,2)(k).
+	for d := 1; d <= 4; d++ {
+		for k := 2; k <= 8; k++ {
+			n := EuclideanCount(d, k)
+			if L1Bound(d, k).Cmp(n) < 0 {
+				t.Errorf("L1Bound(%d,%d) below Euclidean count", d, k)
+			}
+			if LInfBound(d, k).Cmp(n) < 0 {
+				t.Errorf("LInfBound(%d,%d) below Euclidean count", d, k)
+			}
+		}
+	}
+}
+
+func TestTheorem9BoundOneDimension(t *testing.T) {
+	// In one dimension every Lp metric coincides, each bisector is (at
+	// most) 2^2 = 4 hyperplanes for L1 / 4·1 = 4 for L∞ — the bounds are
+	// loose but must still be S_1 of the plane count.
+	if got, want := L1Bound(1, 3), Cake(1, 12); got.Cmp(want) != 0 {
+		t.Errorf("L1Bound(1,3) = %v, want S_1(12) = %v", got, want)
+	}
+	if got, want := LInfBound(1, 3), Cake(1, 12); got.Cmp(want) != 0 {
+		t.Errorf("LInfBound(1,3) = %v, want S_1(12) = %v", got, want)
+	}
+}
+
+func TestGeneralUpperBound(t *testing.T) {
+	// p=2 → exact N; any bound is capped at k!.
+	if got := GeneralUpperBound(3, 5, 2); got.Cmp(big.NewInt(96)) != 0 {
+		t.Errorf("GeneralUpperBound L2 = %v, want 96", got)
+	}
+	if got := GeneralUpperBound(10, 4, 1); got.Cmp(Factorial(4)) != 0 {
+		t.Errorf("GeneralUpperBound should cap at k!: %v", got)
+	}
+	if got := GeneralUpperBound(2, 3, 3.5); got.Cmp(Factorial(3)) != 0 {
+		t.Errorf("GeneralUpperBound for general p should be k!: %v", got)
+	}
+	if got := GeneralUpperBound(1, 6, math.Inf(1)); got.Cmp(Factorial(6)) > 0 {
+		t.Errorf("GeneralUpperBound Linf should never exceed k!")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, r int
+		want int64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {4, 5, 0}, {4, -1, 0}, {12, 6, 924},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.r); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("C(%d,%d) = %v, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestFactorialValues(t *testing.T) {
+	cases := map[int]int64{0: 1, 1: 1, 4: 24, 12: 479001600}
+	for n, want := range cases {
+		if got := Factorial(n); got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("%d! = %v, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEuclideanCountPanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct{ d, k int }{{-1, 2}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EuclideanCount(%d,%d) should panic", c.d, c.k)
+				}
+			}()
+			EuclideanCount(c.d, c.k)
+		}()
+	}
+}
+
+func TestEuclideanCountMemoisationConcurrency(t *testing.T) {
+	// Hammer the memo table from several goroutines; the race detector
+	// (go test -race) validates the locking.
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for k := 2; k <= 40; k++ {
+				EuclideanCount(3+g%4, k)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if EuclideanCount64(3, 5) != 96 {
+		t.Error("memoised value corrupted")
+	}
+}

@@ -1,0 +1,103 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/core"
+	"distperm/internal/metric"
+)
+
+func TestExactLineCountGeneric(t *testing.T) {
+	// Random (almost surely generic) sites attain N(1,k) = C(k,2)+1.
+	rng := rand.New(rand.NewSource(60))
+	for k := 1; k <= 10; k++ {
+		sites := make([]float64, k)
+		for i := range sites {
+			sites[i] = rng.Float64() * 100
+		}
+		if got, want := ExactLineCount(sites), int(TreeBound64(k)); got != want {
+			t.Errorf("k=%d: ExactLineCount = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestExactLineCountDegenerate(t *testing.T) {
+	// Evenly spaced sites share midpoints.
+	for k := 1; k <= 12; k++ {
+		sites := make([]float64, k)
+		for i := range sites {
+			sites[i] = float64(i)
+		}
+		if got, want := ExactLineCount(sites), EvenlySpacedLineCount(k); got != want {
+			t.Errorf("k=%d evenly spaced: %d, want %d", k, got, want)
+		}
+	}
+	// The degenerate count is strictly below the bound for k ≥ 4.
+	for k := 4; k <= 12; k++ {
+		if int64(EvenlySpacedLineCount(k)) >= TreeBound64(k) {
+			t.Errorf("k=%d: evenly spaced should be below C(k,2)+1", k)
+		}
+	}
+}
+
+func TestExactLineCountMatchesSampledCounter(t *testing.T) {
+	// Dense sampling of the line must observe exactly the analytic count.
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(6)
+		sites := make([]float64, k)
+		sitePts := make([]metric.Point, k)
+		for i := range sites {
+			sites[i] = rng.Float64()
+			sitePts[i] = metric.Vector{sites[i]}
+		}
+		want := ExactLineCount(sites)
+		// Sample densely across and beyond the sites' range.
+		var pts []metric.Point
+		for x := -0.5; x <= 1.5; x += 0.0005 {
+			pts = append(pts, metric.Vector{x})
+		}
+		got := core.CountDistinct(metric.L2{}, sitePts, pts)
+		if got != want {
+			t.Errorf("trial %d (k=%d): sampled %d, analytic %d", trial, k, got, want)
+		}
+	}
+}
+
+func TestExactLineCountSharedMidpoint(t *testing.T) {
+	// Sites {0, 1, 2}: midpoints 0.5, 1.0, 1.5 → 4 regions; sites
+	// {0, 2, 4}: 1, 2, 3 → 4; sites {0, 1, 3}: 0.5, 1.5, 2 → 4; but
+	// {0, 2, 4, 6}: midpoints 1,2,3,4,5 (3 and others coincide) → 6.
+	if got := ExactLineCount([]float64{0, 2, 4, 6}); got != 6 {
+		t.Errorf("got %d, want 6", got)
+	}
+}
+
+func TestExactLineCountPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty sites should panic")
+			}
+		}()
+		ExactLineCount(nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate sites should panic")
+			}
+		}()
+		ExactLineCount([]float64{1, 1})
+	}()
+}
+
+func TestEvenlySpacedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 should panic")
+		}
+	}()
+	EvenlySpacedLineCount(0)
+}

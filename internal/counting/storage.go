@@ -1,0 +1,88 @@
+package counting
+
+import (
+	"math"
+	"math/big"
+)
+
+// StorageBits bundles the storage-space comparison the paper draws in §4:
+// the bits needed per database point to store a distance permutation under
+// three encodings.
+type StorageBits struct {
+	K int // number of sites
+	D int // dimensionality (vector spaces)
+
+	// FullPerm is ⌈lg k!⌉: bits for an unrestricted permutation, the
+	// O(k log k) cost the Chávez/Figueroa/Navarro representation pays.
+	FullPerm int
+	// Euclidean is ⌈lg N_{d,2}(k)⌉: bits when only realisable Euclidean
+	// permutations are enumerated, the paper's Θ(d log k) improvement.
+	Euclidean int
+	// TreeMetric is ⌈lg (C(k,2)+1)⌉: bits in any tree metric space.
+	TreeMetric int
+	// NaiveDistances is k·64: bits for LAESA-style raw float64 distances,
+	// for scale.
+	NaiveDistances int
+}
+
+// Bits returns ⌈lg v⌉ for v ≥ 1: the bits needed to address v distinct
+// values. Bits(1) = 0.
+func Bits(v *big.Int) int {
+	if v.Sign() <= 0 {
+		panic("counting: Bits of non-positive value")
+	}
+	// ⌈lg v⌉ = bitlen(v−1) for v ≥ 2.
+	w := new(big.Int).Sub(v, big.NewInt(1))
+	return w.BitLen()
+}
+
+// Storage computes the storage comparison for k sites in d dimensions.
+func Storage(d, k int) StorageBits {
+	return StorageBits{
+		K:              k,
+		D:              d,
+		FullPerm:       Bits(Factorial(k)),
+		Euclidean:      Bits(EuclideanCount(d, k)),
+		TreeMetric:     Bits(TreeBound(k)),
+		NaiveDistances: 64 * k,
+	}
+}
+
+// SaturationK returns the smallest k at which N_{d,2}(k) < k!, i.e. the
+// number of sites beyond which the Euclidean structure starts constraining
+// which permutations can occur. By Theorem 6 this is d+2 (all k! occur up to
+// k = d+1).
+func SaturationK(d int) int {
+	for k := 2; ; k++ {
+		if EuclideanCount(d, k).Cmp(Factorial(k)) < 0 {
+			return k
+		}
+	}
+}
+
+// InformationRatio returns lg N_{d,2}(k) / lg k!, the fraction of a full
+// permutation's information content that a Euclidean distance permutation
+// can actually carry. It quantifies the paper's closing observation that
+// adding sites beyond ≈2d yields little additional index information.
+func InformationRatio(d, k int) float64 {
+	if k < 2 {
+		return 1
+	}
+	n := bigLog2(EuclideanCount(d, k))
+	f := bigLog2(Factorial(k))
+	return n / f
+}
+
+// bigLog2 returns lg v for v ≥ 1 with enough precision for ratios.
+func bigLog2(v *big.Int) float64 {
+	bl := v.BitLen()
+	if bl <= 53 {
+		f, _ := new(big.Float).SetInt(v).Float64()
+		return math.Log2(f)
+	}
+	// Scale down to the float range, then add back the shifted bits.
+	shift := uint(bl - 53)
+	w := new(big.Int).Rsh(v, shift)
+	f, _ := new(big.Float).SetInt(w).Float64()
+	return math.Log2(f) + float64(shift)
+}

@@ -1,0 +1,120 @@
+package counting
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestBits(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := Bits(big.NewInt(c.v)); got != c.want {
+			t.Errorf("Bits(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBitsPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bits(0) should panic")
+		}
+	}()
+	Bits(big.NewInt(0))
+}
+
+func TestStorageComparison(t *testing.T) {
+	s := Storage(2, 8)
+	// lg 8! = lg 40320 → 16 bits; lg N(2,8) = lg 351 → 9 bits.
+	if s.FullPerm != 16 {
+		t.Errorf("FullPerm = %d, want 16", s.FullPerm)
+	}
+	if s.Euclidean != 9 {
+		t.Errorf("Euclidean = %d, want 9", s.Euclidean)
+	}
+	// lg(C(8,2)+1) = lg 29 → 5 bits.
+	if s.TreeMetric != 5 {
+		t.Errorf("TreeMetric = %d, want 5", s.TreeMetric)
+	}
+	if s.NaiveDistances != 512 {
+		t.Errorf("NaiveDistances = %d, want 512", s.NaiveDistances)
+	}
+}
+
+func TestStorageOrdering(t *testing.T) {
+	// Euclidean ≤ FullPerm always; both far below raw distances.
+	for d := 1; d <= 5; d++ {
+		for k := 2; k <= 16; k++ {
+			s := Storage(d, k)
+			if s.Euclidean > s.FullPerm {
+				t.Errorf("d=%d k=%d: Euclidean bits exceed full-perm bits", d, k)
+			}
+			if s.TreeMetric > s.Euclidean && d >= 1 {
+				// Tree bound = N(1,k) ≤ N(d,k), so tree bits ≤ Euclidean bits.
+				t.Errorf("d=%d k=%d: tree bits exceed Euclidean bits", d, k)
+			}
+			if s.FullPerm >= s.NaiveDistances {
+				t.Errorf("d=%d k=%d: permutation bits should beat raw distances", d, k)
+			}
+		}
+	}
+}
+
+func TestStorageThetaDLogK(t *testing.T) {
+	// Corollary 8: Euclidean bits ≤ 2d·lg k (from N ≤ k^{2d}).
+	for d := 1; d <= 6; d++ {
+		for k := 2; k <= 20; k++ {
+			limit := 2 * float64(d) * math.Log2(float64(k))
+			if got := Storage(d, k).Euclidean; float64(got) > limit+1 {
+				t.Errorf("d=%d k=%d: %d bits exceeds 2d lg k = %.1f", d, k, got, limit)
+			}
+		}
+	}
+}
+
+func TestSaturationK(t *testing.T) {
+	// Theorem 6: all k! realisable up to k = d+1, so the first
+	// constrained k is d+2.
+	for d := 1; d <= 8; d++ {
+		if got := SaturationK(d); got != d+2 {
+			t.Errorf("SaturationK(%d) = %d, want %d", d, got, d+2)
+		}
+	}
+}
+
+func TestInformationRatio(t *testing.T) {
+	// Ratio is 1 in the factorial regime and strictly decreasing beyond.
+	for d := 1; d <= 4; d++ {
+		if r := InformationRatio(d, d+1); math.Abs(r-1) > 1e-12 {
+			t.Errorf("ratio at k=d+1 should be 1, got %v", r)
+		}
+		prev := 1.0
+		for k := d + 2; k <= 30; k++ {
+			r := InformationRatio(d, k)
+			if r >= prev {
+				t.Errorf("d=%d k=%d: ratio %v not decreasing (prev %v)", d, k, r, prev)
+			}
+			if r <= 0 || r > 1 {
+				t.Errorf("d=%d k=%d: ratio %v out of (0,1]", d, k, r)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestBigLog2LargeValues(t *testing.T) {
+	// lg(2^100) = 100 exactly.
+	v := new(big.Int).Lsh(big.NewInt(1), 100)
+	if got := bigLog2(v); math.Abs(got-100) > 1e-9 {
+		t.Errorf("bigLog2(2^100) = %v", got)
+	}
+	if got := bigLog2(big.NewInt(1)); got != 0 {
+		t.Errorf("bigLog2(1) = %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package dataset generates the point sets the paper's experiments run on.
+//
+// The paper's Section 5 uses (a) the SISAP metric-space library's sample
+// databases — seven natural-language dictionaries under edit distance, the
+// listeria gene-sequence database, the long and short document-vector
+// databases, the colors image-feature database, and the nasa feature
+// database — and (b) collections of 10^6 vectors drawn uniformly from the
+// unit cube under L1/L2/L∞.
+//
+// The SISAP data files cannot be redistributed here and the module is
+// offline, so this package synthesises seeded analogues with matched
+// structure: per-language Markov letter models for the dictionaries,
+// a mutation process over a common ancestor for the gene sequences, sparse
+// term-frequency vectors for the documents, mixture histograms for colors,
+// and correlated features for nasa (see DESIGN.md §4 for the substitution
+// argument). Every generator is deterministic given its seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distperm/internal/metric"
+)
+
+// Dataset is a named finite metric database.
+type Dataset struct {
+	Name   string
+	Metric metric.Metric
+	Points []metric.Point
+}
+
+// N returns the number of points.
+func (d *Dataset) N() int { return len(d.Points) }
+
+// ChooseSites selects k distinct points of the dataset uniformly at random
+// as sites, matching how the paper's experiments pick reference sites. It
+// panics if k exceeds the dataset size.
+func (d *Dataset) ChooseSites(rng *rand.Rand, k int) []metric.Point {
+	if k > len(d.Points) {
+		panic(fmt.Sprintf("dataset: %d sites requested from %d points", k, len(d.Points)))
+	}
+	idx := rng.Perm(len(d.Points))[:k]
+	sites := make([]metric.Point, k)
+	for i, j := range idx {
+		sites[i] = d.Points[j]
+	}
+	return sites
+}
+
+// UniformVectors returns n vectors drawn uniformly from the d-dimensional
+// unit cube — the Table 3 workload.
+func UniformVectors(rng *rand.Rand, n, d int) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		v := make(metric.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+// UniformDataset wraps UniformVectors as a Dataset under the given metric.
+func UniformDataset(rng *rand.Rand, n, d int, m metric.Metric) *Dataset {
+	return &Dataset{
+		Name:   fmt.Sprintf("uniform-%dd-%s", d, m.Name()),
+		Metric: m,
+		Points: UniformVectors(rng, n, d),
+	}
+}
+
+// GaussianVectors returns n vectors with i.i.d. N(mean, sigma²) components
+// in d dimensions.
+func GaussianVectors(rng *rand.Rand, n, d int, mean, sigma float64) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		v := make(metric.Vector, d)
+		for j := range v {
+			v[j] = mean + sigma*rng.NormFloat64()
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+// ClusteredVectors returns n vectors in d dimensions drawn from c Gaussian
+// clusters with centres uniform in the unit cube and common within-cluster
+// standard deviation sigma. Clustered data has fewer reachable distance
+// permutations than uniform data of the same nominal dimension — the
+// phenomenon behind the paper's Figure 7 and the dimension-characterisation
+// discussion.
+func ClusteredVectors(rng *rand.Rand, n, d, c int, sigma float64) []metric.Point {
+	centres := UniformVectors(rng, c, d)
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		centre := centres[rng.Intn(c)].(metric.Vector)
+		v := make(metric.Vector, d)
+		for j := range v {
+			v[j] = centre[j] + sigma*rng.NormFloat64()
+		}
+		pts[i] = v
+	}
+	return pts
+}

@@ -1,0 +1,333 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/metric"
+)
+
+func TestUniformVectorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := UniformVectors(rng, 100, 5)
+	if len(pts) != 100 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	for _, p := range pts {
+		v := p.(metric.Vector)
+		if len(v) != 5 {
+			t.Fatalf("dim = %d", len(v))
+		}
+		for _, x := range v {
+			if x < 0 || x >= 1 {
+				t.Fatalf("component %v outside [0,1)", x)
+			}
+		}
+	}
+}
+
+func TestUniformDeterminism(t *testing.T) {
+	a := UniformVectors(rand.New(rand.NewSource(7)), 50, 3)
+	b := UniformVectors(rand.New(rand.NewSource(7)), 50, 3)
+	for i := range a {
+		av, bv := a[i].(metric.Vector), b[i].(metric.Vector)
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatal("same seed must reproduce the same data")
+			}
+		}
+	}
+}
+
+func TestGaussianVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := GaussianVectors(rng, 2000, 2, 0.5, 0.1)
+	var mean float64
+	for _, p := range pts {
+		mean += p.(metric.Vector)[0]
+	}
+	mean /= float64(len(pts))
+	if mean < 0.45 || mean > 0.55 {
+		t.Errorf("sample mean %v, want ~0.5", mean)
+	}
+}
+
+func TestClusteredVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := ClusteredVectors(rng, 500, 4, 5, 0.01)
+	if len(pts) != 500 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	// Clustered data should have a much smaller mean nearest-point
+	// distance than uniform data of the same size.
+	uni := UniformVectors(rng, 500, 4)
+	if nnMean(pts) >= nnMean(uni) {
+		t.Error("clustered data should be locally denser than uniform")
+	}
+}
+
+func nnMean(pts []metric.Point) float64 {
+	m := metric.L2{}
+	total := 0.0
+	for i := 0; i < 50; i++ {
+		best := 1e18
+		for j := range pts {
+			if j == i {
+				continue
+			}
+			if d := m.Distance(pts[i], pts[j]); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / 50
+}
+
+func TestChooseSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := UniformDataset(rng, 100, 2, metric.L2{})
+	sites := ds.ChooseSites(rng, 10)
+	if len(sites) != 10 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	seen := map[*float64]bool{}
+	for _, s := range sites {
+		v := s.(metric.Vector)
+		if seen[&v[0]] {
+			t.Fatal("duplicate site")
+		}
+		seen[&v[0]] = true
+	}
+}
+
+func TestChooseSitesPanicsWhenTooMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := UniformDataset(rng, 5, 2, metric.L2{})
+	defer func() {
+		if recover() == nil {
+			t.Error("too many sites should panic")
+		}
+	}()
+	ds.ChooseSites(rng, 6)
+}
+
+func TestDictionaryGeneratesDistinctWords(t *testing.T) {
+	for _, p := range Languages() {
+		ds := Dictionary(p, 2000)
+		if ds.N() != 2000 {
+			t.Fatalf("%s: n = %d", p.Name, ds.N())
+		}
+		if ds.Metric.Name() != "edit" {
+			t.Fatalf("%s: metric %s", p.Name, ds.Metric.Name())
+		}
+		seen := map[metric.String]bool{}
+		for _, pt := range ds.Points {
+			w := pt.(metric.String)
+			if seen[w] {
+				t.Fatalf("%s: duplicate word %q", p.Name, w)
+			}
+			seen[w] = true
+			if len(w) < 2 || len(w) > 4*24 {
+				t.Fatalf("%s: word length %d out of range", p.Name, len(w))
+			}
+		}
+	}
+}
+
+func TestDictionaryDeterminism(t *testing.T) {
+	p := Languages()[0]
+	a := Dictionary(p, 100)
+	b := Dictionary(p, 100)
+	for i := range a.Points {
+		if a.Points[i].(metric.String) != b.Points[i].(metric.String) {
+			t.Fatal("dictionary not deterministic")
+		}
+	}
+}
+
+func TestLanguagesAreDistinct(t *testing.T) {
+	// Different language profiles must generate different dictionaries.
+	langs := Languages()
+	if len(langs) != 7 {
+		t.Fatalf("languages = %d, want 7", len(langs))
+	}
+	a := Dictionary(langs[0], 50)
+	b := Dictionary(langs[1], 50)
+	same := 0
+	for i := range a.Points {
+		if a.Points[i].(metric.String) == b.Points[i].(metric.String) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("%d/50 words identical across languages", same)
+	}
+}
+
+func TestGeneSequences(t *testing.T) {
+	ds := GeneSequences(1, 500)
+	if ds.N() != 500 {
+		t.Fatalf("n = %d", ds.N())
+	}
+	for _, pt := range ds.Points {
+		s := string(pt.(metric.String))
+		if len(s) == 0 {
+			t.Fatal("empty sequence")
+		}
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case 'A', 'C', 'G', 'T':
+			default:
+				t.Fatalf("invalid base %q", s[i])
+			}
+		}
+	}
+}
+
+func TestGeneSequencesLowRho(t *testing.T) {
+	// The listeria analogue must have markedly lower intrinsic
+	// dimensionality than a dictionary (the paper's ρ: 0.894 vs 5–10).
+	rng := rand.New(rand.NewSource(6))
+	genes := GeneSequences(1, 800)
+	dict := Dictionary(Languages()[1], 800)
+	rhoGenes := Rho(rng, genes, 3000)
+	rhoDict := Rho(rng, dict, 3000)
+	if rhoGenes >= rhoDict {
+		t.Errorf("rho(listeria)=%v should be below rho(dictionary)=%v", rhoGenes, rhoDict)
+	}
+	if rhoGenes > 2.5 {
+		t.Errorf("rho(listeria)=%v, want small (paper: 0.894)", rhoGenes)
+	}
+}
+
+func TestDocumentVectorsNonZero(t *testing.T) {
+	ds := DocumentVectors(9, "docs", 300, 200, 8, 50)
+	if ds.N() != 300 {
+		t.Fatalf("n = %d", ds.N())
+	}
+	if ds.Metric.Name() != "angular" {
+		t.Fatalf("metric = %s", ds.Metric.Name())
+	}
+	for _, pt := range ds.Points {
+		v := pt.(metric.Vector)
+		nonzero := false
+		for _, x := range v {
+			if x < 0 {
+				t.Fatal("negative term frequency")
+			}
+			if x > 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			t.Fatal("zero document vector (angular metric undefined)")
+		}
+	}
+}
+
+func TestShortDocsHigherRhoThanLong(t *testing.T) {
+	// Short near-orthogonal documents concentrate pairwise angles,
+	// driving ρ up — the paper's short database has ρ ≈ 809 vs long's 2.6.
+	rng := rand.New(rand.NewSource(7))
+	long := DocumentVectors(202, "long", 600, 400, 3, 600)
+	short := DocumentVectors(203, "short", 600, 400, 40, 30)
+	rhoLong := Rho(rng, long, 4000)
+	rhoShort := Rho(rng, short, 4000)
+	if rhoShort <= rhoLong {
+		t.Errorf("rho(short)=%v should exceed rho(long)=%v", rhoShort, rhoLong)
+	}
+}
+
+func TestColorHistogramsNormalised(t *testing.T) {
+	ds := ColorHistograms(11, 200, 112)
+	for _, pt := range ds.Points {
+		v := pt.(metric.Vector)
+		if len(v) != 112 {
+			t.Fatalf("dim = %d", len(v))
+		}
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 {
+				t.Fatal("negative bin")
+			}
+			sum += x
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("histogram sums to %v", sum)
+		}
+	}
+}
+
+func TestNASAFeatures(t *testing.T) {
+	ds := NASAFeatures(12, 300, 20, 4)
+	if ds.N() != 300 {
+		t.Fatalf("n = %d", ds.N())
+	}
+	for _, pt := range ds.Points {
+		if len(pt.(metric.Vector)) != 20 {
+			t.Fatal("dimension mismatch")
+		}
+	}
+}
+
+func TestRhoUniformIncreasesWithDimension(t *testing.T) {
+	// ρ of the uniform cube grows roughly linearly with dimension
+	// (Chávez–Navarro); verify monotone trend over a spread of dims.
+	rng := rand.New(rand.NewSource(8))
+	rho2 := Rho(rng, UniformDataset(rng, 3000, 2, metric.L2{}), 5000)
+	rho8 := Rho(rng, UniformDataset(rng, 3000, 8, metric.L2{}), 5000)
+	if rho8 <= rho2 {
+		t.Errorf("rho(8d)=%v should exceed rho(2d)=%v", rho8, rho2)
+	}
+}
+
+func TestRhoEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tiny := &Dataset{Name: "tiny", Metric: metric.L2{}, Points: []metric.Point{metric.Vector{0}}}
+	if got := Rho(rng, tiny, 100); got != 0 {
+		t.Errorf("rho of single point = %v, want 0", got)
+	}
+	// All-identical points: zero variance → 0 by convention.
+	same := &Dataset{Name: "same", Metric: metric.L2{}, Points: []metric.Point{
+		metric.Vector{1}, metric.Vector{1}, metric.Vector{1},
+	}}
+	if got := Rho(rng, same, 100); got != 0 {
+		t.Errorf("rho of identical points = %v, want 0", got)
+	}
+}
+
+func TestSISAPSuiteRoster(t *testing.T) {
+	suite := SISAPSuite(ScaledSizes(200))
+	if len(suite) != 12 {
+		t.Fatalf("suite size = %d, want 12", len(suite))
+	}
+	wantNames := []string{"Dutch", "English", "French", "German", "Italian",
+		"Norwegian", "Spanish", "listeria", "long", "short", "colors", "nasa"}
+	for i, ds := range suite {
+		if ds.Name != wantNames[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, ds.Name, wantNames[i])
+		}
+		if ds.N() == 0 {
+			t.Errorf("%s is empty", ds.Name)
+		}
+	}
+}
+
+func TestScaledSizes(t *testing.T) {
+	s := ScaledSizes(8)
+	p := PaperSizes()
+	if s.Dictionary != 75086/8 {
+		t.Errorf("Dictionary = %d", s.Dictionary)
+	}
+	if p.Dictionary != 0 {
+		t.Error("paper sizes should signal per-language dictionary sizes")
+	}
+	if s.Long != p.Long {
+		t.Error("long should stay at paper size")
+	}
+	tiny := ScaledSizes(1_000_000)
+	if tiny.Colors != 500 {
+		t.Errorf("floor should be 500, got %d", tiny.Colors)
+	}
+}

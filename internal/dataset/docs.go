@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"distperm/internal/metric"
+)
+
+// DocumentVectors generates the long/short analogues: n term-frequency
+// vectors over a vocabulary of dim terms, compared under the angular
+// (cosine) metric. Documents are produced by a two-level topic model: each
+// document mixes a handful of topic distributions (Zipf-weighted over the
+// vocabulary), so the support concentrates near a low-dimensional cone —
+// which is why the paper's long database, despite its nominal
+// dimensionality, shows permutation counts comparable to a low-dimensional
+// Euclidean uniform distribution.
+//
+//   - "long": few, long documents (the paper's 1265 news articles).
+//   - "short": many, short documents (the paper's 25276 short documents,
+//     whose near-orthogonality yields the huge ρ the paper reports).
+func DocumentVectors(seed int64, name string, n, dim, topics int, docLen int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Topic distributions: Zipf over a shuffled vocabulary per topic.
+	topicCum := make([][]float64, topics)
+	for t := range topicCum {
+		order := rng.Perm(dim)
+		weights := make([]float64, dim)
+		for rank, term := range order {
+			weights[term] = 1 / math.Pow(float64(rank+1), 1.1)
+		}
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		cum := make([]float64, dim)
+		acc := 0.0
+		for i, w := range weights {
+			acc += w / total
+			cum[i] = acc
+		}
+		cum[dim-1] = 1
+		topicCum[t] = cum
+	}
+
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		// Each document draws from 1–3 topics.
+		nt := 1 + rng.Intn(3)
+		docTopics := make([]int, nt)
+		for j := range docTopics {
+			docTopics[j] = rng.Intn(topics)
+		}
+		length := docLen/2 + rng.Intn(docLen)
+		for w := 0; w < length; w++ {
+			cum := topicCum[docTopics[rng.Intn(nt)]]
+			term := searchCum(cum, rng.Float64())
+			v[term]++
+		}
+		// Guarantee a non-zero vector for the angular metric.
+		if isZero(v) {
+			v[rng.Intn(dim)] = 1
+		}
+		pts[i] = v
+	}
+	return &Dataset{Name: name, Metric: metric.Angular{}, Points: pts}
+}
+
+// SparseDocumentVectors is DocumentVectors with the word-space-native
+// representation: each document is a metric.Sparse term-frequency vector
+// under metric.SparseAngular. With realistic vocabularies ("thousands or
+// millions of dimensions", as the paper's §1 puts it) the sparse form is
+// the only practical one; distances cost O(non-zeros) instead of O(dim).
+func SparseDocumentVectors(seed int64, name string, n, dim, topics, docLen int) *Dataset {
+	dense := DocumentVectors(seed, name, n, dim, topics, docLen)
+	pts := make([]metric.Point, len(dense.Points))
+	for i, p := range dense.Points {
+		v := p.(metric.Vector)
+		var idx []int
+		var val []float64
+		for j, x := range v {
+			if x != 0 {
+				idx = append(idx, j)
+				val = append(val, x)
+			}
+		}
+		pts[i] = metric.NewSparse(idx, val)
+	}
+	return &Dataset{Name: name, Metric: metric.SparseAngular{}, Points: pts}
+}
+
+// ColorHistograms generates the colors analogue: n normalised dim-bin
+// histograms under the L1 metric, drawn from a small number of smooth
+// Gaussian-bump mixtures. Image colour histograms are heavily clustered
+// (most images share a few dominant palettes), giving the low effective
+// dimensionality the paper measures for colors.
+func ColorHistograms(seed int64, n, dim int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const palettes = 24
+	centres := make([][]float64, palettes)
+	for p := range centres {
+		c := make([]float64, dim)
+		// Two or three smooth bumps per palette.
+		for b := 0; b < 2+rng.Intn(2); b++ {
+			mu := rng.Float64() * float64(dim)
+			sd := 2 + 6*rng.Float64()
+			amp := 0.5 + rng.Float64()
+			for i := range c {
+				d := (float64(i) - mu) / sd
+				c[i] += amp * math.Exp(-d*d/2)
+			}
+		}
+		centres[p] = c
+	}
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		c := centres[rng.Intn(palettes)]
+		v := make(metric.Vector, dim)
+		total := 0.0
+		for j := range v {
+			x := c[j] * (0.6 + 0.8*rng.Float64())
+			v[j] = x
+			total += x
+		}
+		for j := range v {
+			v[j] /= total
+		}
+		pts[i] = v
+	}
+	return &Dataset{Name: "colors", Metric: metric.L1{}, Points: pts}
+}
+
+// NASAFeatures generates the nasa analogue: n feature vectors of dimension
+// dim under L2 whose variance is concentrated in a few principal directions
+// (a random linear map applied to a low-dimensional latent Gaussian plus
+// small isotropic noise). The paper finds nasa behaves like a 3–4
+// dimensional uniform distribution; the latent dimension below is chosen to
+// match.
+func NASAFeatures(seed int64, n, dim, latent int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	// Random latent->observed map.
+	a := make([][]float64, dim)
+	for i := range a {
+		a[i] = make([]float64, latent)
+		for j := range a[i] {
+			a[i][j] = rng.NormFloat64()
+		}
+	}
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		z := make([]float64, latent)
+		for j := range z {
+			z[j] = rng.NormFloat64()
+		}
+		v := make(metric.Vector, dim)
+		for r := 0; r < dim; r++ {
+			s := 0.0
+			for j := 0; j < latent; j++ {
+				s += a[r][j] * z[j]
+			}
+			v[r] = s + 0.05*rng.NormFloat64()
+		}
+		pts[i] = v
+	}
+	return &Dataset{Name: "nasa", Metric: metric.L2{}, Points: pts}
+}
+
+func searchCum(cum []float64, u float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func isZero(v metric.Vector) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CorrelationDimension estimates the D₂ (correlation) dimension of a
+// database: the growth exponent of the correlation integral
+//
+//	C(r) = P[d(x, y) ≤ r]  ~  r^D₂  as r → 0,
+//
+// estimated as the slope of log C(r) against log r over a small-radius
+// window. The paper's §5 points to the Dq dimensions as the small-radius
+// alternative to ρ for describing indexing difficulty: ρ reflects the
+// global distance distribution, D₂ the local density growth that governs
+// behaviour at small query radii.
+//
+// The estimator samples `pairs` random point pairs, takes the radius window
+// between the 2nd and 25th percentile of sampled distances, and fits the
+// slope by least squares over logarithmically spaced radii. It returns 0
+// for degenerate inputs (fewer than 2 points, all distances equal).
+func CorrelationDimension(rng *rand.Rand, d *Dataset, pairs int) float64 {
+	if d.N() < 2 || pairs < 16 {
+		return 0
+	}
+	dists := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		a := rng.Intn(d.N())
+		b := rng.Intn(d.N() - 1)
+		if b >= a {
+			b++
+		}
+		dist := d.Metric.Distance(d.Points[a], d.Points[b])
+		if dist > 0 {
+			dists = append(dists, dist)
+		}
+	}
+	if len(dists) < 16 {
+		return 0
+	}
+	sort.Float64s(dists)
+	lo := dists[len(dists)/50]    // 2nd percentile
+	hi := dists[len(dists)/4]     // 25th percentile
+	if lo <= 0 || hi <= lo*1.01 { // degenerate window
+		return 0
+	}
+	// C(r) at logarithmically spaced radii via binary search in the
+	// sorted sample.
+	const steps = 12
+	var xs, ys []float64
+	for s := 0; s <= steps; s++ {
+		r := lo * math.Pow(hi/lo, float64(s)/steps)
+		c := sort.SearchFloat64s(dists, r)
+		if c == 0 {
+			continue
+		}
+		xs = append(xs, math.Log(r))
+		ys = append(ys, math.Log(float64(c)/float64(len(dists))))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	return leastSquaresSlope(xs, ys)
+}
+
+func leastSquaresSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distperm/internal/metric"
+)
+
+func TestCorrelationDimensionUniform(t *testing.T) {
+	// For uniform data in the d-cube, D₂ ≈ d at small radii.
+	rng := rand.New(rand.NewSource(90))
+	for _, d := range []int{1, 2, 3} {
+		ds := UniformDataset(rng, 20_000, d, metric.L2{})
+		got := CorrelationDimension(rng, ds, 30_000)
+		if math.Abs(got-float64(d)) > 0.5 {
+			t.Errorf("d=%d: D2 estimate %v", d, got)
+		}
+	}
+}
+
+func TestCorrelationDimensionEmbedded(t *testing.T) {
+	// 2-d data embedded in 10 ambient dimensions must read ≈2, not ≈10 —
+	// the local statistic sees through the embedding, unlike raw
+	// coordinate count.
+	rng := rand.New(rand.NewSource(91))
+	pts := make([]metric.Point, 20_000)
+	for i := range pts {
+		v := make(metric.Vector, 10)
+		v[0], v[1] = rng.Float64(), rng.Float64()
+		pts[i] = v
+	}
+	ds := &Dataset{Name: "embedded", Metric: metric.L2{}, Points: pts}
+	got := CorrelationDimension(rng, ds, 30_000)
+	if got > 3 {
+		t.Errorf("embedded 2-d data: D2 = %v, want ≈2", got)
+	}
+}
+
+func TestCorrelationDimensionOrderingMatchesPermCounts(t *testing.T) {
+	// D₂ and the distance-permutation count should order datasets the
+	// same way (both are dimension signals per the paper's §5).
+	rng := rand.New(rand.NewSource(92))
+	low := UniformDataset(rng, 10_000, 2, metric.L2{})
+	high := UniformDataset(rng, 10_000, 6, metric.L2{})
+	d2low := CorrelationDimension(rng, low, 20_000)
+	d2high := CorrelationDimension(rng, high, 20_000)
+	if d2high <= d2low {
+		t.Errorf("D2(6d)=%v should exceed D2(2d)=%v", d2high, d2low)
+	}
+}
+
+func TestCorrelationDimensionDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	single := &Dataset{Name: "one", Metric: metric.L2{}, Points: []metric.Point{metric.Vector{1}}}
+	if got := CorrelationDimension(rng, single, 1000); got != 0 {
+		t.Errorf("single point: %v, want 0", got)
+	}
+	same := &Dataset{Name: "same", Metric: metric.L2{}, Points: []metric.Point{
+		metric.Vector{1}, metric.Vector{1}, metric.Vector{1},
+	}}
+	if got := CorrelationDimension(rng, same, 1000); got != 0 {
+		t.Errorf("identical points: %v, want 0", got)
+	}
+}
+
+func TestLeastSquaresSlope(t *testing.T) {
+	// Exact line y = 3x + 1.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 4, 7, 10}
+	if got := leastSquaresSlope(xs, ys); math.Abs(got-3) > 1e-12 {
+		t.Errorf("slope = %v, want 3", got)
+	}
+	if got := leastSquaresSlope([]float64{2, 2}, []float64{1, 5}); got != 0 {
+		t.Errorf("degenerate xs: %v, want 0", got)
+	}
+}

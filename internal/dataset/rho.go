@@ -1,0 +1,36 @@
+package dataset
+
+import "math/rand"
+
+// Rho estimates the intrinsic dimensionality statistic of Chávez and
+// Navarro used throughout the paper's Table 2:
+//
+//	ρ = μ² / (2σ²)
+//
+// where μ and σ² are the mean and variance of the distance between two
+// random points of the database. The estimate samples `pairs` random
+// ordered pairs of distinct points; the paper's values are computed the
+// same way (ρ is a distributional statistic, not a worst-case one).
+func Rho(rng *rand.Rand, d *Dataset, pairs int) float64 {
+	if d.N() < 2 || pairs < 1 {
+		return 0
+	}
+	var sum, sumSq float64
+	for i := 0; i < pairs; i++ {
+		a := rng.Intn(d.N())
+		b := rng.Intn(d.N() - 1)
+		if b >= a {
+			b++
+		}
+		dist := d.Metric.Distance(d.Points[a], d.Points[b])
+		sum += dist
+		sumSq += dist * dist
+	}
+	n := float64(pairs)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance <= 0 {
+		return 0
+	}
+	return mean * mean / (2 * variance)
+}

@@ -1,0 +1,78 @@
+package dataset
+
+// Sizes controls how large the SISAP-analogue databases are generated.
+// Paper sizes (Table 2) are the defaults of PaperSizes; ScaledSizes divides
+// everything by the given factor for quick runs, flooring at 500 points.
+type Sizes struct {
+	// Dictionary is the per-language size; 0 means each language uses its
+	// own paper size (LanguageProfile.PaperN: 69k Dutch … 229k English).
+	Dictionary int
+	Listeria   int // paper: 20660
+	Long       int // paper: 1265
+	Short      int // paper: 25276
+	Colors     int // paper: 112544
+	NASA       int // paper: 40150
+}
+
+// PaperSizes returns per-database sizes matching the paper's Table 2 n
+// column; dictionaries use each language's own paper size.
+func PaperSizes() Sizes {
+	return Sizes{
+		Dictionary: 0, // per-language PaperN
+		Listeria:   20660,
+		Long:       1265,
+		Short:      25276,
+		Colors:     112544,
+		NASA:       40150,
+	}
+}
+
+// ScaledSizes returns PaperSizes divided by factor (min 500 per database,
+// except long, which is already tiny and stays at its paper size). The
+// dictionaries share one representative scaled size (the German paper size
+// divided by factor) so scaled runs stay comparable across languages.
+func ScaledSizes(factor int) Sizes {
+	s := PaperSizes()
+	scale := func(n int) int {
+		n /= factor
+		if n < 500 {
+			n = 500
+		}
+		return n
+	}
+	s.Dictionary = scale(75086)
+	s.Listeria = scale(s.Listeria)
+	s.Short = scale(s.Short)
+	s.Colors = scale(s.Colors)
+	s.NASA = scale(s.NASA)
+	// long stays at paper scale: it is the database whose smallness the
+	// paper's analysis leans on ("contains 1265 points, much less than
+	// sqrt(12!)").
+	return s
+}
+
+// SISAPSuite generates the full Table 2 database roster at the given sizes.
+// Ordering matches the paper's table: the seven dictionaries, then
+// listeria, long, short, colors, nasa.
+func SISAPSuite(sizes Sizes) []*Dataset {
+	var out []*Dataset
+	if sizes.Dictionary <= 0 {
+		for _, p := range Languages() {
+			out = append(out, Dictionary(p, p.PaperN))
+		}
+	} else {
+		out = AllDictionaries(sizes.Dictionary)
+	}
+	// long uses very few topics: the paper's long database (news-article
+	// feature vectors) is strongly degenerate — 261 distinct permutations
+	// among 1265 points at k=12 — so its synthetic stand-in must live on
+	// a low-dimensional cone.
+	out = append(out,
+		GeneSequences(201, sizes.Listeria),
+		DocumentVectors(202, "long", sizes.Long, 400, 3, 600),
+		DocumentVectors(203, "short", sizes.Short, 400, 40, 30),
+		ColorHistograms(204, sizes.Colors, 112),
+		NASAFeatures(205, sizes.NASA, 20, 4),
+	)
+	return out
+}

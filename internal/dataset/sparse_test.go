@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/core"
+	"distperm/internal/metric"
+)
+
+func TestSparseDocumentVectorsMatchDense(t *testing.T) {
+	// Same seed: the sparse dataset must be the same point set as the
+	// dense one, and all pairwise distances must agree.
+	dense := DocumentVectors(300, "docs", 150, 200, 6, 40)
+	sparse := SparseDocumentVectors(300, "docs", 150, 200, 6, 40)
+	if sparse.N() != dense.N() {
+		t.Fatalf("sizes differ: %d vs %d", sparse.N(), dense.N())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		i, j := rng.Intn(dense.N()), rng.Intn(dense.N())
+		dd := dense.Metric.Distance(dense.Points[i], dense.Points[j])
+		ds := sparse.Metric.Distance(sparse.Points[i], sparse.Points[j])
+		if diff := dd - ds; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("distance mismatch at (%d,%d): %v vs %v", i, j, dd, ds)
+		}
+	}
+}
+
+func TestSparseDocumentsSaveWork(t *testing.T) {
+	sparse := SparseDocumentVectors(301, "docs", 100, 5000, 6, 40)
+	// Short documents over a 5000-term vocabulary must be genuinely
+	// sparse.
+	for _, p := range sparse.Points {
+		s := p.(metric.Sparse)
+		if s.NNZ() == 0 || s.NNZ() > 200 {
+			t.Fatalf("NNZ = %d, want 1..200", s.NNZ())
+		}
+	}
+}
+
+func TestSparseDocumentsPermutationCounting(t *testing.T) {
+	// The whole counting pipeline must run on sparse points.
+	ds := SparseDocumentVectors(302, "docs", 500, 1000, 4, 40)
+	rng := rand.New(rand.NewSource(2))
+	sites := ds.ChooseSites(rng, 6)
+	count := core.CountDistinct(ds.Metric, sites, ds.Points)
+	if count < 2 || count > 500 {
+		t.Errorf("count = %d out of range", count)
+	}
+	if count > 720 {
+		t.Errorf("count exceeds 6!")
+	}
+}

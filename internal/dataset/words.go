@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"distperm/internal/metric"
+)
+
+// LanguageProfile parameterises a synthetic dictionary: a word generator
+// that mimics a natural language's alphabet, letter-frequency skew, and
+// word-length distribution. The dictionaries stand in for the SISAP sample
+// databases Dutch, English, French, German, Italian, Norwegian, Spanish in
+// the Table 2 reproduction; under edit distance, what governs the
+// distance-permutation statistics is word length and letter diversity, which
+// the profiles control.
+type LanguageProfile struct {
+	Name string
+	// Alphabet lists the letters in decreasing nominal frequency.
+	Alphabet string
+	// MeanLen and SdLen shape the (clamped) Gaussian word-length
+	// distribution.
+	MeanLen, SdLen float64
+	// Skew ∈ (0,1] controls the Zipf-like geometric decay of letter
+	// probabilities: smaller skew concentrates mass on few letters.
+	Skew float64
+	// Seed decorrelates the per-language Markov transition matrices.
+	Seed int64
+	// PaperN is the dictionary's size in the paper's Table 2.
+	PaperN int
+}
+
+// Languages returns the seven dictionary profiles used by the Table 2
+// reproduction, roughly matched to the source languages' alphabet sizes and
+// mean word lengths (German compounds run long; Norwegian words run short;
+// etc.).
+func Languages() []LanguageProfile {
+	return []LanguageProfile{
+		{Name: "Dutch", Alphabet: "enatirodslgkmvhupbjzcwfxyq", MeanLen: 9.5, SdLen: 2.8, Skew: 0.88, Seed: 101, PaperN: 229328},
+		{Name: "English", Alphabet: "etaoinshrdlcumwfgypbvkjxqz", MeanLen: 8.0, SdLen: 2.4, Skew: 0.90, Seed: 102, PaperN: 69069},
+		{Name: "French", Alphabet: "esaitnrulodcpmévqfbghjàxèz", MeanLen: 9.0, SdLen: 2.6, Skew: 0.87, Seed: 103, PaperN: 138257},
+		{Name: "German", Alphabet: "enisratdhulcgmobwfkzvüpäßj", MeanLen: 10.5, SdLen: 3.2, Skew: 0.89, Seed: 104, PaperN: 75086},
+		{Name: "Italian", Alphabet: "eaionlrtscdupmvghfbqzàòùìé", MeanLen: 9.2, SdLen: 2.5, Skew: 0.86, Seed: 105, PaperN: 116879},
+		{Name: "Norwegian", Alphabet: "erntsilakodgmvfupbhøjåyæcw", MeanLen: 8.2, SdLen: 2.6, Skew: 0.88, Seed: 106, PaperN: 85637},
+		{Name: "Spanish", Alphabet: "eaosrnidlctumpbgvyqhfzjñxk", MeanLen: 9.0, SdLen: 2.5, Skew: 0.87, Seed: 107, PaperN: 86061},
+	}
+}
+
+// Dictionary generates a dataset of n distinct words under the edit-distance
+// metric from the profile's first-order Markov letter model.
+func Dictionary(p LanguageProfile, n int) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	letters := []rune(p.Alphabet)
+	a := len(letters)
+
+	// Stationary Zipf-like letter weights.
+	base := make([]float64, a)
+	w := 1.0
+	for i := range base {
+		base[i] = w
+		w *= p.Skew
+	}
+	// Per-language first-order transition rows: the base distribution
+	// perturbed multiplicatively, normalised via cumulative sums for
+	// O(log a) sampling.
+	cum := make([][]float64, a+1) // row a is the word-initial distribution
+	for r := 0; r <= a; r++ {
+		row := make([]float64, a)
+		total := 0.0
+		for c := 0; c < a; c++ {
+			row[c] = base[c] * (0.25 + 1.5*rng.Float64())
+			total += row[c]
+		}
+		acc := 0.0
+		cumRow := make([]float64, a)
+		for c := 0; c < a; c++ {
+			acc += row[c] / total
+			cumRow[c] = acc
+		}
+		cumRow[a-1] = 1 // guard against rounding
+		cum[r] = cumRow
+	}
+	sample := func(row []float64) int {
+		return sort.SearchFloat64s(row, rng.Float64())
+	}
+
+	seen := make(map[string]bool, n)
+	pts := make([]metric.Point, 0, n)
+	for len(pts) < n {
+		length := int(math.Round(p.MeanLen + p.SdLen*rng.NormFloat64()))
+		if length < 2 {
+			length = 2
+		}
+		if length > 24 {
+			length = 24
+		}
+		word := make([]rune, length)
+		prev := a // word-initial row
+		for i := range word {
+			c := sample(cum[prev])
+			word[i] = letters[c]
+			prev = c
+		}
+		s := string(word)
+		if !seen[s] {
+			seen[s] = true
+			pts = append(pts, metric.String(s))
+		}
+	}
+	return &Dataset{Name: p.Name, Metric: metric.Edit{}, Points: pts}
+}
+
+// AllDictionaries generates all seven language dictionaries at the given
+// size.
+func AllDictionaries(n int) []*Dataset {
+	langs := Languages()
+	out := make([]*Dataset, len(langs))
+	for i, p := range langs {
+		out[i] = Dictionary(p, n)
+	}
+	return out
+}
+
+// GeneSequences generates the listeria analogue: n nucleotide strings under
+// edit distance, produced by random point mutations, insertions, and
+// deletions applied to prefixes of a common ancestor genome. Shared ancestry
+// plus length variation concentrates the pairwise-distance distribution
+// (distance is dominated by length difference), which is what gives the real
+// listeria database its strikingly low intrinsic dimensionality (ρ ≈ 0.9 in
+// the paper) and its tiny distance-permutation counts.
+func GeneSequences(seed int64, n int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const bases = "ACGT"
+	ancestorLen := 600
+	ancestor := make([]byte, ancestorLen)
+	for i := range ancestor {
+		ancestor[i] = bases[rng.Intn(4)]
+	}
+	seen := make(map[string]bool, n)
+	pts := make([]metric.Point, 0, n)
+	for len(pts) < n {
+		// Take a prefix of widely varying length, then mutate ~3% of it.
+		length := 40 + rng.Intn(ancestorLen-40)
+		seq := append([]byte(nil), ancestor[:length]...)
+		mutations := 1 + rng.Intn(1+length/30)
+		for m := 0; m < mutations; m++ {
+			pos := rng.Intn(len(seq))
+			switch rng.Intn(3) {
+			case 0: // substitute
+				seq[pos] = bases[rng.Intn(4)]
+			case 1: // delete
+				seq = append(seq[:pos], seq[pos+1:]...)
+			case 2: // insert
+				seq = append(seq[:pos], append([]byte{bases[rng.Intn(4)]}, seq[pos:]...)...)
+			}
+		}
+		s := string(seq)
+		if !seen[s] {
+			seen[s] = true
+			pts = append(pts, metric.String(s))
+		}
+	}
+	return &Dataset{Name: "listeria", Metric: metric.Edit{}, Points: pts}
+}

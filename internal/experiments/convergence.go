@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"distperm/internal/core"
+	"distperm/internal/counting"
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+	"distperm/internal/voronoi"
+)
+
+// Convergence measures how the observed distinct-permutation count grows
+// with database size toward its ceiling — the justification for running
+// Tables 2–3 below the paper's 10^6 points (see EXPERIMENTS.md "Scaling
+// notes"), and a quantitative companion to Figure 7: the count saturates at
+// the number of cells intersecting the data region, typically long before
+// the database stops growing.
+type Convergence struct {
+	D, K       int
+	MetricName string
+	Sizes      []int
+	Counts     []int
+	// Exact2D is the exact whole-plane cell count (arrangement-based) when
+	// d = 2 under L2, else 0.
+	Exact2D int
+	// TheoreticalN is the Theorem 7 value N(d,k).
+	TheoreticalN int64
+	// Occupancy is the mean number of database points per observed
+	// permutation at the largest size — the paper's "average of about 10
+	// database points per permutation" style statistic.
+	Occupancy float64
+}
+
+// RunConvergence samples uniform unit-cube databases of growing size under
+// m and counts distinct permutations against one fixed random site draw.
+func RunConvergence(cfg Config, m metric.Metric, d, k int, sizes []int) *Convergence {
+	rng := cfg.rng(50_000 + int64(d*100+k))
+	c := &Convergence{
+		D: d, K: k, MetricName: m.Name(),
+		TheoreticalN: counting.EuclideanCount64(d, k),
+	}
+	sites := make([]metric.Point, k)
+	for i := range sites {
+		v := make(metric.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		sites[i] = v
+	}
+	if d == 2 {
+		if _, isL2 := m.(metric.L2); isL2 {
+			c.Exact2D = voronoi.ExactEuclideanCells2D(sites)
+		}
+	}
+	counter := core.NewCounter(m, sites)
+	generated := 0
+	for _, n := range sizes {
+		// Grow the same database incrementally so the series is
+		// monotone by construction, as it would be for one database.
+		pts := dataset.UniformVectors(rng, n-generated, d)
+		counter.AddAll(pts)
+		generated = n
+		c.Sizes = append(c.Sizes, n)
+		c.Counts = append(c.Counts, counter.Distinct())
+	}
+	if counter.Distinct() > 0 {
+		c.Occupancy = float64(counter.Total()) / float64(counter.Distinct())
+	}
+	return c
+}
+
+// Write renders the series.
+func (c *Convergence) Write(w io.Writer) {
+	fmt.Fprintf(w, "Convergence: %s, d=%d, k=%d (N(d,k)=%d", c.MetricName, c.D, c.K, c.TheoreticalN)
+	if c.Exact2D > 0 {
+		fmt.Fprintf(w, "; exact plane cells=%d", c.Exact2D)
+	}
+	fmt.Fprintln(w, ")")
+	for i, n := range c.Sizes {
+		fmt.Fprintf(w, "  n=%-9d distinct=%d\n", n, c.Counts[i])
+	}
+	fmt.Fprintf(w, "  mean points per observed permutation: %.1f\n", c.Occupancy)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distperm/internal/metric"
+)
+
+func TestConvergenceMonotoneAndBounded(t *testing.T) {
+	cfg := Config{Seed: 1}
+	c := RunConvergence(cfg, metric.L2{}, 2, 5, []int{100, 1_000, 10_000, 50_000})
+	if len(c.Counts) != 4 {
+		t.Fatalf("counts = %d", len(c.Counts))
+	}
+	for i := 1; i < len(c.Counts); i++ {
+		if c.Counts[i] < c.Counts[i-1] {
+			t.Error("incremental series must be non-decreasing")
+		}
+	}
+	last := c.Counts[len(c.Counts)-1]
+	if int64(last) > c.TheoreticalN {
+		t.Errorf("count %d exceeds N(2,5) = %d", last, c.TheoreticalN)
+	}
+	if c.Exact2D == 0 {
+		t.Error("d=2 L2 run should compute the exact arrangement count")
+	}
+	if last > c.Exact2D {
+		t.Errorf("count %d exceeds exact plane cells %d", last, c.Exact2D)
+	}
+	if c.Occupancy < 1 {
+		t.Errorf("occupancy %v < 1", c.Occupancy)
+	}
+	var buf bytes.Buffer
+	c.Write(&buf)
+	if !strings.Contains(buf.String(), "Convergence") {
+		t.Error("write output malformed")
+	}
+}
+
+func TestConvergenceSaturates(t *testing.T) {
+	// In 2-d with k=4 the ceiling is at most 18; by n = 50k the count
+	// must have stopped growing (the paper's justification for sub-10^6
+	// runs).
+	cfg := Config{Seed: 2}
+	c := RunConvergence(cfg, metric.L2{}, 2, 4, []int{10_000, 50_000, 100_000})
+	if c.Counts[2] != c.Counts[1] {
+		t.Errorf("count still growing at n=10^5: %v", c.Counts)
+	}
+}
+
+func TestConvergenceNonEuclidean(t *testing.T) {
+	cfg := Config{Seed: 3}
+	c := RunConvergence(cfg, metric.L1{}, 3, 4, []int{1_000, 5_000})
+	if c.Exact2D != 0 {
+		t.Error("exact cells only defined for 2-d L2")
+	}
+	if c.Counts[1] > 24 {
+		t.Errorf("k=4 count %d exceeds 4!", c.Counts[1])
+	}
+}

@@ -1,0 +1,50 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation, writing the same rows/series the paper reports. Each
+// experiment takes a Config so the command-line tools can run at paper scale
+// while tests and benchmarks run scaled down; EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by these functions.
+package experiments
+
+import (
+	"math/rand"
+)
+
+// Config scales the experiment workloads.
+type Config struct {
+	// VectorN is the database size for the Table 3 uniform-vector runs
+	// (paper: 1e6).
+	VectorN int
+	// VectorRuns is the number of random site draws per (metric, d, k)
+	// cell (paper: 100).
+	VectorRuns int
+	// SISAPScale divides the Table 2 database sizes (1 = paper scale).
+	SISAPScale int
+	// GridSide is the sampling resolution per axis for the figure
+	// rasterisations.
+	GridSide int
+	// Seed makes every run deterministic.
+	Seed int64
+}
+
+// PaperScale reproduces the paper's workload sizes. Expect minutes to hours
+// of CPU for Table 3.
+func PaperScale() Config {
+	return Config{VectorN: 1_000_000, VectorRuns: 100, SISAPScale: 1, GridSide: 1500, Seed: 1}
+}
+
+// DefaultScale balances fidelity and runtime (a few minutes for the full
+// suite): permutation counts saturate in n long before 1e6 for the small
+// d·k cells, and mean/max statistics stabilise well below 100 runs.
+func DefaultScale() Config {
+	return Config{VectorN: 200_000, VectorRuns: 10, SISAPScale: 8, GridSide: 900, Seed: 1}
+}
+
+// TestScale keeps every experiment under a second or two for unit tests and
+// testing.B iterations.
+func TestScale() Config {
+	return Config{VectorN: 20_000, VectorRuns: 3, SISAPScale: 100, GridSide: 300, Seed: 1}
+}
+
+func (c Config) rng(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + stream))
+}

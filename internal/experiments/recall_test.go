@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distperm/internal/sisap"
+)
+
+func TestRecallCurveShape(t *testing.T) {
+	cfg := Config{VectorN: 4_000, Seed: 1}
+	rc := RunRecallCurve(cfg, 4, 10, 40, sisap.Footrule)
+	if len(rc.Recall) != len(rc.Budgets) {
+		t.Fatal("malformed curve")
+	}
+	// Recall is monotone in budget and within [0,1].
+	prev := 0.0
+	for i, r := range rc.Recall {
+		if r < prev {
+			t.Errorf("recall not monotone at budget %d", rc.Budgets[i])
+		}
+		if r < 0 || r > 1 {
+			t.Errorf("recall %v out of range", r)
+		}
+		prev = r
+	}
+	// At a 25% budget the permutation ordering should nearly always have
+	// found the true NN.
+	if last := rc.Recall[len(rc.Recall)-1]; last < 0.9 {
+		t.Errorf("recall@25%% = %v, want ≥ 0.9", last)
+	}
+	if rc.MeanRankOfNN < 1 || rc.MeanRankOfNN > float64(rc.N) {
+		t.Errorf("mean rank %v out of range", rc.MeanRankOfNN)
+	}
+	var buf bytes.Buffer
+	rc.Write(&buf)
+	if !strings.Contains(buf.String(), "recall@1") {
+		t.Error("write output malformed")
+	}
+}
+
+func TestRecallCurveAblation(t *testing.T) {
+	// All three permutation distances must produce usable orderings; the
+	// footrule and rho orderings are typically very close, tau close
+	// behind (this is the DESIGN.md §6 ablation as a test).
+	cfg := Config{VectorN: 3_000, Seed: 2}
+	for _, pd := range []sisap.PermDistance{sisap.Footrule, sisap.KendallTau, sisap.SpearmanRho} {
+		rc := RunRecallCurve(cfg, 3, 8, 30, pd)
+		if rc.MeanRankOfNN > float64(rc.N)/4 {
+			t.Errorf("%s: mean NN rank %v of %d — ordering uninformative",
+				pd, rc.MeanRankOfNN, rc.N)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"distperm/internal/counting"
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+	"distperm/internal/sisap"
+)
+
+// SiteSweep tests the paper's closing §4 observation operationally: "once
+// we have about twice as many sites as dimensions, there is little value in
+// adding more sites; the distance permutation contains little more
+// information". For a fixed database it sweeps the number of sites k and
+// reports, per k, the index cost in bits per point, the fraction of a full
+// permutation's information the Euclidean geometry allows (Corollary 8),
+// and the search quality (mean permutation-scan position of the true
+// nearest neighbour). Quality gains should flatten near k ≈ 2d while cost
+// keeps rising.
+type SiteSweep struct {
+	N, D    int
+	Ks      []int
+	BitsPer []float64 // index bits per point
+	InfoRat []float64 // lg N(d,k) / lg k!
+	NNRank  []float64 // mean scan position of the true NN
+}
+
+// RunSiteSweep sweeps k over a uniform d-dimensional database.
+func RunSiteSweep(cfg Config, d int, ks []int, queries int) *SiteSweep {
+	rng := cfg.rng(70_000 + int64(d))
+	n := cfg.VectorN
+	if n > 10_000 {
+		n = 10_000
+	}
+	db := sisap.NewDB(metric.L2{}, dataset.UniformVectors(rng, n, d))
+	linear := sisap.NewLinearScan(db)
+	queryPts := dataset.UniformVectors(rng, queries, d)
+	truth := make([]int, queries)
+	for i, q := range queryPts {
+		want, _ := linear.KNN(q, 1)
+		truth[i] = want[0].ID
+	}
+
+	s := &SiteSweep{N: n, D: d, Ks: ks}
+	for _, k := range ks {
+		idx := sisap.NewPermIndex(db, rng.Perm(n)[:k], sisap.Footrule)
+		total := 0
+		for i, q := range queryPts {
+			order, _ := idx.ScanOrder(q)
+			for pos, id := range order {
+				if id == truth[i] {
+					total += pos + 1
+					break
+				}
+			}
+		}
+		s.BitsPer = append(s.BitsPer, float64(idx.IndexBits())/float64(n))
+		s.InfoRat = append(s.InfoRat, counting.InformationRatio(d, k))
+		s.NNRank = append(s.NNRank, float64(total)/float64(queries))
+	}
+	return s
+}
+
+// Write renders the sweep.
+func (s *SiteSweep) Write(w io.Writer) {
+	fmt.Fprintf(w, "Site sweep: n=%d uniform %d-d points, L2 (paper §4: little value past k ≈ 2d = %d)\n",
+		s.N, s.D, 2*s.D)
+	fmt.Fprintf(w, "%4s %12s %10s %14s\n", "k", "bits/point", "info", "mean NN rank")
+	for i, k := range s.Ks {
+		fmt.Fprintf(w, "%4d %12.1f %10.3f %14.1f\n", k, s.BitsPer[i], s.InfoRat[i], s.NNRank[i])
+	}
+}

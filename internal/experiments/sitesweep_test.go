@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSiteSweepShape(t *testing.T) {
+	cfg := Config{VectorN: 4_000, Seed: 1}
+	ks := []int{2, 4, 8, 16}
+	s := RunSiteSweep(cfg, 4, ks, 25)
+	if len(s.NNRank) != len(ks) {
+		t.Fatal("malformed sweep")
+	}
+	// Cost must rise monotonically with k.
+	for i := 1; i < len(ks); i++ {
+		if s.BitsPer[i] < s.BitsPer[i-1] {
+			t.Errorf("bits/point fell from k=%d to k=%d", ks[i-1], ks[i])
+		}
+	}
+	// Quality: k=8 (= 2d) must be far better than k=2; k=16 must not be
+	// dramatically better than k=8 (the paper's diminishing returns).
+	if s.NNRank[2] >= s.NNRank[0] {
+		t.Errorf("k=8 rank %v should beat k=2 rank %v", s.NNRank[2], s.NNRank[0])
+	}
+	gainEarly := s.NNRank[0] - s.NNRank[2] // k=2 -> k=8
+	gainLate := s.NNRank[2] - s.NNRank[3]  // k=8 -> k=16
+	if gainLate > gainEarly {
+		t.Errorf("late gain %v exceeds early gain %v — diminishing returns violated",
+			gainLate, gainEarly)
+	}
+	// Information ratio is 1 through k = d+1 and below 1 at 2d+2.
+	if s.InfoRat[0] != 1 {
+		t.Errorf("info ratio at k=2 should be 1 (k ≤ d+1), got %v", s.InfoRat[0])
+	}
+	if s.InfoRat[3] >= 1 {
+		t.Errorf("info ratio at k=16 should be < 1, got %v", s.InfoRat[3])
+	}
+	var buf bytes.Buffer
+	s.Write(&buf)
+	if !strings.Contains(buf.String(), "Site sweep") {
+		t.Error("write output malformed")
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"distperm/internal/counting"
+)
+
+// Table1 holds the exact Euclidean permutation counts N_{d,2}(k) of the
+// paper's Table 1.
+type Table1 struct {
+	Dims  []int     // row labels d
+	Ks    []int     // column labels k
+	Cells [][]int64 // Cells[i][j] = N(Dims[i], Ks[j])
+}
+
+// RunTable1 computes Table 1 over the paper's exact ranges d = 1..10,
+// k = 2..12.
+func RunTable1() *Table1 {
+	t := &Table1{}
+	for d := 1; d <= 10; d++ {
+		t.Dims = append(t.Dims, d)
+	}
+	for k := 2; k <= 12; k++ {
+		t.Ks = append(t.Ks, k)
+	}
+	for _, d := range t.Dims {
+		row := make([]int64, len(t.Ks))
+		for j, k := range t.Ks {
+			row[j] = counting.EuclideanCount64(d, k)
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t
+}
+
+// Lookup returns N(d,k) from the table, or false if out of range.
+func (t *Table1) Lookup(d, k int) (int64, bool) {
+	for i, dd := range t.Dims {
+		if dd != d {
+			continue
+		}
+		for j, kk := range t.Ks {
+			if kk == k {
+				return t.Cells[i][j], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Write renders the table in the paper's layout.
+func (t *Table1) Write(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Number of distance permutations N_{d,2}(k) in Euclidean space")
+	fmt.Fprintf(w, "%4s", "d\\k")
+	for _, k := range t.Ks {
+		fmt.Fprintf(w, "%12d", k)
+	}
+	fmt.Fprintln(w)
+	for i, d := range t.Dims {
+		fmt.Fprintf(w, "%4d", d)
+		for j := range t.Ks {
+			fmt.Fprintf(w, "%12d", t.Cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,240 @@
+// Package integration ties the theory modules to the experimental modules:
+// every test crosses at least two packages and checks a paper-level claim
+// end to end.
+package integration
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distperm/internal/construct"
+	"distperm/internal/core"
+	"distperm/internal/counting"
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+	"distperm/internal/sisap"
+	"distperm/internal/tree"
+	"distperm/internal/voronoi"
+)
+
+// TestObservedCountsRespectAllBounds runs the full chain — dataset
+// generation, permutation counting, theoretical bounds — across metrics and
+// dimensions: no observed count may ever exceed the applicable bound.
+func TestObservedCountsRespectAllBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, d := range []int{1, 2, 3} {
+		for _, k := range []int{2, 3, 4, 5} {
+			pts := dataset.UniformVectors(rng, 5000, d)
+			sites := pts[:k]
+			for _, m := range []metric.Metric{metric.L1{}, metric.L2{}, metric.LInf{}} {
+				count := core.CountDistinct(m, sites, pts)
+				var p float64
+				switch m.(type) {
+				case metric.L1:
+					p = 1
+				case metric.L2:
+					p = 2
+				default:
+					p = math.Inf(1)
+				}
+				bound := counting.GeneralUpperBound(d, k, p)
+				if bound.IsInt64() && int64(count) > bound.Int64() {
+					t.Errorf("%s d=%d k=%d: %d observed > bound %v", m.Name(), d, k, count, bound)
+				}
+				if f := counting.Factorial(k); f.IsInt64() && int64(count) > f.Int64() {
+					t.Errorf("%s d=%d k=%d: %d observed > k!", m.Name(), d, k, count)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem6WitnessesSaturateCounter feeds the Theorem 6 construction's
+// witness points to the streaming counter: it must report exactly k!
+// distinct permutations — the construction and the counter agree.
+func TestTheorem6WitnessesSaturateCounter(t *testing.T) {
+	for _, k := range []int{3, 4, 5} {
+		r := construct.Build(k, 2, 0.3)
+		sitePts := make([]metric.Point, len(r.Sites))
+		for i, s := range r.Sites {
+			sitePts[i] = s
+		}
+		c := core.NewCounter(metric.L2{}, sitePts)
+		for _, w := range r.Witnesses {
+			c.Add(w.Point)
+		}
+		want := 1
+		for i := 2; i <= k; i++ {
+			want *= i
+		}
+		if c.Distinct() != want {
+			t.Errorf("k=%d: counter reports %d, want %d", k, c.Distinct(), want)
+		}
+		// And that saturates the d = k−1 theoretical count.
+		if got := counting.EuclideanCount64(k-1, k); got != int64(want) {
+			t.Errorf("N(%d,%d) = %d, want %d", k-1, k, got, want)
+		}
+	}
+}
+
+// TestArrangementGridAndRecurrenceAgree cross-validates three independent
+// computations of the planar Euclidean count: the Theorem 7 recurrence, the
+// exact bisector-arrangement region count, and (as a lower bound) grid
+// sampling.
+func TestArrangementGridAndRecurrenceAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for k := 2; k <= 6; k++ {
+		sites := make([]metric.Point, k)
+		for i := range sites {
+			sites[i] = metric.Vector{rng.Float64(), rng.Float64()}
+		}
+		recurrence := int(counting.EuclideanCount64(2, k))
+		arrangement := voronoi.ExactEuclideanCells2D(sites)
+		if arrangement != recurrence {
+			t.Errorf("k=%d: arrangement %d != recurrence %d", k, arrangement, recurrence)
+		}
+		grid := voronoi.CountPermCells(metric.L2{}, sites,
+			voronoi.Grid{Rect: voronoi.WidePlane, W: 700, H: 700})
+		if grid > arrangement {
+			t.Errorf("k=%d: grid %d exceeds exact %d", k, grid, arrangement)
+		}
+	}
+}
+
+// TestPermIndexStorageMatchesCountingTheory builds the distperm index over
+// a planar database and confirms its stored distinct-permutation count is
+// bounded by the Theorem 7 value and its per-point bits by Corollary 8's
+// 2d·lg k.
+func TestPermIndexStorageMatchesCountingTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	const d, k, n = 2, 6, 3000
+	db := sisap.NewDB(metric.L2{}, dataset.UniformVectors(rng, n, d))
+	idx := sisap.NewPermIndex(db, rng.Perm(n)[:k], sisap.Footrule)
+	if int64(idx.DistinctPermutations()) > counting.EuclideanCount64(d, k) {
+		t.Errorf("index stores %d distinct perms > N(%d,%d) = %d",
+			idx.DistinctPermutations(), d, k, counting.EuclideanCount64(d, k))
+	}
+	perPoint := float64(idx.IndexBits()) / float64(n)
+	limit := 2*float64(d)*math.Log2(float64(k)) + 2 // + table amortisation slack
+	if perPoint > limit {
+		t.Errorf("%.2f bits/point exceeds Corollary 8 envelope %.2f", perPoint, limit)
+	}
+}
+
+// TestCorollary5IndexedByPermIndex runs the search structure over the
+// Corollary 5 tree-metric space: the index must store at most C(k,2)+1
+// distinct permutations, and exact kNN must agree with linear scan.
+func TestCorollary5IndexedByPermIndex(t *testing.T) {
+	const k = 6
+	space, sites, points := tree.Corollary5Construction(k)
+	db := sisap.NewDB(space, points)
+	siteIDs := make([]int, k)
+	for i, s := range sites {
+		siteIDs[i] = int(s.(tree.Vertex))
+	}
+	idx := sisap.NewPermIndex(db, siteIDs, sisap.Footrule)
+	if got, want := idx.DistinctPermutations(), int(counting.TreeBound64(k)); got != want {
+		t.Errorf("index stores %d distinct perms, want exactly %d (Corollary 5)", got, want)
+	}
+	linear := sisap.NewLinearScan(db)
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 10; trial++ {
+		q := points[rng.Intn(len(points))]
+		want, _ := linear.KNN(q, 3)
+		got, _ := idx.KNN(q, 3)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d: distperm kNN diverges from linear scan", trial)
+			}
+		}
+	}
+}
+
+// TestDistancePermutationInvariantUnderIsometry applies a rigid motion
+// (rotation + translation) to sites and points: Euclidean distance
+// permutations must be unchanged.
+func TestDistancePermutationInvariantUnderIsometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	theta := 0.73
+	rot := func(v metric.Vector) metric.Vector {
+		return metric.Vector{
+			v[0]*math.Cos(theta) - v[1]*math.Sin(theta) + 3.1,
+			v[0]*math.Sin(theta) + v[1]*math.Cos(theta) - 1.7,
+		}
+	}
+	sites := make([]metric.Point, 5)
+	sitesT := make([]metric.Point, 5)
+	for i := range sites {
+		v := metric.Vector{rng.Float64(), rng.Float64()}
+		sites[i] = v
+		sitesT[i] = rot(v)
+	}
+	pm := core.NewPermuter(metric.L2{}, sites)
+	pmT := core.NewPermuter(metric.L2{}, sitesT)
+	for trial := 0; trial < 200; trial++ {
+		y := metric.Vector{rng.Float64() * 2, rng.Float64() * 2}
+		a := pm.Permutation(y)
+		b := pmT.Permutation(rot(y))
+		if !a.Equal(b) {
+			t.Fatalf("isometry changed permutation: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestScanOrderConsistentWithStoredPermutations checks that PermIndex's
+// candidate ordering is exactly the footrule ordering of the stored inverse
+// permutations — the index's behaviour reduces to perm package arithmetic.
+func TestScanOrderConsistentWithStoredPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	const n, k = 200, 5
+	pts := dataset.UniformVectors(rng, n, 3)
+	db := sisap.NewDB(metric.L2{}, pts)
+	siteIDs := rng.Perm(n)[:k]
+	idx := sisap.NewPermIndex(db, siteIDs, sisap.Footrule)
+
+	sites := make([]metric.Point, k)
+	for i, id := range siteIDs {
+		sites[i] = pts[id]
+	}
+	pm := core.NewPermuter(metric.L2{}, sites)
+	q := metric.Vector{0.5, 0.5, 0.5}
+	qinv := pm.Permutation(q).Inverse()
+
+	order, _ := idx.ScanOrder(q)
+	prev := -1
+	for _, i := range order {
+		f := perm.SpearmanFootrule(qinv, pm.Permutation(pts[i]).Inverse())
+		if f < prev {
+			t.Fatalf("scan order not sorted by footrule: %d after %d", f, prev)
+		}
+		prev = f
+	}
+}
+
+// TestDimensionSignal reproduces the §5 dimensionality-characterisation
+// idea end to end: the permutation count of clustered low-dimensional data
+// embedded in high dimension must look like the low dimension, not the
+// ambient one.
+func TestDimensionSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	const n, k = 8000, 8
+	// 2-d data embedded in 10-d space (8 dead coordinates).
+	flat := make([]metric.Point, n)
+	for i := range flat {
+		v := make(metric.Vector, 10)
+		v[0], v[1] = rng.Float64(), rng.Float64()
+		flat[i] = v
+	}
+	ambient := dataset.UniformVectors(rng, n, 10)
+	countFlat := core.CountDistinct(metric.L2{}, flat[:k], flat)
+	countAmb := core.CountDistinct(metric.L2{}, ambient[:k], ambient)
+	if int64(countFlat) > counting.EuclideanCount64(2, k) {
+		t.Errorf("embedded 2-d data exceeded N(2,%d): %d", k, countFlat)
+	}
+	if countAmb <= countFlat {
+		t.Errorf("ambient 10-d count (%d) should exceed embedded 2-d count (%d)",
+			countAmb, countFlat)
+	}
+}

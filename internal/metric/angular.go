@@ -1,0 +1,82 @@
+package metric
+
+import "math"
+
+// Angular is the angle metric on non-zero vectors:
+//
+//	d(x,y) = arccos( ⟨x,y⟩ / (‖x‖·‖y‖) ) ∈ [0, π].
+//
+// Unlike "cosine distance" (1 − cos θ), the angle itself satisfies the
+// triangle inequality, so it is a genuine metric on rays. It is the natural
+// metric for the document-vector databases (long, short) in the paper's
+// Table 2, where documents are term-frequency vectors and similarity is
+// cosine similarity.
+//
+// Zero vectors are not valid points of this space; Distance panics on them.
+type Angular struct{}
+
+// Distance implements Metric.
+func (Angular) Distance(a, b Point) float64 {
+	x, y := mustVectors(a, b)
+	var dot, nx, ny float64
+	for i := range x {
+		dot += x[i] * y[i]
+		nx += x[i] * x[i]
+		ny += y[i] * y[i]
+	}
+	if nx == 0 || ny == 0 {
+		panic("metric: Angular distance undefined for zero vector")
+	}
+	c := dot / math.Sqrt(nx*ny)
+	// Clamp: floating-point rounding can push |c| infinitesimally past 1,
+	// where Acos returns NaN.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// Name implements Metric.
+func (Angular) Name() string { return "angular" }
+
+// Discrete is the discrete (equality) metric: 0 if the points are equal,
+// 1 otherwise. It is the degenerate extreme of metric-space structure and a
+// useful edge case for the counting machinery: with k sites and the discrete
+// metric, the only distance permutations that occur are the identity (for
+// points equal to no site, all distances tie at 1) and the k rotations that
+// move one site to the front.
+type Discrete struct{}
+
+// Distance implements Metric.
+func (Discrete) Distance(a, b Point) float64 {
+	if pointsEqual(a, b) {
+		return 0
+	}
+	return 1
+}
+
+// Name implements Metric.
+func (Discrete) Name() string { return "discrete" }
+
+func pointsEqual(a, b Point) bool {
+	switch x := a.(type) {
+	case Vector:
+		y, ok := b.(Vector)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case String:
+		y, ok := b.(String)
+		return ok && x == y
+	default:
+		return a == b
+	}
+}

@@ -1,0 +1,185 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomVector draws a vector with components in [-size, size].
+func randomVector(rng *rand.Rand, d int, size float64) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = (2*rng.Float64() - 1) * size
+	}
+	return v
+}
+
+func randomString(rng *rand.Rand, maxLen int, alphabet string) String {
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return String(b)
+}
+
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// TestVectorMetricAxioms property-tests the four metric axioms on random
+// vector triples for every vector metric.
+func TestVectorMetricAxioms(t *testing.T) {
+	metrics := []Metric{L1{}, L2{}, LInf{}, LP{P: 1.5}, LP{P: 3}, LP{P: 7}}
+	for _, m := range metrics {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				d := 1 + r.Intn(6)
+				a := randomVector(rng, d, 10)
+				b := randomVector(rng, d, 10)
+				c := randomVector(rng, d, 10)
+				if err := CheckAxioms(m, a, b, c); err != nil {
+					t.Log(err)
+					return false
+				}
+				return CheckIdentity(m, a, b) == nil
+			}
+			if err := quick.Check(f, quickCfg(17)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestStringMetricAxioms property-tests the string metrics.
+func TestStringMetricAxioms(t *testing.T) {
+	t.Run("edit", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(13))
+		f := func(seed int64) bool {
+			a := randomString(rng, 12, "abcde")
+			b := randomString(rng, 12, "abcde")
+			c := randomString(rng, 12, "abcde")
+			return CheckAxioms(Edit{}, a, b, c) == nil &&
+				CheckIdentity(Edit{}, a, b) == nil
+		}
+		if err := quick.Check(f, quickCfg(19)); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("prefix", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(23))
+		f := func(seed int64) bool {
+			a := randomString(rng, 12, "ab")
+			b := randomString(rng, 12, "ab")
+			c := randomString(rng, 12, "ab")
+			return CheckAxioms(Prefix{}, a, b, c) == nil &&
+				CheckIdentity(Prefix{}, a, b) == nil
+		}
+		if err := quick.Check(f, quickCfg(29)); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("hamming", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(31))
+		f := func(seed int64) bool {
+			n := rng.Intn(10)
+			mk := func() String {
+				b := make([]byte, n)
+				for i := range b {
+					b[i] = "abc"[rng.Intn(3)]
+				}
+				return String(b)
+			}
+			a, b, c := mk(), mk(), mk()
+			return CheckAxioms(Hamming{}, a, b, c) == nil
+		}
+		if err := quick.Check(f, quickCfg(37)); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestAngularAxioms property-tests the angular metric on random non-zero
+// vectors (it is a metric on rays, so CheckIdentity is skipped: antipodal
+// representations of the same ray are legitimately at distance 0 only when
+// colinear with equal sign, which random reals never produce exactly — but
+// we avoid asserting it anyway).
+func TestAngularAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(seed int64) bool {
+		d := 2 + rng.Intn(5)
+		mk := func() Vector {
+			for {
+				v := randomVector(rng, d, 5)
+				for _, x := range v {
+					if x != 0 {
+						return v
+					}
+				}
+			}
+		}
+		return CheckAxioms(Angular{}, mk(), mk(), mk()) == nil
+	}
+	if err := quick.Check(f, quickCfg(43)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiscreteAxioms covers the degenerate metric.
+func TestDiscreteAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	f := func(seed int64) bool {
+		a := randomVector(rng, 2, 1)
+		b := randomVector(rng, 2, 1)
+		c := randomVector(rng, 2, 1)
+		return CheckAxioms(Discrete{}, a, b, c) == nil
+	}
+	if err := quick.Check(f, quickCfg(53)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEditDistanceTriangleExhaustive exhaustively checks the triangle
+// inequality for all short binary strings — the combinatorial core the
+// property tests sample.
+func TestEditDistanceTriangleExhaustive(t *testing.T) {
+	var words []string
+	for n := 0; n <= 4; n++ {
+		for mask := 0; mask < 1<<n; mask++ {
+			b := make([]byte, n)
+			for i := 0; i < n; i++ {
+				b[i] = "ab"[(mask>>i)&1]
+			}
+			words = append(words, string(b))
+		}
+	}
+	for _, a := range words {
+		for _, b := range words {
+			dab := EditDistance(a, b)
+			for _, c := range words {
+				if dab > EditDistance(a, c)+EditDistance(c, b) {
+					t.Fatalf("triangle violated: %q %q %q", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestLPConvergesToLInf checks that LP approaches LInf as p grows.
+func TestLPConvergesToLInf(t *testing.T) {
+	a := Vector{0.1, -0.4, 0.9}
+	b := Vector{0.7, 0.2, -0.3}
+	want := LInf{}.Distance(a, b)
+	got := LP{P: 200}.Distance(a, b)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("L200 = %v, LInf = %v; should be close", got, want)
+	}
+}

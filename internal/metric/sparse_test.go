@@ -1,0 +1,170 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSparse(rng *rand.Rand, dim, nnz int) Sparse {
+	idx := make([]int, nnz)
+	val := make([]float64, nnz)
+	for i := range idx {
+		idx[i] = rng.Intn(dim)
+		val[i] = rng.Float64()*2 - 1
+	}
+	return NewSparse(idx, val)
+}
+
+func randomNonZeroSparse(rng *rand.Rand, dim, nnz int) Sparse {
+	for {
+		s := randomSparse(rng, dim, nnz)
+		if s.NNZ() > 0 {
+			return s
+		}
+	}
+}
+
+func TestNewSparseNormalises(t *testing.T) {
+	s := NewSparse([]int{5, 1, 5, 3}, []float64{2, 1, 3, 0})
+	// Index 5 appears twice (2+3=5); index 3 has value 0 and is dropped.
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2: %+v", s.NNZ(), s)
+	}
+	if s.Index[0] != 1 || s.Index[1] != 5 {
+		t.Errorf("indexes %v", s.Index)
+	}
+	if s.Value[1] != 5 {
+		t.Errorf("merged value %v, want 5", s.Value[1])
+	}
+}
+
+func TestNewSparseCancellation(t *testing.T) {
+	s := NewSparse([]int{2, 2}, []float64{1, -1})
+	if s.NNZ() != 0 {
+		t.Errorf("cancelled entry should vanish: %+v", s)
+	}
+}
+
+func TestNewSparsePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch should panic")
+			}
+		}()
+		NewSparse([]int{1}, []float64{1, 2})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative index should panic")
+			}
+		}()
+		NewSparse([]int{-1}, []float64{1})
+	}()
+}
+
+func TestSparseDotAndNorm(t *testing.T) {
+	a := NewSparse([]int{0, 2, 5}, []float64{1, 2, 3})
+	b := NewSparse([]int{2, 3, 5}, []float64{4, 9, 1})
+	if got := a.Dot(b); got != 2*4+3*1 {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := a.Norm(); math.Abs(got-math.Sqrt(14)) > 1e-12 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestSparseDense(t *testing.T) {
+	s := NewSparse([]int{1, 3}, []float64{2, 4})
+	v := s.Dense(5)
+	want := Vector{0, 2, 0, 4, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Dense = %v", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dense with too-small dim should panic")
+		}
+	}()
+	s.Dense(2)
+}
+
+func TestSparseAngularMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	const dim = 40
+	f := func(seed int64) bool {
+		a := randomNonZeroSparse(rng, dim, 1+rng.Intn(10))
+		b := randomNonZeroSparse(rng, dim, 1+rng.Intn(10))
+		sparse := SparseAngular{}.Distance(a, b)
+		dense := Angular{}.Distance(a.Dense(dim), b.Dense(dim))
+		return math.Abs(sparse-dense) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseL1MatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	const dim = 40
+	f := func(seed int64) bool {
+		a := randomSparse(rng, dim, rng.Intn(12))
+		b := randomSparse(rng, dim, rng.Intn(12))
+		sparse := SparseL1{}.Distance(a, b)
+		dense := L1{}.Distance(a.Dense(dim), b.Dense(dim))
+		return math.Abs(sparse-dense) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	f := func(seed int64) bool {
+		a := randomNonZeroSparse(rng, 30, 1+rng.Intn(8))
+		b := randomNonZeroSparse(rng, 30, 1+rng.Intn(8))
+		c := randomNonZeroSparse(rng, 30, 1+rng.Intn(8))
+		if err := CheckAxioms(SparseAngular{}, a, b, c); err != nil {
+			t.Log(err)
+			return false
+		}
+		return CheckAxioms(SparseL1{}, a, b, c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseMetricPanics(t *testing.T) {
+	for _, m := range []Metric{SparseAngular{}, SparseL1{}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: dense point should panic", m.Name())
+				}
+			}()
+			m.Distance(Vector{1}, NewSparse([]int{0}, []float64{1}))
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero sparse vector should panic under angular")
+		}
+	}()
+	SparseAngular{}.Distance(Sparse{}, NewSparse([]int{0}, []float64{1}))
+}
+
+func TestSparseNames(t *testing.T) {
+	if (SparseAngular{}).Name() != "sparse-angular" {
+		t.Error("bad name")
+	}
+	if (SparseL1{}).Name() != "sparse-L1" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,113 @@
+package metric
+
+import "fmt"
+
+// Edit is the Levenshtein metric on strings: the minimum number of
+// single-character insertions, deletions, and substitutions transforming one
+// string into the other. It is the metric used by the SISAP dictionary
+// databases in the paper's Table 2.
+type Edit struct{}
+
+// Distance implements Metric.
+func (Edit) Distance(a, b Point) float64 {
+	x, y := mustStrings(a, b)
+	return float64(EditDistance(string(x), string(y)))
+}
+
+// Name implements Metric.
+func (Edit) Name() string { return "edit" }
+
+// EditDistance returns the Levenshtein distance between a and b using a
+// two-row dynamic program, O(len(a)·len(b)) time and O(min) space.
+func EditDistance(a, b string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost // substitute
+			if v := prev[j] + 1; v < m {
+				m = v // delete from a
+			}
+			if v := cur[j-1] + 1; v < m {
+				m = v // insert into a
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Prefix is the prefix metric of Definition 3 in the paper: the distance
+// between two strings is the sum of their lengths minus twice the length of
+// their longest common prefix. It is a tree metric (the tree is the trie of
+// all strings), and is the running example of Section 3.
+type Prefix struct{}
+
+// Distance implements Metric.
+func (Prefix) Distance(a, b Point) float64 {
+	x, y := mustStrings(a, b)
+	return float64(PrefixDistance(string(x), string(y)))
+}
+
+// Name implements Metric.
+func (Prefix) Name() string { return "prefix" }
+
+// PrefixDistance returns len(a)+len(b)−2·lcp(a,b), the number of
+// add/remove-at-right edits between a and b.
+func PrefixDistance(a, b string) int {
+	lcp := 0
+	for lcp < len(a) && lcp < len(b) && a[lcp] == b[lcp] {
+		lcp++
+	}
+	return len(a) + len(b) - 2*lcp
+}
+
+// Hamming is the Hamming metric on equal-length strings: the number of
+// positions at which the strings differ. It panics on unequal lengths.
+type Hamming struct{}
+
+// Distance implements Metric.
+func (Hamming) Distance(a, b Point) float64 {
+	x, y := mustStrings(a, b)
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("metric: Hamming requires equal lengths, got %d vs %d", len(x), len(y)))
+	}
+	n := 0
+	for i := 0; i < len(x); i++ {
+		if x[i] != y[i] {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// Name implements Metric.
+func (Hamming) Name() string { return "hamming" }
+
+func mustStrings(a, b Point) (String, String) {
+	x, ok := a.(String)
+	if !ok {
+		panic(fmt.Sprintf("metric: expected String point, got %T", a))
+	}
+	y, ok := b.(String)
+	if !ok {
+		panic(fmt.Sprintf("metric: expected String point, got %T", b))
+	}
+	return x, y
+}

@@ -1,0 +1,53 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tolerance for floating-point comparisons in axiom checks. The metrics in
+// this package are numerically benign (sums and square roots of moderate
+// magnitudes), so a tight relative tolerance suffices.
+const axiomEps = 1e-9
+
+// CheckAxioms verifies the four metric axioms on a specific triple of
+// points and returns a descriptive error on the first violation. It is the
+// workhorse behind the property tests: generators produce random triples
+// and CheckAxioms validates them.
+func CheckAxioms(m Metric, a, b, c Point) error {
+	dab := m.Distance(a, b)
+	dba := m.Distance(b, a)
+	dac := m.Distance(a, c)
+	dbc := m.Distance(b, c)
+
+	if math.IsNaN(dab) || math.IsInf(dab, 0) {
+		return fmt.Errorf("%s: non-finite distance %v", m.Name(), dab)
+	}
+	if dab < 0 {
+		return fmt.Errorf("%s: negative distance %v", m.Name(), dab)
+	}
+	if da := m.Distance(a, a); da != 0 {
+		return fmt.Errorf("%s: d(a,a) = %v, want 0", m.Name(), da)
+	}
+	if diff := math.Abs(dab - dba); diff > axiomEps*(1+dab) {
+		return fmt.Errorf("%s: asymmetric: d(a,b)=%v d(b,a)=%v", m.Name(), dab, dba)
+	}
+	if dab > dac+dbc+axiomEps*(1+dac+dbc) {
+		return fmt.Errorf("%s: triangle violation: d(a,b)=%v > d(a,c)+d(c,b)=%v",
+			m.Name(), dab, dac+dbc)
+	}
+	return nil
+}
+
+// CheckIdentity verifies that distinct points have strictly positive
+// distance. It is split from CheckAxioms because some useful pseudometrics
+// (e.g. Angular on colinear rays) identify distinct representations.
+func CheckIdentity(m Metric, a, b Point) error {
+	if pointsEqual(a, b) {
+		return nil
+	}
+	if d := m.Distance(a, b); d <= 0 {
+		return fmt.Errorf("%s: d(a,b) = %v for distinct points", m.Name(), d)
+	}
+	return nil
+}

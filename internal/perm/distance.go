@@ -1,0 +1,106 @@
+package perm
+
+import (
+	"fmt"
+	"math"
+)
+
+// The permutation distances below are the comparators used by
+// permutation-based indexes (Chávez/Figueroa/Navarro; iAESA). They operate
+// on the *inverse* representation: for distance permutations p and q, the
+// index compares how far each site's rank moved, so distances are computed
+// between p.Inverse() and q.Inverse(). The functions here are agnostic — they
+// compare the slices they are given — and the sisap package applies them to
+// inverses.
+
+// SpearmanFootrule returns Σ_i |p[i] − q[i]|, the L1 distance between the
+// rank vectors. It is a metric on the symmetric group.
+func SpearmanFootrule(p, q Permutation) int {
+	mustSameLen(p, q)
+	s := 0
+	for i := range p {
+		d := p[i] - q[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// SpearmanRho returns sqrt(Σ_i (p[i] − q[i])²), the L2 distance between the
+// rank vectors.
+func SpearmanRho(p, q Permutation) float64 {
+	mustSameLen(p, q)
+	s := 0.0
+	for i := range p {
+		d := float64(p[i] - q[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// KendallTau returns the number of discordant pairs between p and q: pairs
+// (a, b) ordered one way by p and the other way by q. It equals the minimum
+// number of adjacent transpositions transforming p into q and is a metric on
+// the symmetric group. O(k log k) via merge-sort inversion counting.
+func KendallTau(p, q Permutation) int {
+	mustSameLen(p, q)
+	// Relabel p through q's inverse so the problem becomes counting
+	// inversions of a single sequence.
+	qinv := q.Inverse()
+	seq := make([]int, len(p))
+	for i := range p {
+		seq[i] = qinv[p[i]]
+	}
+	buf := make([]int, len(seq))
+	return countInversions(seq, buf)
+}
+
+// MaxFootrule returns the maximum possible Spearman footrule between two
+// permutations of length k: ⌊k²/2⌋.
+func MaxFootrule(k int) int { return k * k / 2 }
+
+// MaxKendallTau returns the maximum possible Kendall tau between two
+// permutations of length k: k(k−1)/2.
+func MaxKendallTau(k int) int { return k * (k - 1) / 2 }
+
+func countInversions(a, buf []int) int {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := countInversions(a[:mid], buf) + countInversions(a[mid:], buf)
+	// Merge while counting cross inversions.
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			buf[k] = a[j]
+			inv += mid - i
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = a[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, buf[:n])
+	return inv
+}
+
+func mustSameLen(p, q Permutation) {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm: length mismatch %d vs %d", len(p), len(q)))
+	}
+}

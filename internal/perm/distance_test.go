@@ -1,0 +1,170 @@
+package perm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpearmanFootruleKnownValues(t *testing.T) {
+	cases := []struct {
+		p, q Permutation
+		want int
+	}{
+		{Permutation{0, 1, 2}, Permutation{0, 1, 2}, 0},
+		{Permutation{0, 1, 2}, Permutation{2, 1, 0}, 4},
+		{Permutation{0, 1}, Permutation{1, 0}, 2},
+		{Permutation{0, 1, 2, 3}, Permutation{1, 0, 3, 2}, 4},
+	}
+	for _, c := range cases {
+		if got := SpearmanFootrule(c.p, c.q); got != c.want {
+			t.Errorf("Footrule(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestKendallTauKnownValues(t *testing.T) {
+	cases := []struct {
+		p, q Permutation
+		want int
+	}{
+		{Permutation{0, 1, 2}, Permutation{0, 1, 2}, 0},
+		{Permutation{0, 1, 2}, Permutation{2, 1, 0}, 3},
+		{Permutation{0, 1}, Permutation{1, 0}, 1},
+		{Permutation{0, 2, 1}, Permutation{0, 1, 2}, 1},
+		{Permutation{3, 2, 1, 0}, Permutation{0, 1, 2, 3}, 6},
+	}
+	for _, c := range cases {
+		if got := KendallTau(c.p, c.q); got != c.want {
+			t.Errorf("KendallTau(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSpearmanRhoKnownValues(t *testing.T) {
+	if got := SpearmanRho(Permutation{0, 1}, Permutation{1, 0}); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("Rho = %v, want sqrt(2)", got)
+	}
+	if got := SpearmanRho(Identity(4), Identity(4)); got != 0 {
+		t.Errorf("Rho identical = %v, want 0", got)
+	}
+}
+
+func TestKendallTauBruteForce(t *testing.T) {
+	// Cross-check the merge-sort implementation against the O(k²)
+	// definition on random pairs.
+	brute := func(p, q Permutation) int {
+		qinv := q.Inverse()
+		n := 0
+		for i := 0; i < len(p); i++ {
+			for j := i + 1; j < len(p); j++ {
+				if qinv[p[i]] > qinv[p[j]] {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		k := 1 + rng.Intn(12)
+		p, q := randomPerm(rng, k), randomPerm(rng, k)
+		if got, want := KendallTau(p, q), brute(p, q); got != want {
+			t.Fatalf("KendallTau(%v,%v) = %d, want %d", p, q, got, want)
+		}
+	}
+}
+
+// TestPermDistanceMetricAxioms property-tests that footrule and tau are
+// metrics on the symmetric group: symmetry, identity, triangle inequality,
+// and right-invariance.
+func TestPermDistanceMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	type distFn struct {
+		name string
+		f    func(a, b Permutation) float64
+	}
+	fns := []distFn{
+		{"footrule", func(a, b Permutation) float64 { return float64(SpearmanFootrule(a, b)) }},
+		{"tau", func(a, b Permutation) float64 { return float64(KendallTau(a, b)) }},
+		{"rho", SpearmanRho},
+	}
+	for _, fn := range fns {
+		fn := fn
+		t.Run(fn.name, func(t *testing.T) {
+			check := func(seed int64) bool {
+				k := 2 + rng.Intn(8)
+				a, b, c := randomPerm(rng, k), randomPerm(rng, k), randomPerm(rng, k)
+				dab, dba := fn.f(a, b), fn.f(b, a)
+				if dab != dba {
+					return false // symmetry
+				}
+				if fn.f(a, a) != 0 {
+					return false // identity
+				}
+				if !a.Equal(b) && dab <= 0 {
+					return false // positivity
+				}
+				if dab > fn.f(a, c)+fn.f(c, b)+1e-9 {
+					return false // triangle
+				}
+				// Invariance: footrule and rho compare positionwise
+				// values, so they are right-invariant (relabelling
+				// positions); tau counts discordant value pairs, so it
+				// is left-invariant (relabelling values).
+				s := randomPerm(rng, k)
+				if fn.name == "tau" {
+					return math.Abs(fn.f(s.Compose(a), s.Compose(b))-dab) < 1e-9
+				}
+				return math.Abs(fn.f(a.Compose(s), b.Compose(s))-dab) < 1e-9
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDiaconisGraham verifies the classical inequality
+// I(σ) ≤ D(σ) ≤ 2·I(σ) (Diaconis & Graham 1977), where σ = q⁻¹∘p,
+// I(σ) = KendallTau(p, q) (discordant pairs) and D(σ) = the Spearman
+// footrule of the *rank vectors*, i.e. of the inverses. This is exactly why
+// the permutation index compares inverse permutations.
+func TestDiaconisGraham(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		k := 2 + rng.Intn(10)
+		p, q := randomPerm(rng, k), randomPerm(rng, k)
+		tau := KendallTau(p, q)
+		f := SpearmanFootrule(p.Inverse(), q.Inverse())
+		if f < tau || f > 2*tau {
+			t.Fatalf("Diaconis-Graham violated for %v %v: tau=%d footrule=%d", p, q, tau, f)
+		}
+	}
+}
+
+func TestMaxBounds(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		rev := make(Permutation, k)
+		for i := range rev {
+			rev[i] = k - 1 - i
+		}
+		id := Identity(k)
+		if got, want := SpearmanFootrule(id, rev), MaxFootrule(k); got != want {
+			t.Errorf("k=%d: max footrule = %d, want %d", k, got, want)
+		}
+		if got, want := KendallTau(id, rev), MaxKendallTau(k); got != want {
+			t.Errorf("k=%d: max tau = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	SpearmanFootrule(Identity(3), Identity(4))
+}

@@ -1,0 +1,49 @@
+package perm
+
+// NextLex advances p to the next permutation in lexicographic order,
+// returning false (and leaving p as the identity's reverse restored to
+// identity) when p was already the last permutation. It mutates p in place,
+// enabling allocation-free iteration over all k! permutations:
+//
+//	p := Identity(k)
+//	for ok := true; ok; ok = p.NextLex() { ... }
+func (p Permutation) NextLex() bool {
+	// Standard Knuth algorithm L.
+	i := len(p) - 2
+	for i >= 0 && p[i] >= p[i+1] {
+		i--
+	}
+	if i < 0 {
+		// Wrapped: restore ascending order for reuse.
+		reverse(p)
+		return false
+	}
+	j := len(p) - 1
+	for p[j] <= p[i] {
+		j--
+	}
+	p[i], p[j] = p[j], p[i]
+	reverse(p[i+1:])
+	return true
+}
+
+// All invokes f once per permutation of length k, in lexicographic order,
+// stopping early if f returns false. The slice passed to f is reused between
+// calls; clone it if retaining.
+func All(k int, f func(Permutation) bool) {
+	p := Identity(k)
+	for {
+		if !f(p) {
+			return
+		}
+		if !p.NextLex() {
+			return
+		}
+	}
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

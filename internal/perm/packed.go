@@ -1,0 +1,168 @@
+package perm
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// PackedArray stores a sequence of permutations of fixed length k in
+// ⌈lg k!⌉ bits each, by packing the Lehmer-code rank of every permutation
+// into a contiguous bit vector. This realises, in running code, the storage
+// accounting the paper's analysis performs on paper: an unrestricted
+// permutation index costs exactly n·⌈lg k!⌉ bits (and, when the set of
+// realisable permutations is smaller, the table encoding in
+// sisap.PermIndex.TableIndexBits beats it by Corollary 8's margin).
+//
+// k is limited to 20 so ranks fit a uint64.
+type PackedArray struct {
+	k        int
+	bitWidth uint
+	n        int
+	words    []uint64
+}
+
+// NewPackedArray returns an empty packed array for permutations of length
+// k, 1 ≤ k ≤ 20.
+func NewPackedArray(k int) *PackedArray {
+	if k < 1 || k > 20 {
+		panic(fmt.Sprintf("perm: PackedArray supports 1 <= k <= 20, got %d", k))
+	}
+	// ⌈lg k!⌉ bits per element (0 bits when k = 1: rank is always 0).
+	f := Factorial(k)
+	width := uint(new(big.Int).Sub(f, big.NewInt(1)).BitLen())
+	return &PackedArray{k: k, bitWidth: width}
+}
+
+// K returns the permutation length.
+func (a *PackedArray) K() int { return a.k }
+
+// Len returns the number of stored permutations.
+func (a *PackedArray) Len() int { return a.n }
+
+// BitsPerElement returns ⌈lg k!⌉.
+func (a *PackedArray) BitsPerElement() int { return int(a.bitWidth) }
+
+// SizeBits returns the total storage consumed by the payload bit vector.
+func (a *PackedArray) SizeBits() int64 { return int64(len(a.words)) * 64 }
+
+// Append stores p at the end of the array.
+func (a *PackedArray) Append(p Permutation) {
+	if len(p) != a.k {
+		panic(fmt.Sprintf("perm: appending length-%d permutation to k=%d array", len(p), a.k))
+	}
+	a.setRank(a.n, p.Rank64())
+	a.n++
+}
+
+// At returns the i-th stored permutation, decoded.
+func (a *PackedArray) At(i int) Permutation {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("perm: index %d out of range [0,%d)", i, a.n))
+	}
+	return Unrank64(a.k, a.rank(i))
+}
+
+// Rank64At returns the stored rank without decoding, for comparisons and
+// hashing.
+func (a *PackedArray) Rank64At(i int) uint64 {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("perm: index %d out of range [0,%d)", i, a.n))
+	}
+	return a.rank(i)
+}
+
+func (a *PackedArray) setRank(i int, r uint64) {
+	w := a.bitWidth
+	if w == 0 {
+		return // k = 1: nothing to store
+	}
+	bitPos := uint64(i) * uint64(w)
+	word := bitPos / 64
+	off := bitPos % 64
+	need := int(word) + 1
+	if off+uint64(w) > 64 {
+		need++
+	}
+	for len(a.words) < need {
+		a.words = append(a.words, 0)
+	}
+	a.words[word] |= r << off
+	if off+uint64(w) > 64 {
+		a.words[word+1] |= r >> (64 - off)
+	}
+}
+
+func (a *PackedArray) rank(i int) uint64 {
+	w := a.bitWidth
+	if w == 0 {
+		return 0
+	}
+	bitPos := uint64(i) * uint64(w)
+	word := bitPos / 64
+	off := bitPos % 64
+	mask := uint64(1)<<w - 1
+	r := a.words[word] >> off
+	if off+uint64(w) > 64 {
+		r |= a.words[word+1] << (64 - off)
+	}
+	return r & mask
+}
+
+// TableArray stores permutations via the paper's shared-table encoding:
+// each distinct permutation is kept once, and every element stores only a
+// table index of ⌈lg(table size)⌉ bits. It is the encoding the paper's §4
+// recommends when the database is large relative to the number of
+// realisable permutations; SizeBits shows the crossover directly.
+type TableArray struct {
+	k       int
+	table   []uint64       // distinct ranks in first-seen order
+	indexOf map[uint64]int // rank -> table position
+	ids     []int          // per-element table positions
+}
+
+// NewTableArray returns an empty table-encoded array for permutations of
+// length k ≤ 20.
+func NewTableArray(k int) *TableArray {
+	if k < 1 || k > 20 {
+		panic(fmt.Sprintf("perm: TableArray supports 1 <= k <= 20, got %d", k))
+	}
+	return &TableArray{k: k, indexOf: make(map[uint64]int)}
+}
+
+// Append stores p.
+func (t *TableArray) Append(p Permutation) {
+	if len(p) != t.k {
+		panic(fmt.Sprintf("perm: appending length-%d permutation to k=%d array", len(p), t.k))
+	}
+	r := p.Rank64()
+	id, ok := t.indexOf[r]
+	if !ok {
+		id = len(t.table)
+		t.indexOf[r] = id
+		t.table = append(t.table, r)
+	}
+	t.ids = append(t.ids, id)
+}
+
+// At returns the i-th stored permutation.
+func (t *TableArray) At(i int) Permutation {
+	return Unrank64(t.k, t.table[t.ids[i]])
+}
+
+// Len returns the number of stored permutations.
+func (t *TableArray) Len() int { return len(t.ids) }
+
+// Distinct returns the table size — the number of distinct permutations.
+func (t *TableArray) Distinct() int { return len(t.table) }
+
+// SizeBits returns the information-theoretic storage: one ⌈lg(distinct)⌉
+// index per element plus ⌈lg k!⌉ per table entry.
+func (t *TableArray) SizeBits() int64 {
+	if len(t.table) == 0 {
+		return 0
+	}
+	idxBits := bits.Len(uint(len(t.table) - 1))
+	permBits := NewPackedArray(t.k).BitsPerElement()
+	return int64(len(t.ids))*int64(idxBits) + int64(len(t.table))*int64(permBits)
+}

@@ -1,0 +1,164 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedArrayRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, k := range []int{1, 2, 3, 5, 8, 12, 20} {
+		a := NewPackedArray(k)
+		var want []Permutation
+		for i := 0; i < 200; i++ {
+			p := randomPerm(rng, k)
+			want = append(want, p)
+			a.Append(p)
+		}
+		if a.Len() != 200 {
+			t.Fatalf("k=%d: Len = %d", k, a.Len())
+		}
+		for i, w := range want {
+			if got := a.At(i); !got.Equal(w) {
+				t.Fatalf("k=%d: At(%d) = %v, want %v", k, i, got, w)
+			}
+			if a.Rank64At(i) != w.Rank64() {
+				t.Fatalf("k=%d: rank mismatch at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestPackedArrayBitWidths(t *testing.T) {
+	// ⌈lg k!⌉ for k = 1..8: 0,1,3,5,7,10,13,16.
+	want := map[int]int{1: 0, 2: 1, 3: 3, 4: 5, 5: 7, 6: 10, 7: 13, 8: 16}
+	for k, bits := range want {
+		if got := NewPackedArray(k).BitsPerElement(); got != bits {
+			t.Errorf("k=%d: %d bits, want %d", k, got, bits)
+		}
+	}
+}
+
+func TestPackedArrayDensity(t *testing.T) {
+	// n elements at w bits each must occupy ~n·w bits, not n·64.
+	const n = 10_000
+	a := NewPackedArray(8) // 16 bits each
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < n; i++ {
+		a.Append(randomPerm(rng, 8))
+	}
+	expected := int64(n * 16)
+	if a.SizeBits() > expected+64 {
+		t.Errorf("SizeBits = %d, want ≈ %d", a.SizeBits(), expected)
+	}
+	// Versus the naive 8 ints = 512 bits per permutation.
+	if a.SizeBits()*8 > int64(n)*512 {
+		t.Error("packing should be far denser than raw ints")
+	}
+}
+
+func TestPackedArrayQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func(seed int64) bool {
+		k := 1 + rng.Intn(12)
+		a := NewPackedArray(k)
+		n := 1 + rng.Intn(50)
+		ps := make([]Permutation, n)
+		for i := range ps {
+			ps[i] = randomPerm(rng, k)
+			a.Append(ps[i])
+		}
+		i := rng.Intn(n)
+		return a.At(i).Equal(ps[i])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedArrayPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("k=21 should panic")
+			}
+		}()
+		NewPackedArray(21)
+	}()
+	a := NewPackedArray(3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong length append should panic")
+			}
+		}()
+		a.Append(Identity(4))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range At should panic")
+			}
+		}()
+		a.At(0)
+	}()
+}
+
+func TestTableArrayRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ta := NewTableArray(5)
+	// Few distinct permutations, many elements: the table encoding's
+	// home turf.
+	distinct := []Permutation{
+		{0, 1, 2, 3, 4}, {1, 0, 2, 3, 4}, {4, 3, 2, 1, 0},
+	}
+	var want []Permutation
+	for i := 0; i < 5_000; i++ {
+		p := distinct[rng.Intn(3)]
+		want = append(want, p)
+		ta.Append(p)
+	}
+	if ta.Distinct() != 3 {
+		t.Fatalf("Distinct = %d", ta.Distinct())
+	}
+	for _, i := range []int{0, 17, 4_999} {
+		if !ta.At(i).Equal(want[i]) {
+			t.Fatalf("At(%d) mismatch", i)
+		}
+	}
+	// 2 bits per element + tiny table vs 7 bits packed.
+	packed := NewPackedArray(5)
+	for _, p := range want {
+		packed.Append(p)
+	}
+	if ta.SizeBits() >= packed.SizeBits() {
+		t.Errorf("table %d bits should beat packed %d bits with 3 distinct perms",
+			ta.SizeBits(), packed.SizeBits())
+	}
+}
+
+func TestTableArrayCrossover(t *testing.T) {
+	// With every element distinct, the table encoding must lose to plain
+	// packing (index bits + full table ≈ double cost).
+	ta := NewTableArray(6)
+	packed := NewPackedArray(6)
+	i := 0
+	All(6, func(p Permutation) bool {
+		ta.Append(p)
+		packed.Append(p)
+		i++
+		return true
+	})
+	if ta.SizeBits() <= packed.SizeBits() {
+		t.Errorf("table %d bits should exceed packed %d bits with all-distinct perms",
+			ta.SizeBits(), packed.SizeBits())
+	}
+}
+
+func TestTableArrayEmpty(t *testing.T) {
+	ta := NewTableArray(4)
+	if ta.Len() != 0 || ta.Distinct() != 0 || ta.SizeBits() != 0 {
+		t.Error("empty table array should be all-zero")
+	}
+}

@@ -1,0 +1,206 @@
+// Package perm implements permutation algebra for distance permutations:
+// construction, validation, inversion, composition, factorial-number-system
+// ranking (Lehmer codes), compact binary encoding, and the permutation
+// distances (Kendall tau, Spearman footrule, Spearman rho) used by
+// permutation-based similarity indexes such as iAESA.
+//
+// A Permutation p of length k is a slice of the integers 0..k−1 in some
+// order; p[i] is the element in position i. In distance-permutation terms,
+// p[i] is the index of the (i+1)-th closest site. The paper indexes sites
+// from 1; this package uses 0-based indices throughout and converts only at
+// display boundaries.
+package perm
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+)
+
+// Permutation is a sequence containing each of 0..len−1 exactly once.
+type Permutation []int
+
+// Identity returns the identity permutation of length k.
+func Identity(k int) Permutation {
+	p := make(Permutation, k)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Clone returns an independent copy of p.
+func (p Permutation) Clone() Permutation {
+	q := make(Permutation, len(p))
+	copy(q, p)
+	return q
+}
+
+// Valid reports whether p contains each of 0..len(p)−1 exactly once.
+func (p Permutation) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Inverse returns q with q[p[i]] = i. For a distance permutation, the
+// inverse maps a site index to its rank (position in the closeness order),
+// which is the representation the permutation distances operate on.
+func (p Permutation) Inverse() Permutation {
+	q := make(Permutation, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Compose returns the permutation r with r[i] = p[q[i]].
+func (p Permutation) Compose(q Permutation) Permutation {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm: compose length mismatch %d vs %d", len(p), len(q)))
+	}
+	r := make(Permutation, len(p))
+	for i := range r {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// Equal reports whether p and q are identical.
+func (p Permutation) Equal(q Permutation) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders p in the paper's compact 1-based form, e.g. "12543" for
+// k ≤ 9, and comma-separated 1-based form for larger k.
+func (p Permutation) String() string {
+	var sb strings.Builder
+	if len(p) <= 9 {
+		for _, v := range p {
+			sb.WriteByte(byte('1' + v))
+		}
+		return sb.String()
+	}
+	for i, v := range p {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v + 1))
+	}
+	return sb.String()
+}
+
+// Key returns a compact representation of p usable as a map key when
+// counting distinct permutations. For k ≤ 20 it is the Lehmer rank packed
+// into a uint64 rendered as 8 bytes; beyond that it falls back to one byte
+// per element (k ≤ 255).
+func (p Permutation) Key() string {
+	if len(p) <= 20 {
+		r := p.Rank64()
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(r >> (8 * i))
+		}
+		return string(b[:])
+	}
+	if len(p) > 255 {
+		panic("perm: Key supports k <= 255")
+	}
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// Rank64 returns the lexicographic rank of p among all permutations of its
+// length, computed via the Lehmer code. It panics if len(p) > 20, where the
+// rank can exceed a uint64 (21! > 2^64).
+func (p Permutation) Rank64() uint64 {
+	k := len(p)
+	if k > 20 {
+		panic("perm: Rank64 supports k <= 20; use Rank")
+	}
+	// O(k²) Lehmer code; k ≤ 20 makes this trivially fast and
+	// allocation-free aside from nothing at all.
+	var rank uint64
+	for i := 0; i < k; i++ {
+		smaller := 0
+		for j := i + 1; j < k; j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		rank = rank*uint64(k-i) + uint64(smaller)
+	}
+	return rank
+}
+
+// Unrank64 returns the permutation of length k with lexicographic rank r.
+// It is the inverse of Rank64.
+func Unrank64(k int, r uint64) Permutation {
+	if k > 20 {
+		panic("perm: Unrank64 supports k <= 20")
+	}
+	// Decompose r in the factorial number system.
+	code := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		base := uint64(k - i)
+		code[i] = int(r % base)
+		r /= base
+	}
+	// Materialise: code[i] counts how many unused values smaller than
+	// p[i] remain.
+	avail := make([]int, k)
+	for i := range avail {
+		avail[i] = i
+	}
+	p := make(Permutation, k)
+	for i := 0; i < k; i++ {
+		p[i] = avail[code[i]]
+		avail = append(avail[:code[i]], avail[code[i]+1:]...)
+	}
+	return p
+}
+
+// Rank returns the lexicographic rank of p as a big integer, valid for any
+// length.
+func (p Permutation) Rank() *big.Int {
+	rank := new(big.Int)
+	tmp := new(big.Int)
+	k := len(p)
+	for i := 0; i < k; i++ {
+		smaller := 0
+		for j := i + 1; j < k; j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		rank.Mul(rank, tmp.SetInt64(int64(k-i)))
+		rank.Add(rank, tmp.SetInt64(int64(smaller)))
+	}
+	return rank
+}
+
+// Factorial returns n! as a big integer.
+func Factorial(n int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}

@@ -1,0 +1,254 @@
+package perm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPerm(rng *rand.Rand, k int) Permutation {
+	return Permutation(rng.Perm(k))
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	want := Permutation{0, 1, 2, 3, 4}
+	if !p.Equal(want) {
+		t.Errorf("Identity(5) = %v", p)
+	}
+	if !p.Valid() {
+		t.Error("identity should be valid")
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		p    Permutation
+		want bool
+	}{
+		{Permutation{}, true},
+		{Permutation{0}, true},
+		{Permutation{1, 0, 2}, true},
+		{Permutation{0, 0}, false},
+		{Permutation{0, 2}, false},
+		{Permutation{-1, 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	p := Permutation{2, 0, 1}
+	inv := p.Inverse()
+	if !inv.Equal(Permutation{1, 2, 0}) {
+		t.Errorf("Inverse = %v", inv)
+	}
+	// p ∘ p⁻¹ = id
+	if !p.Compose(inv).Equal(Identity(3)) {
+		t.Error("p∘p⁻¹ should be identity")
+	}
+	if !inv.Compose(p).Equal(Identity(3)) {
+		t.Error("p⁻¹∘p should be identity")
+	}
+}
+
+func TestInverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		p := randomPerm(rng, 1+rng.Intn(12))
+		return p.Inverse().Inverse().Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		k := 1 + rng.Intn(8)
+		p, q, r := randomPerm(rng, k), randomPerm(rng, k), randomPerm(rng, k)
+		return p.Compose(q).Compose(r).Equal(p.Compose(q.Compose(r)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("compose length mismatch should panic")
+		}
+	}()
+	Identity(2).Compose(Identity(3))
+}
+
+func TestString(t *testing.T) {
+	if got := (Permutation{0, 1, 4, 3, 2}).String(); got != "12543" {
+		t.Errorf("String = %q, want 12543", got)
+	}
+	long := Identity(11)
+	if got := long.String(); got != "1,2,3,4,5,6,7,8,9,10,11" {
+		t.Errorf("long String = %q", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := Permutation{1, 0}
+	q := p.Clone()
+	q[0] = 0
+	if p[0] != 1 {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestRank64KnownValues(t *testing.T) {
+	cases := []struct {
+		p    Permutation
+		want uint64
+	}{
+		{Permutation{0, 1, 2}, 0},
+		{Permutation{0, 2, 1}, 1},
+		{Permutation{1, 0, 2}, 2},
+		{Permutation{1, 2, 0}, 3},
+		{Permutation{2, 0, 1}, 4},
+		{Permutation{2, 1, 0}, 5},
+	}
+	for _, c := range cases {
+		if got := c.p.Rank64(); got != c.want {
+			t.Errorf("Rank64(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		k := 1 + rng.Intn(12)
+		p := randomPerm(rng, k)
+		return Unrank64(k, p.Rank64()).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnrankRankRoundTrip(t *testing.T) {
+	const k = 6
+	for r := uint64(0); r < 720; r++ {
+		p := Unrank64(k, r)
+		if !p.Valid() {
+			t.Fatalf("Unrank64(%d,%d) invalid: %v", k, r, p)
+		}
+		if got := p.Rank64(); got != r {
+			t.Fatalf("Rank(Unrank(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestRankLexicographicOrder(t *testing.T) {
+	// Ranks must increase with lexicographic order of permutations.
+	prev := uint64(0)
+	first := true
+	All(5, func(p Permutation) bool {
+		r := p.Rank64()
+		if !first && r != prev+1 {
+			t.Fatalf("rank %d follows %d for %v", r, prev, p)
+		}
+		prev, first = r, false
+		return true
+	})
+	if prev != 119 {
+		t.Errorf("last rank = %d, want 119", prev)
+	}
+}
+
+func TestBigRankMatchesRank64(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		p := randomPerm(rng, 1+rng.Intn(15))
+		if p.Rank().Cmp(new(big.Int).SetUint64(p.Rank64())) != 0 {
+			t.Fatalf("big Rank != Rank64 for %v", p)
+		}
+	}
+}
+
+func TestRank64PanicsBeyond20(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Rank64 for k=21 should panic")
+		}
+	}()
+	Identity(21).Rank64()
+}
+
+func TestKeyDistinctness(t *testing.T) {
+	seen := map[string]bool{}
+	All(6, func(p Permutation) bool {
+		k := p.Key()
+		if seen[k] {
+			t.Fatalf("duplicate key for %v", p)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 720 {
+		t.Errorf("got %d keys, want 720", len(seen))
+	}
+}
+
+func TestKeyLargeK(t *testing.T) {
+	p := Identity(25) // beyond the packed-rank range
+	q := Identity(25)
+	q[0], q[1] = q[1], q[0]
+	if p.Key() == q.Key() {
+		t.Error("distinct permutations share a key at k=25")
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	cases := map[int]int64{0: 1, 1: 1, 5: 120, 10: 3628800}
+	for n, want := range cases {
+		if got := Factorial(n); got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("Factorial(%d) = %v, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNextLexEnumeratesAll(t *testing.T) {
+	for k := 1; k <= 7; k++ {
+		count := 0
+		seen := map[string]bool{}
+		p := Identity(k)
+		for ok := true; ok; ok = p.NextLex() {
+			count++
+			seen[p.Key()] = true
+		}
+		want := 1
+		for i := 2; i <= k; i++ {
+			want *= i
+		}
+		if count != want || len(seen) != want {
+			t.Errorf("k=%d: enumerated %d (%d unique), want %d", k, count, len(seen), want)
+		}
+		if !p.Equal(Identity(k)) {
+			t.Errorf("k=%d: NextLex should restore identity after wrap, got %v", k, p)
+		}
+	}
+}
+
+func TestAllEarlyStop(t *testing.T) {
+	calls := 0
+	All(5, func(p Permutation) bool {
+		calls++
+		return calls < 10
+	})
+	if calls != 10 {
+		t.Errorf("All stopped after %d calls, want 10", calls)
+	}
+}

@@ -1,0 +1,146 @@
+package sisap
+
+import (
+	"math/rand"
+
+	"distperm/internal/metric"
+)
+
+// GHTree is a generalized-hyperplane tree (Uhlmann 1991): each node holds
+// two pivot points; the left subtree contains points closer to the first
+// pivot, the right subtree the rest. The bisector of the pivots (the
+// paper's Definition 1) is exactly the decision boundary, making the GH-tree
+// the index whose geometry the paper's bisector analysis speaks to most
+// directly: a GH-tree path is a prefix of sign choices against bisectors,
+// and a full distance permutation determines every such choice among the
+// sites.
+type GHTree struct {
+	db   *DB
+	root *ghNode
+	size int64
+}
+
+type ghNode struct {
+	a, b        int // pivot database indexes; b < 0 at leaves with one point
+	left, right *ghNode
+}
+
+// NewGHTree builds a GH-tree over db with random pivot pairs.
+func NewGHTree(db *DB, rng *rand.Rand) *GHTree {
+	ids := make([]int, db.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	t := &GHTree{db: db}
+	t.root = t.build(ids, rng)
+	return t
+}
+
+func (t *GHTree) build(ids []int, rng *rand.Rand) *ghNode {
+	if len(ids) == 0 {
+		return nil
+	}
+	t.size++
+	if len(ids) == 1 {
+		return &ghNode{a: ids[0], b: -1}
+	}
+	// Choose two distinct random pivots and swap them to the front.
+	i := rng.Intn(len(ids))
+	ids[0], ids[i] = ids[i], ids[0]
+	j := 1 + rng.Intn(len(ids)-1)
+	ids[1], ids[j] = ids[j], ids[1]
+	n := &ghNode{a: ids[0], b: ids[1]}
+	pa, pb := t.db.Points[n.a], t.db.Points[n.b]
+	var left, right []int
+	for _, id := range ids[2:] {
+		da := t.db.Metric.Distance(pa, t.db.Points[id])
+		db := t.db.Metric.Distance(pb, t.db.Points[id])
+		if da <= db { // ties to the first pivot, like the paper's tie-break
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	n.left = t.build(left, rng)
+	n.right = t.build(right, rng)
+	return n
+}
+
+// Name implements Index.
+func (t *GHTree) Name() string { return "ghtree" }
+
+// IndexBits implements Index: two pivot references and two pointers per
+// node at 64 bits each.
+func (t *GHTree) IndexBits() int64 { return t.size * 4 * 64 }
+
+// KNN implements Index.
+func (t *GHTree) KNN(q metric.Point, k int) ([]Result, Stats) {
+	checkK(k, t.db.N())
+	h := newKNNHeap(k)
+	evals := 0
+	var walk func(n *ghNode)
+	walk = func(n *ghNode) {
+		if n == nil {
+			return
+		}
+		da := t.db.Metric.Distance(q, t.db.Points[n.a])
+		evals++
+		h.push(Result{ID: n.a, Distance: da})
+		if n.b < 0 {
+			return
+		}
+		db := t.db.Metric.Distance(q, t.db.Points[n.b])
+		evals++
+		h.push(Result{ID: n.b, Distance: db})
+		// Generalized-hyperplane pruning: a point on the far side of the
+		// a|b bisector is at distance at least (db−da)/2 from the query
+		// side. Explore the nearer side first.
+		if da <= db {
+			walk(n.left)
+			if (db-da)/2 <= h.bound() {
+				walk(n.right)
+			}
+		} else {
+			walk(n.right)
+			if (da-db)/2 <= h.bound() {
+				walk(n.left)
+			}
+		}
+	}
+	walk(t.root)
+	return h.results(), Stats{DistanceEvals: evals}
+}
+
+// Range implements Index.
+func (t *GHTree) Range(q metric.Point, r float64) ([]Result, Stats) {
+	var out []Result
+	evals := 0
+	var walk func(n *ghNode)
+	walk = func(n *ghNode) {
+		if n == nil {
+			return
+		}
+		da := t.db.Metric.Distance(q, t.db.Points[n.a])
+		evals++
+		if da <= r {
+			out = append(out, Result{ID: n.a, Distance: da})
+		}
+		if n.b < 0 {
+			return
+		}
+		db := t.db.Metric.Distance(q, t.db.Points[n.b])
+		evals++
+		if db <= r {
+			out = append(out, Result{ID: n.b, Distance: db})
+		}
+		if (da-db)/2 <= r {
+			walk(n.left)
+		}
+		if (db-da)/2 <= r {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	sortResults(out)
+	return out, Stats{DistanceEvals: evals}
+}

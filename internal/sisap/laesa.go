@@ -1,0 +1,170 @@
+package sisap
+
+import (
+	"math"
+	"sort"
+
+	"distperm/internal/metric"
+)
+
+// LAESA (Linear AESA, Micó/Oncina/Vidal 1994) stores only the distances
+// from every database point to m chosen pivots — Θ(mn) floats instead of
+// AESA's Θ(n²). A query first measures the distances to the pivots, then
+// scans the database in order of increasing pivot-derived lower bound,
+// skipping points whose bound proves they cannot qualify. This is the
+// structure whose storage the distance-permutation representation compresses
+// (O(nm log n) bits → O(n log #perms)), the comparison at the heart of the
+// paper's §1.
+type LAESA struct {
+	db     *DB
+	pivots []int       // database indexes of the pivots
+	table  [][]float64 // table[p][i] = d(points[pivots[p]], points[i])
+}
+
+// NewLAESA builds a LAESA index with the given pivot IDs (database
+// indexes). Construction costs m·n metric evaluations.
+func NewLAESA(db *DB, pivots []int) *LAESA {
+	if len(pivots) == 0 {
+		panic("sisap: LAESA requires at least one pivot")
+	}
+	table := make([][]float64, len(pivots))
+	for p, id := range pivots {
+		row := make([]float64, db.N())
+		for i, pt := range db.Points {
+			row[i] = db.Metric.Distance(db.Points[id], pt)
+		}
+		table[p] = row
+	}
+	return &LAESA{db: db, pivots: append([]int(nil), pivots...), table: table}
+}
+
+// NewLAESAMaxSpread builds a LAESA index with m pivots chosen by the
+// classical greedy max-min-distance heuristic: the first pivot is point 0,
+// each subsequent pivot maximises its minimum distance to the pivots chosen
+// so far. Construction cost is O(mn) metric evaluations.
+func NewLAESAMaxSpread(db *DB, m int) *LAESA {
+	if m < 1 || m > db.N() {
+		panic("sisap: pivot count out of range")
+	}
+	pivots := []int{0}
+	minDist := make([]float64, db.N())
+	for i := range minDist {
+		minDist[i] = db.Metric.Distance(db.Points[0], db.Points[i])
+	}
+	for len(pivots) < m {
+		best, bestD := -1, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		pivots = append(pivots, best)
+		for i := range minDist {
+			if d := db.Metric.Distance(db.Points[best], db.Points[i]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return NewLAESA(db, pivots)
+}
+
+// Name implements Index.
+func (l *LAESA) Name() string { return "laesa" }
+
+// IndexBits implements Index: m·n distances at 64 bits — the paper's
+// O(nk log n) storage figure, with log n standing for the float width.
+func (l *LAESA) IndexBits() int64 {
+	return int64(len(l.pivots)) * int64(l.db.N()) * 64
+}
+
+// Pivots returns the pivot database indexes.
+func (l *LAESA) Pivots() []int { return append([]int(nil), l.pivots...) }
+
+// lowerBounds measures the query-to-pivot distances (returned in qd, one
+// metric evaluation each) and computes for every database point the best
+// pivot-derived lower bound max_p |d(q, pivot_p) − table[p][i]|.
+func (l *LAESA) lowerBounds(q metric.Point) (lb, qd []float64) {
+	qd = make([]float64, len(l.pivots))
+	for p, id := range l.pivots {
+		qd[p] = l.db.Metric.Distance(q, l.db.Points[id])
+	}
+	lb = make([]float64, l.db.N())
+	for i := range lb {
+		best := 0.0
+		for p := range l.pivots {
+			b := math.Abs(qd[p] - l.table[p][i])
+			if b > best {
+				best = b
+			}
+		}
+		lb[i] = best
+	}
+	return lb, qd
+}
+
+// KNN implements Index.
+func (l *LAESA) KNN(q metric.Point, k int) ([]Result, Stats) {
+	checkK(k, l.db.N())
+	lb, qd := l.lowerBounds(q)
+	evals := len(l.pivots)
+	h := newKNNHeap(k)
+	isPivot := make(map[int]bool, len(l.pivots))
+	for p, id := range l.pivots {
+		if !isPivot[id] {
+			isPivot[id] = true
+			h.push(Result{ID: id, Distance: qd[p]}) // already measured
+		}
+	}
+	// Scan in increasing lower-bound order so the pruning radius tightens
+	// as early as possible; points with lb above the current k-th-best
+	// distance are skipped without evaluation.
+	for _, i := range argsort(lb) {
+		if isPivot[i] {
+			continue
+		}
+		if lb[i] > h.bound() {
+			continue
+		}
+		d := l.db.Metric.Distance(q, l.db.Points[i])
+		evals++
+		h.push(Result{ID: i, Distance: d})
+	}
+	return h.results(), Stats{DistanceEvals: evals}
+}
+
+// Range implements Index.
+func (l *LAESA) Range(q metric.Point, r float64) ([]Result, Stats) {
+	lb, qd := l.lowerBounds(q)
+	evals := len(l.pivots)
+	var out []Result
+	isPivot := make(map[int]bool, len(l.pivots))
+	for p, id := range l.pivots {
+		if !isPivot[id] {
+			isPivot[id] = true
+			if qd[p] <= r {
+				out = append(out, Result{ID: id, Distance: qd[p]})
+			}
+		}
+	}
+	for i, b := range lb {
+		if isPivot[i] || b > r {
+			continue
+		}
+		d := l.db.Metric.Distance(q, l.db.Points[i])
+		evals++
+		if d <= r {
+			out = append(out, Result{ID: i, Distance: d})
+		}
+	}
+	sortResults(out)
+	return out, Stats{DistanceEvals: evals}
+}
+
+func argsort(x []float64) []int {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	return idx
+}

@@ -1,0 +1,41 @@
+package sisap
+
+import "distperm/internal/metric"
+
+// LinearScan is the baseline index: every query measures the distance to
+// every database point. It defines the correct answers the other indexes are
+// tested against, and the n-evaluation cost ceiling they must beat.
+type LinearScan struct {
+	db *DB
+}
+
+// NewLinearScan returns a linear-scan "index" over db.
+func NewLinearScan(db *DB) *LinearScan { return &LinearScan{db: db} }
+
+// Name implements Index.
+func (s *LinearScan) Name() string { return "linear" }
+
+// IndexBits implements Index: a linear scan stores nothing.
+func (s *LinearScan) IndexBits() int64 { return 0 }
+
+// KNN implements Index.
+func (s *LinearScan) KNN(q metric.Point, k int) ([]Result, Stats) {
+	checkK(k, s.db.N())
+	h := newKNNHeap(k)
+	for i, p := range s.db.Points {
+		h.push(Result{ID: i, Distance: s.db.Metric.Distance(q, p)})
+	}
+	return h.results(), Stats{DistanceEvals: s.db.N()}
+}
+
+// Range implements Index.
+func (s *LinearScan) Range(q metric.Point, r float64) ([]Result, Stats) {
+	var out []Result
+	for i, p := range s.db.Points {
+		if d := s.db.Metric.Distance(q, p); d <= r {
+			out = append(out, Result{ID: i, Distance: d})
+		}
+	}
+	sortResults(out)
+	return out, Stats{DistanceEvals: s.db.N()}
+}

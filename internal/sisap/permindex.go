@@ -1,0 +1,220 @@
+package sisap
+
+import (
+	"fmt"
+	"math/big"
+
+	"distperm/internal/core"
+	"distperm/internal/counting"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+// PermDistance selects which permutation distance orders the candidates.
+type PermDistance int
+
+// Candidate-ordering permutation distances. The original
+// Chávez/Figueroa/Navarro proposal and iAESA use Spearman footrule; the
+// alternatives are provided for the ablation study.
+const (
+	Footrule PermDistance = iota
+	KendallTau
+	SpearmanRho
+)
+
+func (p PermDistance) String() string {
+	switch p {
+	case Footrule:
+		return "footrule"
+	case KendallTau:
+		return "kendall-tau"
+	case SpearmanRho:
+		return "spearman-rho"
+	default:
+		return fmt.Sprintf("PermDistance(%d)", int(p))
+	}
+}
+
+// PermIndex is the distance-permutation index ("distperm" in the SISAP
+// library, after Chávez/Figueroa/Navarro 2005): for each database point it
+// stores only the point's distance permutation with respect to k sites. A
+// query computes its own permutation (k metric evaluations) and scans the
+// database in increasing permutation-distance order — points whose
+// permutation resembles the query's are probably close. The scan is
+// probabilistic, not exact: permutation distance gives no lower bound on the
+// metric, so PermIndex exposes a budgeted kNN (KNNBudget) reporting how good
+// an answer a given fraction of the database buys. That cost/quality curve
+// is the search-performance side of the paper; the index size (counted by
+// IndexBits via the paper's counting results) is the storage side.
+type PermIndex struct {
+	db       *DB
+	siteIDs  []int
+	permuter *core.Permuter
+	dist     PermDistance
+	// invPerms[i] is the *inverse* distance permutation of point i:
+	// invPerms[i][s] = rank of site s in point i's closeness order.
+	// Inverses are what the Spearman/Kendall comparisons consume.
+	invPerms []perm.Permutation
+	distinct int // number of distinct permutations stored
+}
+
+// NewPermIndex builds the index with the given site IDs (database indexes)
+// and candidate-ordering distance. Construction costs k·n metric
+// evaluations.
+func NewPermIndex(db *DB, siteIDs []int, dist PermDistance) *PermIndex {
+	if len(siteIDs) == 0 {
+		panic("sisap: PermIndex requires at least one site")
+	}
+	sites := make([]metric.Point, len(siteIDs))
+	for i, id := range siteIDs {
+		sites[i] = db.Points[id]
+	}
+	pm := core.NewPermuter(db.Metric, sites)
+	inv := make([]perm.Permutation, db.N())
+	buf := make(perm.Permutation, len(siteIDs))
+	seen := make(map[string]bool)
+	for i, pt := range db.Points {
+		pm.PermutationInto(pt, buf)
+		seen[buf.Key()] = true
+		inv[i] = buf.Inverse()
+	}
+	return &PermIndex{
+		db:       db,
+		siteIDs:  append([]int(nil), siteIDs...),
+		permuter: pm,
+		dist:     dist,
+		invPerms: inv,
+		distinct: len(seen),
+	}
+}
+
+// Name implements Index.
+func (x *PermIndex) Name() string { return "distperm" }
+
+// K returns the number of sites.
+func (x *PermIndex) K() int { return len(x.siteIDs) }
+
+// DistinctPermutations returns the number of distinct distance permutations
+// stored in the index — the paper's central statistic for this structure.
+func (x *PermIndex) DistinctPermutations() int { return x.distinct }
+
+// IndexBits implements Index: the cheaper of the two encodings the paper
+// discusses. The naive encoding stores ⌈lg k!⌉ bits per point. The
+// table encoding exploits the paper's counting results: a shared table
+// stores each *distinct occurring* permutation once and every point stores
+// ⌈lg(#distinct)⌉ bits of table index — the win when the database is large
+// relative to the number of permutations, exactly as the paper's §4 notes.
+func (x *PermIndex) IndexBits() int64 {
+	if t := x.TableIndexBits(); t < x.NaiveIndexBits() {
+		return t
+	}
+	return x.NaiveIndexBits()
+}
+
+// TableIndexBits returns the storage of the shared-table encoding:
+// n·⌈lg(#distinct)⌉ bits of per-point table indexes plus the table itself.
+func (x *PermIndex) TableIndexBits() int64 {
+	perPoint := counting.Bits(big.NewInt(int64(x.distinct)))
+	table := int64(x.distinct) * int64(naiveBitsPerPerm(x.K()))
+	return int64(x.db.N())*int64(perPoint) + table
+}
+
+// NaiveIndexBits returns the storage under the unrestricted-permutation
+// encoding, n·⌈lg k!⌉ bits — the Chávez/Figueroa/Navarro O(nk log k) figure.
+func (x *PermIndex) NaiveIndexBits() int64 {
+	return int64(x.db.N()) * int64(naiveBitsPerPerm(x.K()))
+}
+
+// ScanOrder returns the database indexes ordered by increasing permutation
+// distance between each point's stored permutation and the query's, ties by
+// index — the candidate schedule iAESA-style search follows. It costs k
+// metric evaluations (the query's own permutation).
+func (x *PermIndex) ScanOrder(q metric.Point) ([]int, Stats) {
+	qinv := x.permuter.Permutation(q).Inverse()
+	keys := make([]float64, x.db.N())
+	for i, inv := range x.invPerms {
+		switch x.dist {
+		case Footrule:
+			keys[i] = float64(perm.SpearmanFootrule(qinv, inv))
+		case KendallTau:
+			keys[i] = float64(perm.KendallTau(qinv, inv))
+		case SpearmanRho:
+			keys[i] = perm.SpearmanRho(qinv, inv)
+		default:
+			panic("sisap: unknown permutation distance")
+		}
+	}
+	order := argsort(keys)
+	return order, Stats{DistanceEvals: x.K()}
+}
+
+// KNNBudget returns the best k results found after measuring at most
+// maxEvals database points in permutation-distance order (the query's k
+// site evaluations are charged on top). With maxEvals ≥ n the scan is
+// exhaustive and the answer exact.
+func (x *PermIndex) KNNBudget(q metric.Point, k, maxEvals int) ([]Result, Stats) {
+	checkK(k, x.db.N())
+	order, stats := x.ScanOrder(q)
+	if maxEvals > len(order) {
+		maxEvals = len(order)
+	}
+	h := newKNNHeap(k)
+	for _, i := range order[:maxEvals] {
+		h.push(Result{ID: i, Distance: x.db.Metric.Distance(q, x.db.Points[i])})
+	}
+	stats.DistanceEvals += maxEvals
+	return h.results(), stats
+}
+
+// KNN implements Index with an exhaustive scan in permutation order: the
+// answer is exact and the candidate ordering is what distinguishes the
+// structure (early candidates are nearly always the true neighbours; see
+// EvalsToFindTrueKNN). Cost: n + k evaluations.
+func (x *PermIndex) KNN(q metric.Point, k int) ([]Result, Stats) {
+	return x.KNNBudget(q, k, x.db.N())
+}
+
+// Range implements Index: permutations carry no metric lower bound, so the
+// scan is exhaustive; results are exact.
+func (x *PermIndex) Range(q metric.Point, r float64) ([]Result, Stats) {
+	order, stats := x.ScanOrder(q)
+	var out []Result
+	for _, i := range order {
+		if d := x.db.Metric.Distance(q, x.db.Points[i]); d <= r {
+			out = append(out, Result{ID: i, Distance: d})
+		}
+	}
+	stats.DistanceEvals += len(order)
+	sortResults(out)
+	return out, stats
+}
+
+// EvalsToFindTrueKNN reports how many database points must be measured, in
+// permutation-scan order, before all k true nearest neighbours have been
+// seen. It is the paper-style quality measure for permutation ordering:
+// small values mean the permutation index extracts most of the information
+// an exact index would.
+func (x *PermIndex) EvalsToFindTrueKNN(q metric.Point, k int) (int, Stats) {
+	truth, _ := NewLinearScan(x.db).KNN(q, k)
+	want := make(map[int]bool, k)
+	for _, r := range truth {
+		want[r.ID] = true
+	}
+	order, stats := x.ScanOrder(q)
+	found := 0
+	for n, i := range order {
+		if want[i] {
+			found++
+			if found == k {
+				stats.DistanceEvals += n + 1
+				return n + 1, stats
+			}
+		}
+	}
+	stats.DistanceEvals += len(order)
+	return len(order), stats
+}
+
+func naiveBitsPerPerm(k int) int {
+	return counting.Bits(counting.Factorial(k))
+}

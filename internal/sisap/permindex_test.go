@@ -1,0 +1,191 @@
+package sisap
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/counting"
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+)
+
+func TestPermIndexDistinctWithinBounds(t *testing.T) {
+	db, rng := testDB(31, 400, 2, metric.L2{})
+	sites := rng.Perm(db.N())[:5]
+	pi := NewPermIndex(db, sites, Footrule)
+	distinct := pi.DistinctPermutations()
+	if distinct < 1 || distinct > db.N() {
+		t.Fatalf("distinct = %d out of range", distinct)
+	}
+	// In 2-d Euclidean, never above N(2,5) = 46.
+	if int64(distinct) > counting.EuclideanCount64(2, 5) {
+		t.Fatalf("distinct = %d exceeds N(2,5)", distinct)
+	}
+}
+
+func TestPermIndexScanOrderIsPermutation(t *testing.T) {
+	db, rng := testDB(32, 120, 3, metric.L2{})
+	pi := NewPermIndex(db, rng.Perm(db.N())[:6], Footrule)
+	order, stats := pi.ScanOrder(metric.Vector{0.5, 0.5, 0.5})
+	if stats.DistanceEvals != 6 {
+		t.Errorf("scan order cost %d evals, want 6 (the sites)", stats.DistanceEvals)
+	}
+	seen := make([]bool, db.N())
+	for _, i := range order {
+		if i < 0 || i >= db.N() || seen[i] {
+			t.Fatalf("scan order is not a permutation of the database")
+		}
+		seen[i] = true
+	}
+	if len(order) != db.N() {
+		t.Fatalf("order length %d", len(order))
+	}
+}
+
+func TestPermIndexBudgetMonotone(t *testing.T) {
+	// A larger budget can only improve (not worsen) the best distance
+	// found.
+	db, rng := testDB(33, 300, 4, metric.L2{})
+	pi := NewPermIndex(db, rng.Perm(db.N())[:8], Footrule)
+	q := metric.Vector{0.3, 0.6, 0.2, 0.9}
+	prev := 1e18
+	for _, budget := range []int{1, 5, 20, 100, 300} {
+		got, stats := pi.KNNBudget(q, 1, budget)
+		if len(got) != 1 {
+			t.Fatalf("budget %d: %d results", budget, len(got))
+		}
+		if got[0].Distance > prev {
+			t.Fatalf("budget %d worsened the result", budget)
+		}
+		prev = got[0].Distance
+		if stats.DistanceEvals != budget+8 {
+			t.Errorf("budget %d: %d evals, want %d", budget, stats.DistanceEvals, budget+8)
+		}
+	}
+	// Full budget must equal the true nearest neighbour.
+	want, _ := NewLinearScan(db).KNN(q, 1)
+	got, _ := pi.KNNBudget(q, 1, db.N())
+	if got[0].ID != want[0].ID {
+		t.Error("exhaustive budget should find the true NN")
+	}
+}
+
+func TestPermIndexOrderingQuality(t *testing.T) {
+	// The reason the structure works: the true NN appears very early in
+	// permutation order. Require it in the first 20% on average (it is
+	// typically ≪ 5%).
+	db, rng := testDB(34, 500, 3, metric.L2{})
+	pi := NewPermIndex(db, rng.Perm(db.N())[:10], Footrule)
+	total := 0
+	const queries = 30
+	for i := 0; i < queries; i++ {
+		q := dataset.UniformVectors(rng, 1, 3)[0]
+		rank, _ := pi.EvalsToFindTrueKNN(q, 1)
+		total += rank
+	}
+	if avg := float64(total) / queries; avg > float64(db.N())/5 {
+		t.Errorf("true NN found after %.1f of %d points on average; ordering is not informative", avg, db.N())
+	}
+}
+
+func TestPermIndexDistanceAblation(t *testing.T) {
+	// All three permutation distances must produce correct exhaustive
+	// results and valid scan orders.
+	db, rng := testDB(35, 200, 3, metric.L2{})
+	sites := rng.Perm(db.N())[:7]
+	q := metric.Vector{0.5, 0.1, 0.8}
+	want, _ := NewLinearScan(db).KNN(q, 3)
+	for _, d := range []PermDistance{Footrule, KendallTau, SpearmanRho} {
+		pi := NewPermIndex(db, sites, d)
+		got, _ := pi.KNN(q, 3)
+		sameResults(t, d.String(), got, want)
+	}
+}
+
+func TestPermDistanceString(t *testing.T) {
+	cases := map[PermDistance]string{
+		Footrule:         "footrule",
+		KendallTau:       "kendall-tau",
+		SpearmanRho:      "spearman-rho",
+		PermDistance(42): "PermDistance(42)",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPermIndexStorageAccounting(t *testing.T) {
+	db, rng := testDB(36, 1000, 2, metric.L2{})
+	pi := NewPermIndex(db, rng.Perm(db.N())[:6], Footrule)
+	// 2-d, k=6: at most N(2,6) = 101 distinct permutations, so the
+	// shared-table encoding (7 bits/point) must beat naive (10 bits).
+	if pi.TableIndexBits() >= pi.NaiveIndexBits() {
+		t.Errorf("table encoding %d should beat naive %d here",
+			pi.TableIndexBits(), pi.NaiveIndexBits())
+	}
+	if pi.IndexBits() != pi.TableIndexBits() {
+		t.Error("IndexBits should pick the cheaper encoding")
+	}
+	if pi.K() != 6 {
+		t.Errorf("K = %d", pi.K())
+	}
+}
+
+func TestPermIndexPanicsWithoutSites(t *testing.T) {
+	db, _ := testDB(37, 10, 2, metric.L2{})
+	defer func() {
+		if recover() == nil {
+			t.Error("no sites should panic")
+		}
+	}()
+	NewPermIndex(db, nil, Footrule)
+}
+
+func TestPermIndexRangeExact(t *testing.T) {
+	db, rng := testDB(38, 150, 2, metric.L1{})
+	pi := NewPermIndex(db, rng.Perm(db.N())[:5], KendallTau)
+	q := metric.Vector{0.4, 0.4}
+	want, _ := NewLinearScan(db).Range(q, 0.3)
+	got, _ := pi.Range(q, 0.3)
+	sameResults(t, "distperm-range", got, want)
+}
+
+func TestPermIndexOnEditDistance(t *testing.T) {
+	// The index must work over non-vector spaces too (the SISAP
+	// dictionaries are its original use case).
+	db, rng := stringDB(150)
+	pi := NewPermIndex(db, rng.Perm(db.N())[:6], Footrule)
+	q := metric.Point(metric.String("permutation"))
+	want, _ := NewLinearScan(db).KNN(q, 3)
+	got, _ := pi.KNN(q, 3)
+	sameResults(t, "distperm-edit", got, want)
+	if pi.DistinctPermutations() < 2 {
+		t.Error("dictionary should realise multiple permutations")
+	}
+}
+
+func rankStats(t *testing.T, pi *PermIndex, rng *rand.Rand, d, queries int) float64 {
+	t.Helper()
+	total := 0
+	for i := 0; i < queries; i++ {
+		q := dataset.UniformVectors(rng, 1, d)[0]
+		rank, _ := pi.EvalsToFindTrueKNN(q, 1)
+		total += rank
+	}
+	return float64(total) / float64(queries)
+}
+
+func TestMoreSitesImproveOrdering(t *testing.T) {
+	// With more sites the permutation carries more information, so the
+	// true NN should be found earlier (on average, with margin).
+	db, rng := testDB(39, 600, 4, metric.L2{})
+	few := NewPermIndex(db, rng.Perm(db.N())[:2], Footrule)
+	many := NewPermIndex(db, rng.Perm(db.N())[:16], Footrule)
+	avgFew := rankStats(t, few, rng, 4, 25)
+	avgMany := rankStats(t, many, rng, 4, 25)
+	if avgMany >= avgFew {
+		t.Errorf("16 sites (%.1f) should beat 2 sites (%.1f)", avgMany, avgFew)
+	}
+}

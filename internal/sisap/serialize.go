@@ -1,0 +1,206 @@
+package sisap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"distperm/internal/core"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+// Serialization of the distance-permutation index: the sites (by database
+// ID) and one permutation per point, bit-packed at ⌈lg k!⌉ bits each via
+// perm.PackedArray. This is the artefact whose size the paper's analysis is
+// about, written to disk the way a production index would be. The database
+// points themselves are not serialised — like the SISAP library, the index
+// file accompanies the data file.
+//
+// Format (little-endian):
+//
+//	magic   [8]byte  "DPERMIDX"
+//	version uint32   (1)
+//	k       uint32   number of sites
+//	n       uint64   number of points
+//	dist    uint32   PermDistance
+//	sites   k × uint64   database IDs of the sites
+//	perms   ceil(n·⌈lg k!⌉ / 64) × uint64   packed Lehmer ranks
+const (
+	permIndexMagic   = "DPERMIDX"
+	permIndexVersion = 1
+)
+
+// WriteTo serialises the index. It returns the number of bytes written.
+func (x *PermIndex) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(permIndexMagic); err != nil {
+		return written, err
+	}
+	written += int64(len(permIndexMagic))
+	if err := put(uint32(permIndexVersion)); err != nil {
+		return written, err
+	}
+	if err := put(uint32(x.K())); err != nil {
+		return written, err
+	}
+	if err := put(uint64(x.db.N())); err != nil {
+		return written, err
+	}
+	if err := put(uint32(x.dist)); err != nil {
+		return written, err
+	}
+	for _, id := range x.siteIDs {
+		if err := put(uint64(id)); err != nil {
+			return written, err
+		}
+	}
+	// Re-pack the stored inverse permutations as forward-permutation
+	// Lehmer ranks.
+	packed := perm.NewPackedArray(x.K())
+	for _, inv := range x.invPerms {
+		packed.Append(inv.Inverse())
+	}
+	words := packWords(packed)
+	for _, w64 := range words {
+		if err := put(w64); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// packWords re-encodes a PackedArray's payload deterministically. It exists
+// so the on-disk format is defined by this file alone (bit width ⌈lg k!⌉,
+// little-endian 64-bit words, LSB-first within a word) rather than by the
+// PackedArray internals.
+func packWords(a *perm.PackedArray) []uint64 {
+	w := uint64(a.BitsPerElement())
+	if w == 0 {
+		return nil
+	}
+	totalBits := uint64(a.Len()) * w
+	words := make([]uint64, (totalBits+63)/64)
+	for i := 0; i < a.Len(); i++ {
+		r := a.Rank64At(i)
+		bitPos := uint64(i) * w
+		word := bitPos / 64
+		off := bitPos % 64
+		words[word] |= r << off
+		if off+w > 64 {
+			words[word+1] |= r >> (64 - off)
+		}
+	}
+	return words
+}
+
+// ReadPermIndex deserialises an index against db (which must be the same
+// database the index was built on; k·n metric evaluations are *not*
+// re-run — that is the point of persisting the index).
+func ReadPermIndex(r io.Reader, db *DB) (*PermIndex, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(permIndexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sisap: reading magic: %w", err)
+	}
+	if string(magic) != permIndexMagic {
+		return nil, fmt.Errorf("sisap: bad magic %q", magic)
+	}
+	var version, k, dist uint32
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != permIndexVersion {
+		return nil, fmt.Errorf("sisap: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &dist); err != nil {
+		return nil, err
+	}
+	if k == 0 || k > 20 {
+		return nil, fmt.Errorf("sisap: k=%d out of range", k)
+	}
+	if int(n) != db.N() {
+		return nil, fmt.Errorf("sisap: index has %d points, database has %d", n, db.N())
+	}
+	siteIDs := make([]int, k)
+	for i := range siteIDs {
+		var id uint64
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, err
+		}
+		if id >= n {
+			return nil, fmt.Errorf("sisap: site ID %d out of range", id)
+		}
+		siteIDs[i] = int(id)
+	}
+	width := uint64(perm.NewPackedArray(int(k)).BitsPerElement())
+	nWords := (n*width + 63) / 64
+	words := make([]uint64, nWords)
+	for i := range words {
+		if err := binary.Read(br, binary.LittleEndian, &words[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	x := &PermIndex{
+		db:      db,
+		siteIDs: siteIDs,
+		dist:    PermDistance(dist),
+	}
+	// Rebuild the permuter (sites only — the stored per-point permutations
+	// are what makes reloading cheaper than reindexing).
+	sitePts := make([]metric.Point, k)
+	for i, id := range siteIDs {
+		sitePts[i] = db.Points[id]
+	}
+	x.permuter = core.NewPermuter(db.Metric, sitePts)
+	maxRank := rankLimit(int(k))
+	x.invPerms = make([]perm.Permutation, n)
+	seen := make(map[uint64]bool)
+	mask := uint64(1)<<width - 1
+	for i := uint64(0); i < n; i++ {
+		var rank uint64
+		if width > 0 {
+			bitPos := i * width
+			word := bitPos / 64
+			off := bitPos % 64
+			rank = words[word] >> off
+			if off+width > 64 {
+				rank |= words[word+1] << (64 - off)
+			}
+			rank &= mask
+		}
+		if rank >= maxRank {
+			return nil, fmt.Errorf("sisap: corrupt permutation rank %d at point %d", rank, i)
+		}
+		p := perm.Unrank64(int(k), rank)
+		seen[rank] = true
+		x.invPerms[i] = p.Inverse()
+	}
+	x.distinct = len(seen)
+	return x, nil
+}
+
+func rankLimit(k int) uint64 {
+	limit := uint64(1)
+	for i := 2; i <= k; i++ {
+		limit *= uint64(i)
+	}
+	return limit
+}

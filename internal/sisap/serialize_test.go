@@ -1,0 +1,116 @@
+package sisap
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+)
+
+func TestPermIndexSerializationRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 3, 8, 12} {
+		db, rng := testDB(110, 300, 3, metric.L2{})
+		idx := NewPermIndex(db, rng.Perm(db.N())[:k], KendallTau)
+
+		var buf bytes.Buffer
+		n, err := idx.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("k=%d: write: %v", k, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("k=%d: reported %d bytes, wrote %d", k, n, buf.Len())
+		}
+
+		got, err := ReadPermIndex(&buf, db)
+		if err != nil {
+			t.Fatalf("k=%d: read: %v", k, err)
+		}
+		if got.K() != idx.K() || got.dist != idx.dist {
+			t.Fatalf("k=%d: header mismatch", k)
+		}
+		if got.DistinctPermutations() != idx.DistinctPermutations() {
+			t.Errorf("k=%d: distinct %d != %d", k, got.DistinctPermutations(), idx.DistinctPermutations())
+		}
+		for i := range idx.invPerms {
+			if !got.invPerms[i].Equal(idx.invPerms[i]) {
+				t.Fatalf("k=%d: permutation %d differs after round trip", k, i)
+			}
+		}
+		// Behavioural equivalence: identical scan orders.
+		q := dataset.UniformVectors(rng, 1, 3)[0]
+		a, _ := idx.ScanOrder(q)
+		b, _ := got.ScanOrder(q)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("k=%d: scan order diverges at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestPermIndexSerializationCompactness(t *testing.T) {
+	// The file must be close to n·⌈lg k!⌉ bits plus a small header —
+	// the paper's storage figure on disk, not just on paper.
+	db, rng := testDB(111, 10_000, 2, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:8], Footrule)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payload := 10_000 * 16 / 8 // n × ⌈lg 8!⌉ bits = 16 bits/point
+	if buf.Len() > payload+256 {
+		t.Errorf("file is %d bytes; payload bound %d + header", buf.Len(), payload)
+	}
+}
+
+func TestReadPermIndexRejectsCorruption(t *testing.T) {
+	db, rng := testDB(112, 50, 2, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:4], Footrule)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte("NOTANIDX"), raw[8:]...)
+	if _, err := ReadPermIndex(bytes.NewReader(bad), db); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Truncated.
+	if _, err := ReadPermIndex(bytes.NewReader(raw[:len(raw)/2]), db); err == nil {
+		t.Error("truncated file should error")
+	}
+	// Wrong database size.
+	other := NewDB(metric.L2{}, dataset.UniformVectors(rand.New(rand.NewSource(1)), 10, 2))
+	if _, err := ReadPermIndex(bytes.NewReader(raw), other); err == nil {
+		t.Error("database size mismatch should error")
+	}
+	// Corrupt version.
+	vbad := append([]byte(nil), raw...)
+	vbad[8] = 99
+	if _, err := ReadPermIndex(bytes.NewReader(vbad), db); err == nil {
+		t.Error("bad version should error")
+	}
+}
+
+func TestReadPermIndexRejectsBadRank(t *testing.T) {
+	// Hand-craft a file whose packed rank exceeds k!−1.
+	db, rng := testDB(113, 4, 2, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(4)[:3], Footrule) // k=3: 3 bits/perm, ranks 0..5
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The perms words start after 8+4+4+8+4 + 3*8 = 52 bytes; set the
+	// first packed rank to 7 (0b111 > 5).
+	raw[52] |= 0b111
+	if _, err := ReadPermIndex(bytes.NewReader(raw), db); err == nil {
+		t.Error("out-of-range rank should error")
+	}
+}

@@ -1,0 +1,168 @@
+// Package sisap reimplements the relevant slice of the SISAP metric-space
+// library that the paper's experiments were built on: a database of points
+// under an expensive metric, and a family of index structures that answer
+// k-nearest-neighbour and range queries while minimising the number of
+// metric evaluations.
+//
+// Implemented indexes:
+//
+//   - LinearScan: the naive baseline (n distance evaluations per query).
+//   - AESA: full pairwise-distance matrix, lower-bound elimination
+//     (Vidal 1986) — the Θ(n²) storage extreme the paper motivates against.
+//   - LAESA: distances to k pivots only (Micó/Oncina/Vidal 1994) —
+//     Θ(kn·64) bits.
+//   - PermIndex: the distperm index (Chávez/Figueroa/Navarro 2005) —
+//     stores only each point's distance permutation, candidate order by
+//     permutation distance (iAESA-style), Θ(n·lg(#perms)) bits. This is
+//     the structure whose storage the paper's counting results bound.
+//   - VPTree, GHTree: classical metric trees (Uhlmann 1991, Yianilos 1993)
+//     for exact search, cited by the paper as the tree-structured
+//     alternatives.
+//
+// Every query reports the number of metric evaluations via Stats, the cost
+// model the whole literature (and the paper's §1) uses.
+package sisap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distperm/internal/metric"
+)
+
+// DB is an immutable database of points under a metric.
+type DB struct {
+	Metric metric.Metric
+	Points []metric.Point
+}
+
+// NewDB returns a database. The point slice is retained, not copied.
+func NewDB(m metric.Metric, points []metric.Point) *DB {
+	if len(points) == 0 {
+		panic("sisap: empty database")
+	}
+	return &DB{Metric: m, Points: points}
+}
+
+// N returns the database size.
+func (db *DB) N() int { return len(db.Points) }
+
+// Result is one answer to a proximity query: a database point index and its
+// distance to the query.
+type Result struct {
+	ID       int
+	Distance float64
+}
+
+// Stats reports the cost of a query in the metric-evaluation cost model.
+type Stats struct {
+	// DistanceEvals counts metric evaluations between the query and
+	// database points (site/pivot distances included).
+	DistanceEvals int
+}
+
+// Index answers proximity queries over a DB.
+type Index interface {
+	// Name identifies the index type.
+	Name() string
+	// KNN returns the k nearest database points to q in increasing
+	// distance order (ties broken by lower ID), plus query cost.
+	KNN(q metric.Point, k int) ([]Result, Stats)
+	// Range returns all database points within radius r of q (inclusive),
+	// in increasing distance order, plus query cost.
+	Range(q metric.Point, r float64) ([]Result, Stats)
+	// IndexBits estimates the index's storage cost in bits, excluding the
+	// points themselves — the quantity the paper's analysis is about.
+	IndexBits() int64
+}
+
+// sortResults orders results by (distance, id).
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Distance != rs[j].Distance {
+			return rs[i].Distance < rs[j].Distance
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// knnHeap maintains the current k best candidates as a bounded max-heap
+// keyed by (distance, id), so the worst retained candidate is inspectable in
+// O(1).
+type knnHeap struct {
+	k  int
+	rs []Result
+}
+
+func newKNNHeap(k int) *knnHeap { return &knnHeap{k: k} }
+
+func (h *knnHeap) worse(a, b Result) bool { // a sorts after b
+	if a.Distance != b.Distance {
+		return a.Distance > b.Distance
+	}
+	return a.ID > b.ID
+}
+
+// bound returns the distance beyond which a candidate cannot enter the heap,
+// or +Inf while the heap is not yet full.
+func (h *knnHeap) bound() float64 {
+	if len(h.rs) < h.k {
+		return math.Inf(1)
+	}
+	return h.rs[0].Distance
+}
+
+func (h *knnHeap) push(r Result) {
+	if len(h.rs) == h.k {
+		if !h.worse(h.rs[0], r) {
+			return
+		}
+		h.rs[0] = r
+		h.siftDown(0)
+		return
+	}
+	h.rs = append(h.rs, r)
+	// Sift up: in a max-heap the worse entry belongs above.
+	i := len(h.rs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.worse(h.rs[i], h.rs[parent]) {
+			h.rs[i], h.rs[parent] = h.rs[parent], h.rs[i]
+			i = parent
+		} else {
+			break
+		}
+	}
+}
+
+func (h *knnHeap) siftDown(i int) {
+	n := len(h.rs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.worse(h.rs[l], h.rs[largest]) {
+			largest = l
+		}
+		if r < n && h.worse(h.rs[r], h.rs[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.rs[i], h.rs[largest] = h.rs[largest], h.rs[i]
+		i = largest
+	}
+}
+
+func (h *knnHeap) results() []Result {
+	out := append([]Result(nil), h.rs...)
+	sortResults(out)
+	return out
+}
+
+func checkK(k, n int) {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("sisap: k=%d out of range 1..%d", k, n))
+	}
+}

@@ -1,0 +1,283 @@
+package sisap
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+)
+
+// testDB builds a small uniform vector database.
+func testDB(seed int64, n, d int, m metric.Metric) (*DB, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	return NewDB(m, dataset.UniformVectors(rng, n, d)), rng
+}
+
+// stringDB builds a small dictionary database under edit distance.
+func stringDB(n int) (*DB, *rand.Rand) {
+	ds := dataset.Dictionary(dataset.Languages()[1], n)
+	return NewDB(ds.Metric, ds.Points), rand.New(rand.NewSource(99))
+}
+
+func sameResults(t *testing.T, name string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s: result %d = ID %d (d=%v), want ID %d (d=%v)",
+				name, i, got[i].ID, got[i].Distance, want[i].ID, want[i].Distance)
+		}
+	}
+}
+
+// buildAll constructs every index type over db.
+func buildAll(db *DB, rng *rand.Rand) []Index {
+	k := 8
+	if db.N() < 16 {
+		k = db.N() / 2
+		if k < 1 {
+			k = 1
+		}
+	}
+	pivots := rng.Perm(db.N())[:k]
+	return []Index{
+		NewLinearScan(db),
+		NewAESA(db),
+		NewLAESA(db, pivots),
+		NewPermIndex(db, pivots, Footrule),
+		NewVPTree(db, rng),
+		NewGHTree(db, rng),
+	}
+}
+
+func TestAllIndexesAgreeOnKNNVectors(t *testing.T) {
+	for _, m := range []metric.Metric{metric.L1{}, metric.L2{}, metric.LInf{}} {
+		db, rng := testDB(21, 300, 3, m)
+		indexes := buildAll(db, rng)
+		linear := indexes[0]
+		queries := dataset.UniformVectors(rng, 15, 3)
+		for _, k := range []int{1, 3, 10} {
+			for qi, q := range queries {
+				want, _ := linear.KNN(q, k)
+				for _, idx := range indexes[1:] {
+					got, _ := idx.KNN(q, k)
+					if len(got) != k {
+						t.Fatalf("%s/%s q%d k%d: %d results", m.Name(), idx.Name(), qi, k, len(got))
+					}
+					sameResults(t, m.Name()+"/"+idx.Name(), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllIndexesAgreeOnKNNStrings(t *testing.T) {
+	db, rng := stringDB(200)
+	indexes := buildAll(db, rng)
+	linear := indexes[0]
+	queries := []metric.Point{
+		metric.String("hello"), metric.String("thedistance"),
+		metric.String("a"), metric.String("permutation"),
+	}
+	for _, q := range queries {
+		want, _ := linear.KNN(q, 5)
+		for _, idx := range indexes[1:] {
+			got, _ := idx.KNN(q, 5)
+			sameResults(t, idx.Name(), got, want)
+		}
+	}
+}
+
+func TestAllIndexesAgreeOnRange(t *testing.T) {
+	db, rng := testDB(22, 250, 2, metric.L2{})
+	indexes := buildAll(db, rng)
+	linear := indexes[0]
+	queries := dataset.UniformVectors(rng, 10, 2)
+	for _, r := range []float64{0.05, 0.2, 0.7} {
+		for _, q := range queries {
+			want, _ := linear.Range(q, r)
+			for _, idx := range indexes[1:] {
+				got, _ := idx.Range(q, r)
+				sameResults(t, idx.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestQueryCostsBounded(t *testing.T) {
+	db, rng := testDB(23, 400, 4, metric.L2{})
+	indexes := buildAll(db, rng)
+	queries := dataset.UniformVectors(rng, 10, 4)
+	for _, idx := range indexes {
+		for _, q := range queries {
+			_, stats := idx.KNN(q, 3)
+			limit := db.N()
+			switch idx.(type) {
+			case *LAESA:
+				limit += 8 // the pivots are measured on top
+			case *PermIndex:
+				limit += 8 // the sites are measured on top
+			}
+			if stats.DistanceEvals > limit {
+				t.Errorf("%s: %d evals > limit %d", idx.Name(), stats.DistanceEvals, limit)
+			}
+			if stats.DistanceEvals <= 0 {
+				t.Errorf("%s: non-positive eval count", idx.Name())
+			}
+		}
+	}
+}
+
+func TestAESABeatsLinearScan(t *testing.T) {
+	db, rng := testDB(24, 500, 3, metric.L2{})
+	aesa := NewAESA(db)
+	queries := dataset.UniformVectors(rng, 20, 3)
+	total := 0
+	for _, q := range queries {
+		_, stats := aesa.KNN(q, 1)
+		total += stats.DistanceEvals
+	}
+	avg := float64(total) / 20
+	// The whole point of AESA: near-constant evaluations, far below n.
+	if avg > float64(db.N())/5 {
+		t.Errorf("AESA averaged %.1f evals on n=%d; expected far fewer", avg, db.N())
+	}
+}
+
+func TestLAESABeatsLinearScan(t *testing.T) {
+	db, rng := testDB(25, 500, 3, metric.L2{})
+	laesa := NewLAESAMaxSpread(db, 8)
+	queries := dataset.UniformVectors(rng, 20, 3)
+	total := 0
+	for _, q := range queries {
+		_, stats := laesa.KNN(q, 1)
+		total += stats.DistanceEvals
+	}
+	avg := float64(total) / 20
+	if avg > float64(db.N())/2 {
+		t.Errorf("LAESA averaged %.1f evals on n=%d; expected far fewer", avg, db.N())
+	}
+}
+
+func TestMaxSpreadPivotsAreDistinct(t *testing.T) {
+	db, _ := testDB(26, 100, 2, metric.L2{})
+	l := NewLAESAMaxSpread(db, 10)
+	seen := map[int]bool{}
+	for _, p := range l.Pivots() {
+		if seen[p] {
+			t.Fatalf("duplicate pivot %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestKNNTieBreaksById(t *testing.T) {
+	// Duplicate points force distance ties; results must order by ID.
+	pts := []metric.Point{
+		metric.Vector{0.5}, metric.Vector{0.5}, metric.Vector{0.5},
+		metric.Vector{0.9},
+	}
+	db := NewDB(metric.L2{}, pts)
+	rng := rand.New(rand.NewSource(1))
+	for _, idx := range buildAll(db, rng) {
+		got, _ := idx.KNN(metric.Vector{0.5}, 3)
+		for i, want := range []int{0, 1, 2} {
+			if got[i].ID != want {
+				t.Errorf("%s: tie order %v", idx.Name(), got)
+				break
+			}
+		}
+	}
+}
+
+func TestKNNPanicsOnBadK(t *testing.T) {
+	db, _ := testDB(27, 10, 2, metric.L2{})
+	for _, k := range []int{0, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d should panic", k)
+				}
+			}()
+			NewLinearScan(db).KNN(metric.Vector{0, 0}, k)
+		}()
+	}
+}
+
+func TestIndexBitsOrdering(t *testing.T) {
+	db, rng := testDB(28, 500, 4, metric.L2{})
+	pivots := rng.Perm(db.N())[:8]
+	aesa := NewAESA(db)
+	laesa := NewLAESA(db, pivots)
+	pi := NewPermIndex(db, pivots, Footrule)
+	if !(pi.IndexBits() < laesa.IndexBits() && laesa.IndexBits() < aesa.IndexBits()) {
+		t.Errorf("storage ordering violated: perm=%d laesa=%d aesa=%d",
+			pi.IndexBits(), laesa.IndexBits(), aesa.IndexBits())
+	}
+	if NewLinearScan(db).IndexBits() != 0 {
+		t.Error("linear scan should store nothing")
+	}
+}
+
+func TestEmptyDBPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty database should panic")
+		}
+	}()
+	NewDB(metric.L2{}, nil)
+}
+
+func TestHeapBehaviour(t *testing.T) {
+	h := newKNNHeap(3)
+	for _, r := range []Result{
+		{ID: 5, Distance: 0.9}, {ID: 1, Distance: 0.3}, {ID: 2, Distance: 0.7},
+		{ID: 3, Distance: 0.1}, {ID: 4, Distance: 0.5},
+	} {
+		h.push(r)
+	}
+	rs := h.results()
+	want := []int{3, 1, 4}
+	for i := range want {
+		if rs[i].ID != want[i] {
+			t.Fatalf("heap results %v", rs)
+		}
+	}
+	if h.bound() != 0.5 {
+		t.Errorf("bound = %v, want 0.5", h.bound())
+	}
+}
+
+func TestVPAndGHTreesOnClusteredData(t *testing.T) {
+	// Trees must stay exact on pathological (heavily duplicated,
+	// clustered) data.
+	rng := rand.New(rand.NewSource(29))
+	pts := dataset.ClusteredVectors(rng, 300, 3, 4, 0.001)
+	pts = append(pts, pts[0], pts[1], pts[2]) // exact duplicates
+	db := NewDB(metric.L2{}, pts)
+	linear := NewLinearScan(db)
+	vp := NewVPTree(db, rng)
+	gh := NewGHTree(db, rng)
+	for i := 0; i < 10; i++ {
+		q := dataset.UniformVectors(rng, 1, 3)[0]
+		want, _ := linear.KNN(q, 4)
+		gotVP, _ := vp.KNN(q, 4)
+		gotGH, _ := gh.KNN(q, 4)
+		sameResults(t, "vptree", gotVP, want)
+		sameResults(t, "ghtree", gotGH, want)
+	}
+}
+
+func TestRangeRadiusZero(t *testing.T) {
+	db, rng := testDB(30, 50, 2, metric.L2{})
+	q := db.Points[7] // exact database point
+	for _, idx := range buildAll(db, rng) {
+		got, _ := idx.Range(q, 0)
+		if len(got) == 0 || got[0].ID != 7 {
+			t.Errorf("%s: range 0 at a database point should return it, got %v", idx.Name(), got)
+		}
+	}
+}

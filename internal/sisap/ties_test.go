@@ -1,0 +1,81 @@
+package sisap
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/metric"
+)
+
+// gridDB builds a database of integer lattice points under L1 — a
+// tie-saturated configuration: many distinct points share exact distances,
+// stressing every index's tie handling and pruning boundaries.
+func gridDB(side int) *DB {
+	var pts []metric.Point
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			pts = append(pts, metric.Vector{float64(x), float64(y)})
+		}
+	}
+	return NewDB(metric.L1{}, pts)
+}
+
+func TestIndexesExactOnTieHeavyGrid(t *testing.T) {
+	db := gridDB(12) // 144 points, distances all integers
+	rng := rand.New(rand.NewSource(150))
+	indexes := []Index{
+		NewAESA(db),
+		NewIAESA(db),
+		NewLAESA(db, []int{0, 13, 77, 143}),
+		NewPermIndex(db, []int{0, 13, 77, 143, 60}, Footrule),
+		NewVPTree(db, rng),
+		NewGHTree(db, rng),
+	}
+	linear := NewLinearScan(db)
+	queries := []metric.Point{
+		metric.Vector{5, 5},     // exact lattice point
+		metric.Vector{5.5, 5.5}, // equidistant from 4 lattice points
+		metric.Vector{0, 0},     // corner
+		metric.Vector{-3, 20},   // outside the grid
+		metric.Vector{5.5, 7},   // equidistant from 2
+	}
+	for _, q := range queries {
+		for _, k := range []int{1, 4, 9} {
+			want, _ := linear.KNN(q, k)
+			for _, idx := range indexes {
+				got, _ := idx.KNN(q, k)
+				sameResults(t, idx.Name(), got, want)
+			}
+		}
+		// Integer radii land exactly on tie shells — the hardest
+		// boundary for range pruning.
+		for _, r := range []float64{0, 1, 2, 5} {
+			want, _ := linear.Range(q, r)
+			for _, idx := range indexes {
+				got, _ := idx.Range(q, r)
+				sameResults(t, idx.Name()+"-range", got, want)
+			}
+		}
+	}
+}
+
+func TestPermIndexDegenerateAllTies(t *testing.T) {
+	// All database points equidistant from all sites: every stored
+	// permutation is the identity; search must still be exact.
+	pts := []metric.Point{
+		metric.Vector{1, 0}, metric.Vector{-1, 0},
+		metric.Vector{0, 1}, metric.Vector{0, -1},
+	}
+	db := NewDB(metric.L2{}, pts)
+	idx := NewPermIndex(db, []int{0, 1}, Footrule)
+	if idx.DistinctPermutations() != 1 {
+		// Sites 0 and 1 are antipodal; points 2 and 3 are equidistant
+		// from both, and each site is closer to itself.
+		t.Logf("distinct = %d (fine: sites rank themselves first)", idx.DistinctPermutations())
+	}
+	linear := NewLinearScan(db)
+	q := metric.Vector{0.1, 0.1}
+	want, _ := linear.KNN(q, 2)
+	got, _ := idx.KNN(q, 2)
+	sameResults(t, "degenerate", got, want)
+}

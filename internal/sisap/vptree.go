@@ -1,0 +1,147 @@
+package sisap
+
+import (
+	"math/rand"
+
+	"distperm/internal/metric"
+)
+
+// VPTree is a vantage-point tree (Uhlmann 1991; Yianilos 1993): each node
+// holds a vantage point and the median distance from it to the points below;
+// the inside subtree holds points closer than the median, the outside
+// subtree the rest. The triangle inequality prunes whole subtrees during
+// search. Cited by the paper (§1) as the tree-structured class of proximity
+// indexes that distance-permutation methods are an alternative to.
+type VPTree struct {
+	db   *DB
+	root *vpNode
+	size int64 // node count, for IndexBits
+}
+
+type vpNode struct {
+	id              int     // vantage point (database index)
+	median          float64 // median distance to points below
+	inside, outside *vpNode
+}
+
+// NewVPTree builds a VP-tree over db, choosing vantage points uniformly at
+// random with the supplied source. Construction is O(n log n) metric
+// evaluations in expectation.
+func NewVPTree(db *DB, rng *rand.Rand) *VPTree {
+	ids := make([]int, db.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	t := &VPTree{db: db}
+	t.root = t.build(ids, rng)
+	return t
+}
+
+func (t *VPTree) build(ids []int, rng *rand.Rand) *vpNode {
+	if len(ids) == 0 {
+		return nil
+	}
+	t.size++
+	// Pick a random vantage point and swap it to the front.
+	v := rng.Intn(len(ids))
+	ids[0], ids[v] = ids[v], ids[0]
+	node := &vpNode{id: ids[0]}
+	rest := ids[1:]
+	if len(rest) == 0 {
+		return node
+	}
+	d := make([]float64, len(rest))
+	vp := t.db.Points[node.id]
+	for i, id := range rest {
+		d[i] = t.db.Metric.Distance(vp, t.db.Points[id])
+	}
+	node.median = medianSplit(rest, d)
+	mid := 0
+	for mid < len(rest) && d[mid] < node.median {
+		mid++
+	}
+	node.inside = t.build(rest[:mid], rng)
+	node.outside = t.build(rest[mid:], rng)
+	return node
+}
+
+// medianSplit partially sorts ids by their distances and returns the median
+// distance; afterwards every id with distance < median precedes every id
+// with distance ≥ median.
+func medianSplit(ids []int, d []float64) float64 {
+	// Simple full sort; construction cost is dominated by metric
+	// evaluations anyway.
+	order := argsort(d)
+	idsCopy := append([]int(nil), ids...)
+	dCopy := append([]float64(nil), d...)
+	for i, o := range order {
+		ids[i] = idsCopy[o]
+		d[i] = dCopy[o]
+	}
+	return d[len(d)/2]
+}
+
+// Name implements Index.
+func (t *VPTree) Name() string { return "vptree" }
+
+// IndexBits implements Index: one float64 radius plus ~2 pointers' worth of
+// structure per node. Pointer overhead is charged at 64 bits each, matching
+// how the literature accounts tree indexes.
+func (t *VPTree) IndexBits() int64 { return t.size * (64 + 2*64) }
+
+// KNN implements Index.
+func (t *VPTree) KNN(q metric.Point, k int) ([]Result, Stats) {
+	checkK(k, t.db.N())
+	h := newKNNHeap(k)
+	evals := 0
+	var walk func(n *vpNode)
+	walk = func(n *vpNode) {
+		if n == nil {
+			return
+		}
+		d := t.db.Metric.Distance(q, t.db.Points[n.id])
+		evals++
+		h.push(Result{ID: n.id, Distance: d})
+		// h.bound() is re-read after each recursive call: it can only
+		// tighten, enabling more pruning on the second subtree.
+		if d < n.median {
+			walk(n.inside)
+			if d+h.bound() >= n.median {
+				walk(n.outside)
+			}
+		} else {
+			walk(n.outside)
+			if d-h.bound() <= n.median {
+				walk(n.inside)
+			}
+		}
+	}
+	walk(t.root)
+	return h.results(), Stats{DistanceEvals: evals}
+}
+
+// Range implements Index.
+func (t *VPTree) Range(q metric.Point, r float64) ([]Result, Stats) {
+	var out []Result
+	evals := 0
+	var walk func(n *vpNode)
+	walk = func(n *vpNode) {
+		if n == nil {
+			return
+		}
+		d := t.db.Metric.Distance(q, t.db.Points[n.id])
+		evals++
+		if d <= r {
+			out = append(out, Result{ID: n.id, Distance: d})
+		}
+		if d-r < n.median {
+			walk(n.inside)
+		}
+		if d+r >= n.median {
+			walk(n.outside)
+		}
+	}
+	walk(t.root)
+	sortResults(out)
+	return out, Stats{DistanceEvals: evals}
+}

@@ -1,0 +1,30 @@
+package tree
+
+import (
+	"distperm/internal/metric"
+)
+
+// Corollary5Construction builds the witness of Corollary 5: a path of
+// 2^(k−1) equal-weight edges (vertices labelled 0..2^(k−1)) with the k sites
+// placed at labels 0, 2, 4, 8, …, 2^(k−1). On this configuration the number
+// of distinct distance permutations over all vertices is exactly C(k,2)+1,
+// matching the Theorem 4 bound.
+//
+// It returns the metric space, the site points, and all vertex points.
+// k must be at least 2 (Corollary 5's construction needs the 0-and-powers
+// site pattern); k ≤ 20 keeps the path length 2^(k−1) practical.
+func Corollary5Construction(k int) (space *Space, sites, points []metric.Point) {
+	if k < 2 || k > 20 {
+		panic("tree: Corollary5Construction requires 2 <= k <= 20")
+	}
+	n := 1 << (k - 1) // number of edges; vertices are 0..n
+	t := Path(n, 1)
+	space = NewSpace(t)
+	sites = make([]metric.Point, 0, k)
+	sites = append(sites, Vertex(0))
+	for i := 1; i <= k-1; i++ {
+		sites = append(sites, Vertex(1<<i))
+	}
+	points = space.AllVertices()
+	return space, sites, points
+}

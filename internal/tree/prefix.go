@@ -1,0 +1,85 @@
+package tree
+
+import (
+	"sort"
+
+	"distperm/internal/metric"
+)
+
+// PrefixSpace is the tree metric space of Figure 5: a finite set of strings
+// under the prefix metric (Definition 3). The underlying tree is the trie of
+// the closure of the strings under prefixes; distance between two strings is
+// the number of add/remove-at-right edits, i.e. the trie path length.
+//
+// PrefixSpace validates the tree view explicitly: BuildTrie constructs the
+// trie as a Tree so tests can confirm that metric.Prefix distances equal
+// tree path distances, demonstrating that the prefix metric really is a tree
+// metric.
+type PrefixSpace struct {
+	words []string
+}
+
+// NewPrefixSpace returns the prefix-metric space over the given strings
+// (duplicates removed, order normalised).
+func NewPrefixSpace(words []string) *PrefixSpace {
+	seen := make(map[string]bool, len(words))
+	uniq := make([]string, 0, len(words))
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			uniq = append(uniq, w)
+		}
+	}
+	sort.Strings(uniq)
+	return &PrefixSpace{words: uniq}
+}
+
+// Words returns the normalised word list.
+func (s *PrefixSpace) Words() []string { return s.words }
+
+// Points returns the words as metric points for use with metric.Prefix.
+func (s *PrefixSpace) Points() []metric.Point {
+	pts := make([]metric.Point, len(s.words))
+	for i, w := range s.words {
+		pts[i] = metric.String(w)
+	}
+	return pts
+}
+
+// BuildTrie materialises the trie of the prefix closure of the word set as
+// a Tree, returning the tree and a map from word to vertex index. The root
+// (empty string) is vertex 0. Every edge has weight 1, so tree path length
+// between two word vertices equals their prefix distance.
+func (s *PrefixSpace) BuildTrie() (*Tree, map[string]int) {
+	// Collect the prefix closure.
+	closure := map[string]bool{"": true}
+	for _, w := range s.words {
+		for i := 1; i <= len(w); i++ {
+			closure[w[:i]] = true
+		}
+	}
+	all := make([]string, 0, len(closure))
+	for p := range closure {
+		all = append(all, p)
+	}
+	// Sorting by length then lexicographic guarantees each node's parent
+	// (its string minus the last byte) is assigned an index first.
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i]) != len(all[j]) {
+			return len(all[i]) < len(all[j])
+		}
+		return all[i] < all[j]
+	})
+	index := make(map[string]int, len(all))
+	for i, p := range all {
+		index[p] = i
+	}
+	t := New(len(all))
+	for _, p := range all {
+		if p == "" {
+			continue
+		}
+		t.AddEdge(index[p[:len(p)-1]], index[p], 1)
+	}
+	return t, index
+}

@@ -1,0 +1,211 @@
+// Package tree implements tree metric spaces (paper §3, Definition 2): a
+// point set that is the vertex set of a (possibly edge-weighted) tree, with
+// distance the (weighted) path length. It provides exact all-pairs and
+// single-source distances, the four-point condition check, the prefix
+// metric's trie view, and the Corollary 5 path construction that attains the
+// C(k,2)+1 permutation bound.
+package tree
+
+import (
+	"fmt"
+
+	"distperm/internal/metric"
+)
+
+// Tree is an edge-weighted tree on vertices 0..n−1. The zero value is an
+// empty tree; grow it with AddEdge. Edge weights must be positive
+// (Definition 2 requires positive real weights; unweighted trees use
+// weight 1).
+type Tree struct {
+	n   int
+	adj [][]halfEdge
+}
+
+type halfEdge struct {
+	to int
+	w  float64
+}
+
+// New returns a tree with n isolated vertices and no edges. Edges are added
+// with AddEdge; the structure is validated by Validate.
+func New(n int) *Tree {
+	if n < 0 {
+		panic("tree: negative vertex count")
+	}
+	return &Tree{n: n, adj: make([][]halfEdge, n)}
+}
+
+// N returns the number of vertices.
+func (t *Tree) N() int { return t.n }
+
+// AddEdge inserts an undirected edge {u, v} with weight w > 0.
+func (t *Tree) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= t.n || v < 0 || v >= t.n {
+		panic(fmt.Sprintf("tree: edge (%d,%d) out of range [0,%d)", u, v, t.n))
+	}
+	if u == v {
+		panic("tree: self-loop")
+	}
+	if w <= 0 {
+		panic(fmt.Sprintf("tree: non-positive edge weight %g", w))
+	}
+	t.adj[u] = append(t.adj[u], halfEdge{v, w})
+	t.adj[v] = append(t.adj[v], halfEdge{u, w})
+}
+
+// Validate returns an error unless the structure is a tree: connected with
+// exactly n−1 edges.
+func (t *Tree) Validate() error {
+	edges := 0
+	for _, a := range t.adj {
+		edges += len(a)
+	}
+	edges /= 2
+	if t.n == 0 {
+		return nil
+	}
+	if edges != t.n-1 {
+		return fmt.Errorf("tree: %d edges for %d vertices, want %d", edges, t.n, t.n-1)
+	}
+	seen := make([]bool, t.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range t.adj[u] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				count++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	if count != t.n {
+		return fmt.Errorf("tree: disconnected (%d of %d vertices reachable)", count, t.n)
+	}
+	return nil
+}
+
+// DistancesFrom returns the distance from src to every vertex, via a single
+// depth-first traversal (paths in trees are unique, so no priority queue is
+// needed even with weights).
+func (t *Tree) DistancesFrom(src int) []float64 {
+	if src < 0 || src >= t.n {
+		panic(fmt.Sprintf("tree: source %d out of range", src))
+	}
+	dist := make([]float64, t.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range t.adj[u] {
+			if dist[e.to] < 0 {
+				dist[e.to] = dist[u] + e.w
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the path distance between u and v.
+func (t *Tree) Distance(u, v int) float64 {
+	return t.DistancesFrom(u)[v]
+}
+
+// Path returns a fresh path tree on n+1 vertices labelled 0..n (n edges),
+// all with weight w.
+func Path(n int, w float64) *Tree {
+	t := New(n + 1)
+	for i := 0; i < n; i++ {
+		t.AddEdge(i, i+1, w)
+	}
+	return t
+}
+
+// Star returns a star with center 0 and leaves 1..n, all edges weight w.
+func Star(n int, w float64) *Tree {
+	t := New(n + 1)
+	for i := 1; i <= n; i++ {
+		t.AddEdge(0, i, w)
+	}
+	return t
+}
+
+// Vertex is a point of a tree metric space: an index into the tree.
+type Vertex int
+
+// Space adapts a Tree to metric.Metric, with points of type Vertex. To keep
+// Distance O(1), the full distance matrix is materialised at construction:
+// O(n²) space, acceptable for the experiment sizes used here and faithful to
+// how the SISAP library handles precomputed metrics.
+type Space struct {
+	t    *Tree
+	dist [][]float64
+}
+
+// NewSpace builds the metric space of t's vertices. It panics if t is not a
+// valid tree.
+func NewSpace(t *Tree) *Space {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	d := make([][]float64, t.n)
+	for i := 0; i < t.n; i++ {
+		d[i] = t.DistancesFrom(i)
+	}
+	return &Space{t: t, dist: d}
+}
+
+// Distance implements metric.Metric.
+func (s *Space) Distance(a, b metric.Point) float64 {
+	u, ok := a.(Vertex)
+	if !ok {
+		panic(fmt.Sprintf("tree: expected Vertex point, got %T", a))
+	}
+	v, ok := b.(Vertex)
+	if !ok {
+		panic(fmt.Sprintf("tree: expected Vertex point, got %T", b))
+	}
+	return s.dist[u][v]
+}
+
+// Name implements metric.Metric.
+func (s *Space) Name() string { return "tree" }
+
+// Tree returns the underlying tree.
+func (s *Space) Tree() *Tree { return s.t }
+
+// AllVertices returns every vertex as a metric.Point slice.
+func (s *Space) AllVertices() []metric.Point {
+	pts := make([]metric.Point, s.t.n)
+	for i := range pts {
+		pts[i] = Vertex(i)
+	}
+	return pts
+}
+
+// FourPointCondition checks Buneman's four-point condition on the four
+// distances of points {x,y,z,t} under m:
+//
+//	d(x,y)+d(z,t) ≤ max{ d(x,z)+d(y,t), d(x,t)+d(y,z) }
+//
+// Every tree metric satisfies it for every 4-subset; it is the classical
+// characterisation of metrics embeddable in trees.
+func FourPointCondition(m metric.Metric, x, y, z, t metric.Point) bool {
+	const eps = 1e-9
+	s1 := m.Distance(x, y) + m.Distance(z, t)
+	s2 := m.Distance(x, z) + m.Distance(y, t)
+	s3 := m.Distance(x, t) + m.Distance(y, z)
+	max := s2
+	if s3 > max {
+		max = s3
+	}
+	return s1 <= max+eps
+}

@@ -1,0 +1,280 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distperm/internal/core"
+	"distperm/internal/counting"
+	"distperm/internal/metric"
+)
+
+// randomTree builds a random tree on n vertices: vertex i > 0 attaches to a
+// uniformly random earlier vertex with a random positive weight.
+func randomTree(rng *rand.Rand, n int, weighted bool) *Tree {
+	t := New(n)
+	for i := 1; i < n; i++ {
+		w := 1.0
+		if weighted {
+			w = 0.1 + rng.Float64()*5
+		}
+		t.AddEdge(rng.Intn(i), i, w)
+	}
+	return t
+}
+
+func TestPathDistances(t *testing.T) {
+	p := Path(5, 1) // vertices 0..5
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Distance(0, 5); got != 5 {
+		t.Errorf("path distance = %v, want 5", got)
+	}
+	if got := p.Distance(2, 4); got != 2 {
+		t.Errorf("path distance = %v, want 2", got)
+	}
+}
+
+func TestWeightedPath(t *testing.T) {
+	p := Path(3, 2.5)
+	if got := p.Distance(0, 3); got != 7.5 {
+		t.Errorf("weighted path distance = %v, want 7.5", got)
+	}
+}
+
+func TestStarDistances(t *testing.T) {
+	s := Star(4, 1)
+	if got := s.Distance(1, 2); got != 2 {
+		t.Errorf("leaf-leaf = %v, want 2", got)
+	}
+	if got := s.Distance(0, 3); got != 1 {
+		t.Errorf("center-leaf = %v, want 1", got)
+	}
+}
+
+func TestValidateRejectsNonTrees(t *testing.T) {
+	// Too few edges (disconnected).
+	d := New(4)
+	d.AddEdge(0, 1, 1)
+	if d.Validate() == nil {
+		t.Error("disconnected graph should fail validation")
+	}
+	// Cycle (right edge count but disconnected elsewhere).
+	c := New(4)
+	c.AddEdge(0, 1, 1)
+	c.AddEdge(1, 2, 1)
+	c.AddEdge(2, 0, 1)
+	if c.Validate() == nil {
+		t.Error("cyclic graph should fail validation")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []func(*Tree){
+		func(t *Tree) { t.AddEdge(0, 0, 1) },  // self-loop
+		func(t *Tree) { t.AddEdge(0, 9, 1) },  // out of range
+		func(t *Tree) { t.AddEdge(0, 1, 0) },  // non-positive weight
+		func(t *Tree) { t.AddEdge(0, 1, -1) }, // negative weight
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f(New(3))
+		}()
+	}
+}
+
+func TestSpaceMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		n := 4 + rng.Intn(20)
+		tr := randomTree(rng, n, true)
+		sp := NewSpace(tr)
+		a := Vertex(rng.Intn(n))
+		b := Vertex(rng.Intn(n))
+		c := Vertex(rng.Intn(n))
+		return metric.CheckAxioms(sp, a, b, c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFourPointCondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(20)
+		sp := NewSpace(randomTree(rng, n, true))
+		for rep := 0; rep < 10; rep++ {
+			pts := rng.Perm(n)[:4]
+			if !FourPointCondition(sp, Vertex(pts[0]), Vertex(pts[1]), Vertex(pts[2]), Vertex(pts[3])) {
+				t.Fatal("tree metric violates four-point condition")
+			}
+		}
+	}
+}
+
+func TestFourPointFailsForEuclideanPlane(t *testing.T) {
+	// Four corners of a unit square violate the four-point condition for
+	// the pairing (diag+diag vs side+side): 2·sqrt2 > 2 — which confirms
+	// the checker can fail and the plane is not a tree metric.
+	m := metric.L2{}
+	a := metric.Vector{0, 0}
+	b := metric.Vector{1, 1}
+	c := metric.Vector{1, 0}
+	d := metric.Vector{0, 1}
+	if FourPointCondition(m, a, b, c, d) {
+		t.Error("square corners should violate the four-point condition under this pairing")
+	}
+}
+
+func TestTheorem4Bound(t *testing.T) {
+	// For random (weighted) trees and random sites, the number of
+	// distinct distance permutations never exceeds C(k,2)+1.
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 60; trial++ {
+		n := 10 + rng.Intn(60)
+		sp := NewSpace(randomTree(rng, n, trial%2 == 0))
+		k := 2 + rng.Intn(6)
+		if k > n {
+			k = n
+		}
+		idx := rng.Perm(n)[:k]
+		sites := make([]metric.Point, k)
+		for i, v := range idx {
+			sites[i] = Vertex(v)
+		}
+		count := core.CountDistinct(sp, sites, sp.AllVertices())
+		bound := int(counting.TreeBound64(k))
+		if count > bound {
+			t.Fatalf("tree with n=%d k=%d realises %d perms > bound %d", n, k, count, bound)
+		}
+	}
+}
+
+func TestCorollary5AchievesBound(t *testing.T) {
+	// The Corollary 5 construction attains exactly C(k,2)+1.
+	for k := 2; k <= 10; k++ {
+		sp, sites, points := Corollary5Construction(k)
+		count := core.CountDistinct(sp, sites, points)
+		want := int(counting.TreeBound64(k))
+		if count != want {
+			t.Errorf("k=%d: Corollary 5 yields %d permutations, want %d", k, count, want)
+		}
+	}
+}
+
+func TestCorollary5Panics(t *testing.T) {
+	for _, k := range []int{1, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d should panic", k)
+				}
+			}()
+			Corollary5Construction(k)
+		}()
+	}
+}
+
+func TestSpacePanicsOnInvalidTree(t *testing.T) {
+	bad := New(3) // no edges
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSpace on invalid tree should panic")
+		}
+	}()
+	NewSpace(bad)
+}
+
+func TestSpaceWrongPointType(t *testing.T) {
+	sp := NewSpace(Path(2, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong point type should panic")
+		}
+	}()
+	sp.Distance(metric.Vector{0}, Vertex(1))
+}
+
+func TestDistancesFromMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tr := randomTree(rng, 30, true)
+	for src := 0; src < 5; src++ {
+		d := tr.DistancesFrom(src)
+		for v := 0; v < 30; v++ {
+			if got := tr.Distance(src, v); got != d[v] {
+				t.Fatalf("Distance(%d,%d) = %v, DistancesFrom = %v", src, v, got, d[v])
+			}
+		}
+	}
+}
+
+func TestPrefixSpaceTrieMatchesMetric(t *testing.T) {
+	words := []string{"", "a", "ab", "abc", "abd", "b", "ba", "hello"}
+	sp := NewPrefixSpace(words)
+	trie, index := sp.BuildTrie()
+	if err := trie.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range sp.Words() {
+		from := trie.DistancesFrom(index[a])
+		for _, b := range sp.Words() {
+			want := metric.PrefixDistance(a, b)
+			if got := int(from[index[b]]); got != want {
+				t.Errorf("trie distance %q-%q = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixSpaceDedup(t *testing.T) {
+	sp := NewPrefixSpace([]string{"x", "x", "y"})
+	if len(sp.Words()) != 2 {
+		t.Errorf("dedup failed: %v", sp.Words())
+	}
+	if len(sp.Points()) != 2 {
+		t.Errorf("Points length %d", len(sp.Points()))
+	}
+}
+
+func TestPrefixMetricTheorem4(t *testing.T) {
+	// Distance permutations in a prefix-metric space also respect the
+	// tree bound, since the prefix metric is a tree metric.
+	rng := rand.New(rand.NewSource(16))
+	alphabet := "ab"
+	var words []string
+	seen := map[string]bool{}
+	for len(words) < 120 {
+		n := rng.Intn(9)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(2)]
+		}
+		w := string(b)
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	sp := NewPrefixSpace(words)
+	pts := sp.Points()
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(6)
+		idx := rng.Perm(len(pts))[:k]
+		sites := make([]metric.Point, k)
+		for i, j := range idx {
+			sites[i] = pts[j]
+		}
+		count := core.CountDistinct(metric.Prefix{}, sites, pts)
+		if count > int(counting.TreeBound64(k)) {
+			t.Fatalf("prefix metric exceeded tree bound: k=%d count=%d", k, count)
+		}
+	}
+}

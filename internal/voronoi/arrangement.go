@@ -1,0 +1,143 @@
+package voronoi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distperm/internal/metric"
+)
+
+// ExactEuclideanCells2D returns the exact number of distance-permutation
+// cells for the given sites in the Euclidean plane, by counting the regions
+// of the arrangement of the C(k,2) perpendicular bisector lines.
+//
+// For an arrangement of L distinct lines in the plane the number of regions
+// is
+//
+//	R = 1 + L + Σ_v (m_v − 1)
+//
+// summed over the distinct intersection points v, where m_v is the number
+// of lines through v (general position: every vertex has m_v = 2 and
+// R = 1 + L + C(L,2), Price's S_2(L)). Every region of the bisector
+// arrangement carries a distinct distance permutation — two regions are
+// separated by some bisector, so the corresponding site pair is ordered
+// differently — which makes R exactly the paper's cell count, computed
+// without sampling. For sites in general position this equals N_{2,2}(k)
+// from Theorem 7; degenerate configurations (concurrent or parallel
+// bisectors, e.g. cocircular or collinear sites) yield fewer.
+//
+// Coordinates are compared with a relative tolerance; the function is
+// intended for the moderate k (≤ a few dozen) where the O(L²)–O(L³)
+// geometry is trivial. It panics on duplicate sites.
+func ExactEuclideanCells2D(sites []metric.Point) int {
+	k := len(sites)
+	if k < 1 {
+		panic("voronoi: need at least one site")
+	}
+	pts := make([]metric.Vector, k)
+	for i, s := range sites {
+		v, ok := s.(metric.Vector)
+		if !ok || len(v) != 2 {
+			panic(fmt.Sprintf("voronoi: expected 2-d Vector site, got %T", s))
+		}
+		pts[i] = v
+	}
+	if k == 1 {
+		return 1
+	}
+
+	// Build the perpendicular bisector of each pair as a normalised line
+	// a·x + b·y = c with (a,b) unit and a > 0 (or a == 0, b > 0).
+	type line struct{ a, b, c float64 }
+	var lines []line
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			dx := pts[j][0] - pts[i][0]
+			dy := pts[j][1] - pts[i][1]
+			n := math.Hypot(dx, dy)
+			if n == 0 {
+				panic(fmt.Sprintf("voronoi: duplicate sites %d and %d", i, j))
+			}
+			a, b := dx/n, dy/n
+			mx := (pts[i][0] + pts[j][0]) / 2
+			my := (pts[i][1] + pts[j][1]) / 2
+			c := a*mx + b*my
+			if a < 0 || (a == 0 && b < 0) {
+				a, b, c = -a, -b, -c
+			}
+			lines = append(lines, line{a, b, c})
+		}
+	}
+
+	const eps = 1e-9
+
+	// Deduplicate coincident lines (two site pairs can share a bisector,
+	// e.g. opposite sides of a rectangle's diagonal pairs).
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].a != lines[j].a {
+			return lines[i].a < lines[j].a
+		}
+		if lines[i].b != lines[j].b {
+			return lines[i].b < lines[j].b
+		}
+		return lines[i].c < lines[j].c
+	})
+	uniq := lines[:0]
+	for _, l := range lines {
+		if len(uniq) > 0 {
+			p := uniq[len(uniq)-1]
+			if math.Abs(p.a-l.a) < eps && math.Abs(p.b-l.b) < eps && math.Abs(p.c-l.c) < eps {
+				continue
+			}
+		}
+		uniq = append(uniq, l)
+	}
+	lines = uniq
+	L := len(lines)
+
+	// Collect intersection points and count line multiplicity per point.
+	type vertex struct{ x, y float64 }
+	var verts []vertex
+	for i := 0; i < L; i++ {
+		for j := i + 1; j < L; j++ {
+			det := lines[i].a*lines[j].b - lines[j].a*lines[i].b
+			if math.Abs(det) < eps {
+				continue // parallel
+			}
+			x := (lines[i].c*lines[j].b - lines[j].c*lines[i].b) / det
+			y := (lines[i].a*lines[j].c - lines[j].a*lines[i].c) / det
+			verts = append(verts, vertex{x, y})
+		}
+	}
+	// Group coincident intersection points, then recount multiplicities
+	// directly against the line set (a point where m lines concur appears
+	// C(m,2) times above; we need m itself).
+	sort.Slice(verts, func(i, j int) bool {
+		if verts[i].x != verts[j].x {
+			return verts[i].x < verts[j].x
+		}
+		return verts[i].y < verts[j].y
+	})
+	regions := 1 + L
+	for i := 0; i < len(verts); {
+		j := i
+		for j < len(verts) &&
+			math.Abs(verts[j].x-verts[i].x) < eps &&
+			math.Abs(verts[j].y-verts[i].y) < eps {
+			j++
+		}
+		// Count the lines through this point.
+		m := 0
+		for _, l := range lines {
+			if math.Abs(l.a*verts[i].x+l.b*verts[i].y-l.c) < eps*(1+math.Abs(l.c)) {
+				m++
+			}
+		}
+		if m >= 2 {
+			regions += m - 1
+		}
+		i = j
+	}
+	return regions
+}

@@ -1,0 +1,132 @@
+package voronoi
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/counting"
+	"distperm/internal/metric"
+)
+
+func randomSites(rng *rand.Rand, k int) []metric.Point {
+	sites := make([]metric.Point, k)
+	for i := range sites {
+		sites[i] = metric.Vector{rng.Float64(), rng.Float64()}
+	}
+	return sites
+}
+
+func TestExactCellsMatchTheorem7(t *testing.T) {
+	// Random sites are in general position almost surely, so the exact
+	// arrangement count must equal N(2,k) — an independent, sampling-free
+	// validation of Theorem 7's d=2 row of Table 1.
+	rng := rand.New(rand.NewSource(70))
+	for k := 1; k <= 8; k++ {
+		for trial := 0; trial < 5; trial++ {
+			sites := randomSites(rng, k)
+			got := ExactEuclideanCells2D(sites)
+			want := int(counting.EuclideanCount64(2, k))
+			if got != want {
+				t.Errorf("k=%d trial %d: exact cells = %d, want N(2,%d) = %d",
+					k, trial, got, k, want)
+			}
+		}
+	}
+}
+
+func TestExactCellsDegenerateSquare(t *testing.T) {
+	// The four corners of a square are cocircular: two bisector pairs
+	// coincide and all four distinct bisectors concur at the centre,
+	// leaving 8 cells instead of the generic 18.
+	square := []metric.Point{
+		metric.Vector{0, 0}, metric.Vector{1, 0},
+		metric.Vector{1, 1}, metric.Vector{0, 1},
+	}
+	if got := ExactEuclideanCells2D(square); got != 8 {
+		t.Errorf("square cells = %d, want 8", got)
+	}
+}
+
+func TestExactCellsCollinearSites(t *testing.T) {
+	// Collinear sites have parallel bisectors: the plane is cut into
+	// strips, exactly the 1-dimensional count.
+	for k := 2; k <= 8; k++ {
+		sites := make([]metric.Point, k)
+		coords := make([]float64, k)
+		rng := rand.New(rand.NewSource(int64(71 + k)))
+		for i := range sites {
+			x := rng.Float64() * 10
+			coords[i] = x
+			sites[i] = metric.Vector{x, 0}
+		}
+		got := ExactEuclideanCells2D(sites)
+		want := counting.ExactLineCount(coords)
+		if got != want {
+			t.Errorf("k=%d collinear: %d cells, want %d", k, got, want)
+		}
+	}
+}
+
+func TestExactCellsAgreeWithGridSampling(t *testing.T) {
+	// Grid sampling is a strict lower bound on the exact count (thin
+	// cells and cells far from the window can be missed) and approaches
+	// it at practical resolutions.
+	rng := rand.New(rand.NewSource(72))
+	g := Grid{Rect: WidePlane, W: 1200, H: 1200}
+	for trial := 0; trial < 5; trial++ {
+		k := 3 + rng.Intn(3)
+		sites := randomSites(rng, k)
+		exact := ExactEuclideanCells2D(sites)
+		sampled := CountPermCells(metric.L2{}, sites, g)
+		if sampled > exact {
+			t.Fatalf("sampled %d exceeds exact %d", sampled, exact)
+		}
+		if float64(sampled) < 0.85*float64(exact) {
+			t.Errorf("k=%d: sampled %d far below exact %d", k, sampled, exact)
+		}
+	}
+}
+
+func TestExactCellsSmallCases(t *testing.T) {
+	if got := ExactEuclideanCells2D([]metric.Point{metric.Vector{0.3, 0.7}}); got != 1 {
+		t.Errorf("k=1: %d cells, want 1", got)
+	}
+	two := []metric.Point{metric.Vector{0, 0}, metric.Vector{1, 1}}
+	if got := ExactEuclideanCells2D(two); got != 2 {
+		t.Errorf("k=2: %d cells, want 2", got)
+	}
+	// Equilateral-ish triangle: three bisectors concurrent at the
+	// circumcentre → 1 + 3 + 2 = 6 (same as generic for k=3, where all
+	// three bisectors always concur).
+	tri := []metric.Point{metric.Vector{0, 0}, metric.Vector{1, 0}, metric.Vector{0.5, 0.9}}
+	if got := ExactEuclideanCells2D(tri); got != 6 {
+		t.Errorf("triangle: %d cells, want 6", got)
+	}
+}
+
+func TestExactCellsPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no sites should panic")
+			}
+		}()
+		ExactEuclideanCells2D(nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate sites should panic")
+			}
+		}()
+		ExactEuclideanCells2D([]metric.Point{metric.Vector{1, 1}, metric.Vector{1, 1}})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("3-d site should panic")
+			}
+		}()
+		ExactEuclideanCells2D([]metric.Point{metric.Vector{1, 1, 1}})
+	}()
+}

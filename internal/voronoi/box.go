@@ -1,0 +1,135 @@
+package voronoi
+
+import (
+	"fmt"
+
+	"distperm/internal/core"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+// AdaptiveCountBox generalises AdaptiveCount to any dimension: it counts
+// distinct distance-permutation cells inside the axis-aligned box [lo, hi]
+// by 2^d-tree refinement (quadtree in the plane, octree in 3-space, …).
+// Boxes whose 2^d corners and centre all agree are pruned; disagreeing
+// boxes split at the midpoint of every axis, down to maxDepth levels below
+// the initial per-axis grid.
+//
+// The paper's §5 leaves open how many permutations beyond the observed 108
+// the Eq. (12) counterexample really has ("Even more than 108 permutations
+// may exist because the experiment only counted permutations represented in
+// the database"); this is the tool that tightens that lower bound — see
+// TestCounterexampleCellsBeyondDatabase.
+func AdaptiveCountBox(m metric.Metric, sites []metric.Point, lo, hi metric.Vector, initial, maxDepth int) int {
+	d := len(lo)
+	if d == 0 || len(hi) != d {
+		panic("voronoi: box bounds must be non-empty and of equal dimension")
+	}
+	for i := range lo {
+		if !(lo[i] < hi[i]) {
+			panic(fmt.Sprintf("voronoi: empty box on axis %d", i))
+		}
+	}
+	if initial < 1 {
+		panic("voronoi: initial grid must be positive")
+	}
+	if d > 16 {
+		panic("voronoi: dimension too large for corner enumeration")
+	}
+	pm := core.NewPermuter(m, sites)
+	buf := make(perm.Permutation, pm.K())
+	pt := make(metric.Vector, d)
+	seen := map[string]bool{}
+	sample := func(x []float64) string {
+		copy(pt, x)
+		pm.PermutationInto(pt, buf)
+		k := buf.Key()
+		seen[k] = true
+		return k
+	}
+
+	corners := 1 << d
+	var refine func(blo, bhi []float64, keys []string, depth int)
+	refine = func(blo, bhi []float64, keys []string, depth int) {
+		mid := make([]float64, d)
+		for i := range mid {
+			mid[i] = (blo[i] + bhi[i]) / 2
+		}
+		centre := sample(mid)
+		if depth >= maxDepth {
+			return
+		}
+		uniform := true
+		for _, k := range keys {
+			if k != centre {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			return
+		}
+		// Split into 2^d children. Corner keys for children are
+		// recomputed; caching the full lattice is possible but the
+		// permuter evaluation dominates anyway.
+		for child := 0; child < corners; child++ {
+			clo := make([]float64, d)
+			chi := make([]float64, d)
+			for axis := 0; axis < d; axis++ {
+				if child>>axis&1 == 0 {
+					clo[axis], chi[axis] = blo[axis], mid[axis]
+				} else {
+					clo[axis], chi[axis] = mid[axis], bhi[axis]
+				}
+			}
+			ckeys := make([]string, corners)
+			for c := 0; c < corners; c++ {
+				x := make([]float64, d)
+				for axis := 0; axis < d; axis++ {
+					if c>>axis&1 == 0 {
+						x[axis] = clo[axis]
+					} else {
+						x[axis] = chi[axis]
+					}
+				}
+				ckeys[c] = sample(x)
+			}
+			refine(clo, chi, ckeys, depth+1)
+		}
+	}
+
+	// Initial per-axis grid of boxes.
+	idx := make([]int, d)
+	var walk func(axis int)
+	walk = func(axis int) {
+		if axis == d {
+			blo := make([]float64, d)
+			bhi := make([]float64, d)
+			for i := 0; i < d; i++ {
+				step := (hi[i] - lo[i]) / float64(initial)
+				blo[i] = lo[i] + float64(idx[i])*step
+				bhi[i] = blo[i] + step
+			}
+			keys := make([]string, corners)
+			for c := 0; c < corners; c++ {
+				x := make([]float64, d)
+				for i := 0; i < d; i++ {
+					if c>>i&1 == 0 {
+						x[i] = blo[i]
+					} else {
+						x[i] = bhi[i]
+					}
+				}
+				keys[c] = sample(x)
+			}
+			refine(blo, bhi, keys, 0)
+			return
+		}
+		for i := 0; i < initial; i++ {
+			idx[axis] = i
+			walk(axis + 1)
+		}
+	}
+	walk(0)
+	return len(seen)
+}

@@ -1,0 +1,105 @@
+// Box-counter tests live in the external test package so they can use the
+// experiments package (which itself imports voronoi) for the Eq. 12 sites.
+package voronoi_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/counting"
+	"distperm/internal/experiments"
+	"distperm/internal/metric"
+	"distperm/internal/voronoi"
+)
+
+func TestAdaptiveBoxMatchesPlanarAdaptive(t *testing.T) {
+	sites := voronoi.PaperFourSites()
+	lo := metric.Vector{voronoi.WidePlane.X0, voronoi.WidePlane.Y0}
+	hi := metric.Vector{voronoi.WidePlane.X1, voronoi.WidePlane.Y1}
+	for _, m := range []metric.Metric{metric.L2{}, metric.L1{}} {
+		planar := voronoi.AdaptiveCount(m, sites, voronoi.WidePlane, 32, 7)
+		box := voronoi.AdaptiveCountBox(m, sites, lo, hi, 32, 7)
+		if box != planar {
+			t.Errorf("%s: box %d != planar %d", m.Name(), box, planar)
+		}
+	}
+}
+
+func TestAdaptiveBoxOneDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	for trial := 0; trial < 5; trial++ {
+		k := 2 + rng.Intn(6)
+		coords := make([]float64, k)
+		sites := make([]metric.Point, k)
+		for i := range coords {
+			coords[i] = rng.Float64()
+			sites[i] = metric.Vector{coords[i]}
+		}
+		want := counting.ExactLineCount(coords)
+		got := voronoi.AdaptiveCountBox(metric.L2{}, sites,
+			metric.Vector{-10}, metric.Vector{11}, 64, 10)
+		if got != want {
+			t.Errorf("k=%d: box count %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestAdaptiveBoxThreeDimensionBound(t *testing.T) {
+	// In 3-d Euclidean space with k=4 sites, cells are bounded by
+	// N(3,4) = 24; a quick octree must stay under it.
+	rng := rand.New(rand.NewSource(141))
+	sites := make([]metric.Point, 4)
+	for i := range sites {
+		sites[i] = metric.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	got := voronoi.AdaptiveCountBox(metric.L2{}, sites,
+		metric.Vector{-3, -3, -3}, metric.Vector{4, 4, 4}, 8, 4)
+	if got > 24 {
+		t.Errorf("count %d exceeds N(3,4) = 24", got)
+	}
+	if got < 18 {
+		t.Errorf("count %d suspiciously low for a generic configuration", got)
+	}
+}
+
+func TestCounterexampleCellsBeyondDatabase(t *testing.T) {
+	// The paper's Eq. 12 sites: refined sampling of the unit cube alone
+	// already exceeds the Euclidean bound of 96 — the counterexample is a
+	// property of the space, not of the particular database.
+	if testing.Short() {
+		t.Skip("octree refinement takes several seconds")
+	}
+	got := voronoi.AdaptiveCountBox(metric.L1{}, experiments.PaperCounterexampleSites(),
+		metric.Vector{0, 0, 0}, metric.Vector{1, 1, 1}, 8, 5)
+	if got <= 96 {
+		t.Errorf("refined unit-cube count %d should exceed N(3,5) = 96", got)
+	}
+}
+
+func TestAdaptiveBoxPanics(t *testing.T) {
+	sites := voronoi.PaperFourSites()
+	cases := []func(){
+		func() {
+			voronoi.AdaptiveCountBox(metric.L2{}, sites, metric.Vector{}, metric.Vector{}, 4, 2)
+		},
+		func() {
+			voronoi.AdaptiveCountBox(metric.L2{}, sites, metric.Vector{0, 0}, metric.Vector{1}, 4, 2)
+		},
+		func() {
+			voronoi.AdaptiveCountBox(metric.L2{}, sites, metric.Vector{1, 0}, metric.Vector{0, 1}, 4, 2)
+		},
+		func() {
+			voronoi.AdaptiveCountBox(metric.L2{}, sites, metric.Vector{0, 0}, metric.Vector{1, 1}, 0, 2)
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,180 @@
+package voronoi
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"distperm/internal/counting"
+	"distperm/internal/metric"
+)
+
+func fineGrid() Grid  { return Grid{Rect: WidePlane, W: 900, H: 900} }
+func quickGrid() Grid { return Grid{Rect: WidePlane, W: 300, H: 300} }
+
+func TestPaperFourSites(t *testing.T) {
+	sites := PaperFourSites()
+	g := fineGrid()
+	l2 := Permutations(metric.L2{}, sites, g)
+	l1 := Permutations(metric.L1{}, sites, g)
+	if l2.Cells() != 18 {
+		t.Errorf("Fig 3 (L2) cells = %d, want 18", l2.Cells())
+	}
+	if l1.Cells() != 18 {
+		t.Errorf("Fig 4 (L1) cells = %d, want 18", l1.Cells())
+	}
+	// The paper: the two 18-permutation sets differ.
+	inL2 := map[string]bool{}
+	for _, k := range l2.Keys {
+		inL2[k] = true
+	}
+	diff := 0
+	for _, k := range l1.Keys {
+		if !inL2[k] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("L1 and L2 permutation sets should differ")
+	}
+}
+
+func TestOrderOneIsClassicalVoronoi(t *testing.T) {
+	sites := PaperFourSites()
+	l := Order(metric.L2{}, sites, 1, quickGrid())
+	if l.Cells() != 4 {
+		t.Errorf("order-1 cells = %d, want 4 (one per site)", l.Cells())
+	}
+}
+
+func TestOrderTwoRefinement(t *testing.T) {
+	// Full-permutation labels refine order-j labels: two samples with the
+	// same permutation must have the same order-j set for every j.
+	sites := PaperFourSites()
+	g := Grid{Rect: UnitSquare, W: 80, H: 80}
+	full := Permutations(metric.L2{}, sites, g)
+	for j := 1; j <= 4; j++ {
+		oj := Order(metric.L2{}, sites, j, g)
+		permToSet := map[int]int{}
+		for i := range full.Labels {
+			f, o := full.Labels[i], oj.Labels[i]
+			if prev, ok := permToSet[f]; ok && prev != o {
+				t.Fatalf("order-%d not refined by full permutation", j)
+			}
+			permToSet[f] = o
+		}
+		if oj.Cells() > full.Cells() {
+			t.Fatalf("order-%d has more cells than the full diagram", j)
+		}
+	}
+}
+
+func TestOrderKEqualsKFactorialPartition(t *testing.T) {
+	// Order-k (all sites, order-insensitive) has exactly one cell.
+	sites := PaperFourSites()
+	l := Order(metric.L2{}, sites, 4, quickGrid())
+	if l.Cells() != 1 {
+		t.Errorf("order-4 set diagram cells = %d, want 1", l.Cells())
+	}
+}
+
+func TestCellCountNeverExceedsEuclideanBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := quickGrid()
+	for trial := 0; trial < 25; trial++ {
+		k := 2 + rng.Intn(4)
+		sites := make([]metric.Point, k)
+		for i := range sites {
+			sites[i] = metric.Vector{rng.Float64(), rng.Float64()}
+		}
+		cells := CountPermCells(metric.L2{}, sites, g)
+		bound := int(counting.EuclideanCount64(2, k))
+		if cells > bound {
+			t.Fatalf("k=%d: %d cells exceed N(2,%d)=%d", k, cells, k, bound)
+		}
+	}
+}
+
+func TestThreeSitesEuclideanExact(t *testing.T) {
+	// Any non-degenerate 3-site configuration yields exactly N(2,3) = 6
+	// cells in the plane.
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 10; trial++ {
+		sites := []metric.Point{
+			metric.Vector{rng.Float64(), rng.Float64()},
+			metric.Vector{rng.Float64(), rng.Float64()},
+			metric.Vector{rng.Float64(), rng.Float64()},
+		}
+		if cells := CountPermCells(metric.L2{}, sites, fineGrid()); cells != 6 {
+			t.Errorf("trial %d: %d cells, want 6", trial, cells)
+		}
+	}
+}
+
+func TestLabelingAccessors(t *testing.T) {
+	sites := PaperFourSites()
+	g := Grid{Rect: UnitSquare, W: 10, H: 7}
+	l := Permutations(metric.L2{}, sites, g)
+	if len(l.Labels) != 70 {
+		t.Fatalf("labels = %d, want 70", len(l.Labels))
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := l.At(x, y)
+			if v < 0 || v >= l.Cells() {
+				t.Fatalf("label %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	sites := PaperFourSites()
+	g := Grid{Rect: UnitSquare, W: 24, H: 12}
+	out := Permutations(metric.L2{}, sites, g).Render(sites)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("render rows = %d, want 12", len(lines))
+	}
+	for _, ln := range lines {
+		if len(ln) != 24 {
+			t.Fatalf("render row width = %d, want 24", len(ln))
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("render should mark sites with '*'")
+	}
+}
+
+func TestOrderPanicsOnBadJ(t *testing.T) {
+	sites := PaperFourSites()
+	for _, j := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("order %d should panic", j)
+				}
+			}()
+			Order(metric.L2{}, sites, j, quickGrid())
+		}()
+	}
+}
+
+func TestGridPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size grid should panic")
+		}
+	}()
+	Permutations(metric.L2{}, PaperFourSites(), Grid{Rect: UnitSquare, W: 0, H: 5})
+}
+
+func TestMonotoneInResolution(t *testing.T) {
+	// Finer grids can only find at least as many cells.
+	sites := PaperFourSites()
+	coarse := CountPermCells(metric.L1{}, sites, Grid{Rect: WidePlane, W: 100, H: 100})
+	fine := CountPermCells(metric.L1{}, sites, Grid{Rect: WidePlane, W: 400, H: 400})
+	if fine < coarse {
+		t.Errorf("finer grid found fewer cells (%d < %d)", fine, coarse)
+	}
+}

@@ -7,9 +7,11 @@
 package distperm_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"distperm/internal/core"
 	"distperm/internal/counting"
@@ -20,6 +22,7 @@ import (
 	"distperm/internal/sisap"
 	"distperm/internal/tree"
 	"distperm/internal/voronoi"
+	"distperm/pkg/distperm"
 )
 
 func benchCfg() experiments.Config { return experiments.TestScale() }
@@ -279,6 +282,55 @@ func BenchmarkSiteSweep(b *testing.B) {
 	cfg := experiments.Config{VectorN: 3_000, Seed: 1}
 	for i := 0; i < b.N; i++ {
 		experiments.RunSiteSweep(cfg, 4, []int{2, 4, 8, 16}, 10)
+	}
+}
+
+// BenchmarkEngineThroughput measures batched 1-NN throughput of the public
+// query engine (pkg/distperm) over the distance-permutation index as the
+// worker pool grows. Each query is an exhaustive permutation-ordered scan
+// (n + k evaluations), so the work parallelises across replicas; the
+// queries/s metric should scale well beyond 2× from 1 to 4 workers.
+func BenchmarkEngineThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, 4_000, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := distperm.Build(db, distperm.Spec{Index: "distperm", K: 12, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.UniformVectors(rng, 256, 6)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := distperm.NewEngine(db, idx, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			served := 0
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.KNNBatch(queries, 1); err != nil {
+					b.Fatal(err)
+				}
+				served += len(queries)
+			}
+			b.ReportMetric(float64(served)/time.Since(start).Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkPermIndexBuild measures sharded index construction (k·n metric
+// evaluations spread across NumCPU workers).
+func BenchmarkPermIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	db := sisap.NewDB(metric.L2{}, dataset.UniformVectors(rng, 20_000, 6))
+	siteIDs := rng.Perm(db.N())[:12]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sisap.NewPermIndex(db, siteIDs, sisap.Footrule)
 	}
 }
 

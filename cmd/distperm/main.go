@@ -5,28 +5,37 @@
 // wrote for `sort | uniq | wc` pipelines) or just the count, against either
 // a generated dataset or vectors read from a file.
 //
+// With -serve it instead runs the public query-engine layer (pkg/distperm):
+// it builds the requested index over the dataset and answers a batch of kNN
+// queries on a goroutine worker pool, reporting throughput and the
+// engine-level cost counters (distance evaluations, latency percentiles).
+//
 // Usage:
 //
 //	distperm -gen uniform -d 4 -n 100000 -metric L2 -k 8
 //	distperm -gen english -n 5000 -k 6 -emit      # print permutations
 //	distperm -file points.txt -metric L1 -k 5     # whitespace-separated vectors
 //	distperm -gen uniform -d 3 -n 100000 -metric L1 -k 5 -bounds
+//	distperm -serve -gen uniform -d 6 -n 20000 -k 12 -index distperm -queries 5000 -workers 8
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"distperm/internal/core"
 	"distperm/internal/counting"
 	"distperm/internal/dataset"
 	"distperm/internal/metric"
 	"distperm/internal/perm"
+	"distperm/pkg/distperm"
 )
 
 func main() {
@@ -40,6 +49,12 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		emit   = flag.Bool("emit", false, "write every point's permutation to stdout (1-based)")
 		bounds = flag.Bool("bounds", false, "also print the applicable theoretical bounds")
+
+		serve   = flag.Bool("serve", false, "batch-query mode: build an index and serve kNN traffic on a worker pool")
+		index   = flag.String("index", "distperm", "index kind for -serve: "+strings.Join(distperm.Kinds(), ", "))
+		queries = flag.Int("queries", 1_000, "queries to serve in -serve mode")
+		knn     = flag.Int("knn", 1, "neighbours per query in -serve mode")
+		workers = flag.Int("workers", 0, "worker goroutines in -serve mode (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -56,6 +71,18 @@ func main() {
 			os.Exit(2)
 		}
 		ds.Metric = m
+	}
+
+	if *serve {
+		cfg := serveConfig{
+			Index: *index, K: *k, KNN: *knn,
+			Queries: *queries, Workers: *workers,
+		}
+		if err := runServe(os.Stdout, ds, rng, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	sites := ds.ChooseSites(rng, *k)
@@ -82,6 +109,57 @@ func main() {
 			fmt.Printf("  Theorem 9 Linf bound = %s\n", counting.LInfBound(*d, *k))
 		}
 	}
+}
+
+// serveConfig collects the -serve mode parameters.
+type serveConfig struct {
+	Index   string
+	K       int
+	KNN     int
+	Queries int
+	Workers int
+}
+
+// runServe builds the requested index through the public Build registry and
+// serves a batch of kNN queries (sampled from the dataset) on the engine's
+// worker pool, printing throughput and cost counters to w.
+func runServe(w io.Writer, ds *dataset.Dataset, rng *rand.Rand, cfg serveConfig) error {
+	db, err := distperm.NewDB(ds.Metric, ds.Points)
+	if err != nil {
+		return err
+	}
+	buildStart := time.Now()
+	idx, err := distperm.Build(db, distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()})
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(buildStart)
+
+	e, err := distperm.NewEngine(db, idx, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+
+	qs := make([]distperm.Point, cfg.Queries)
+	for i := range qs {
+		qs[i] = ds.Points[rng.Intn(ds.N())]
+	}
+	start := time.Now()
+	if _, err := e.KNNBatch(qs, cfg.KNN); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := e.Stats()
+
+	fmt.Fprintf(w, "%s: n=%d metric=%s index=%s (%d bits), built in %v\n",
+		ds.Name, ds.N(), ds.Metric.Name(), idx.Name(), idx.IndexBits(), buildTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "served %d %d-NN queries on %d workers in %v (%.0f queries/s)\n",
+		st.Queries, cfg.KNN, e.Workers(), elapsed.Round(time.Millisecond),
+		float64(st.Queries)/elapsed.Seconds())
+	fmt.Fprintf(w, "distance evals: %d total, %.1f mean/query; latency p50 %v, p99 %v\n",
+		st.DistanceEvals, st.MeanEvals, st.P50, st.P99)
+	return nil
 }
 
 func buildDataset(rng *rand.Rand, gen, file string, n, d int) (*dataset.Dataset, error) {

@@ -4,8 +4,35 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+func TestRunServe(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds, err := buildDataset(rng, "uniform", "", 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"distperm", "linear", "vptree"} {
+		var out strings.Builder
+		cfg := serveConfig{Index: kind, K: 6, KNN: 2, Queries: 50, Workers: 4}
+		if err := runServe(&out, ds, rng, cfg); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		got := out.String()
+		for _, want := range []string{"index=" + kind, "50 2-NN queries", "4 workers", "distance evals"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("%s: output missing %q:\n%s", kind, want, got)
+			}
+		}
+	}
+	// Bad spec surfaces as an error, not a panic.
+	var out strings.Builder
+	if err := runServe(&out, ds, rng, serveConfig{Index: "bogus", K: 4, KNN: 1, Queries: 1}); err == nil {
+		t.Error("unknown index kind should error")
+	}
+}
 
 func TestMetricByName(t *testing.T) {
 	for name, want := range map[string]string{

@@ -1,8 +1,11 @@
 // Search comparison: the storage-vs-search trade-off the paper's counting
-// results quantify. Builds the index family over one database and reports,
-// per index, the storage bits and the average number of metric evaluations
-// to answer 1-NN queries; for the distance-permutation index it also reports
-// how far down the permutation-ordered scan the true nearest neighbour sits.
+// results quantify, served through the public engine layer. Builds the whole
+// index family over one database via the pkg/distperm Build registry, then
+// answers the same 1-NN batch on each index through a concurrent Engine —
+// checking every answer against the linear-scan ground truth — and reports,
+// per index, the storage bits and the engine's mean distance evaluations per
+// query. For the distance-permutation index it also reports how far down the
+// permutation-ordered scan the true nearest neighbour sits.
 package main
 
 import (
@@ -10,8 +13,7 @@ import (
 	"math/rand"
 
 	"distperm/internal/dataset"
-	"distperm/internal/metric"
-	"distperm/internal/sisap"
+	"distperm/pkg/distperm"
 )
 
 const (
@@ -20,41 +22,52 @@ const (
 	kSites  = 12
 	queries = 50
 	seed    = 3
+	workers = 4
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(seed))
 	points := dataset.UniformVectors(rng, n, dims)
-	db := sisap.NewDB(metric.L2{}, points)
+	db, err := distperm.NewDB(distperm.L2, points)
+	if err != nil {
+		panic(err)
+	}
 	queryPts := dataset.UniformVectors(rng, queries, dims)
 
-	pivotIDs := rng.Perm(n)[:kSites]
-	permIdx := sisap.NewPermIndex(db, pivotIDs, sisap.Footrule)
+	kinds := []string{"linear", "aesa", "laesa", "distperm", "vptree", "ghtree"}
+	var truth [][]distperm.Result
+	var permIdx *distperm.PermIndex
 
-	indexes := []sisap.Index{
-		sisap.NewLinearScan(db),
-		sisap.NewAESA(db),
-		sisap.NewLAESA(db, pivotIDs),
-		permIdx,
-		sisap.NewVPTree(db, rng),
-		sisap.NewGHTree(db, rng),
-	}
-
-	fmt.Printf("database: n=%d, %d-dim uniform, L2; %d 1-NN queries; k=%d pivots/sites\n\n",
-		n, dims, queries, kSites)
+	fmt.Printf("database: n=%d, %d-dim uniform, L2; %d 1-NN queries; k=%d pivots/sites; %d workers\n\n",
+		n, dims, queries, kSites, workers)
 	fmt.Printf("%-10s %14s %18s\n", "index", "bits", "avg dist evals")
-	truth := indexes[0]
-	for _, idx := range indexes {
-		totalEvals := 0
-		for _, q := range queryPts {
-			want, _ := truth.KNN(q, 1)
-			got, stats := idx.KNN(q, 1)
-			if got[0].ID != want[0].ID {
-				panic(fmt.Sprintf("%s: wrong 1-NN (%d vs %d)", idx.Name(), got[0].ID, want[0].ID))
-			}
-			totalEvals += stats.DistanceEvals
+	for _, kind := range kinds {
+		idx, err := distperm.Build(db, distperm.Spec{Index: kind, K: kSites, Seed: seed})
+		if err != nil {
+			panic(err)
 		}
-		fmt.Printf("%-10s %14d %18.1f\n", idx.Name(), idx.IndexBits(), float64(totalEvals)/queries)
+		if p, ok := idx.(*distperm.PermIndex); ok {
+			permIdx = p
+		}
+		engine, err := distperm.NewEngine(db, idx, workers)
+		if err != nil {
+			panic(err)
+		}
+		got, err := engine.KNNBatch(queryPts, 1)
+		if err != nil {
+			panic(err)
+		}
+		if truth == nil {
+			truth = got // linear scan defines the correct answers
+		}
+		for i := range got {
+			if got[i][0].ID != truth[i][0].ID {
+				panic(fmt.Sprintf("%s: wrong 1-NN (%d vs %d)", idx.Name(), got[i][0].ID, truth[i][0].ID))
+			}
+		}
+		stats := engine.Stats()
+		fmt.Printf("%-10s %14d %18.1f\n", idx.Name(), idx.IndexBits(), stats.MeanEvals)
+		engine.Close()
 	}
 
 	// The distperm index's exact KNN scans everything; its real value is

@@ -1,0 +1,3 @@
+module distperm
+
+go 1.24

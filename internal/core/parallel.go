@@ -19,43 +19,70 @@ func (c *Counter) Merge(other *Counter) {
 	}
 }
 
+// ShardWorkers returns the worker count for an n-element sharded scan:
+// GOMAXPROCS (the process's parallelism budget, not the machine's core
+// count) capped at n.
+func ShardWorkers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ShardIndexes partitions [0, n) into at most workers contiguous non-empty
+// ranges and runs fn on each concurrently, returning the number of shards
+// used once all finish. fn receives its shard number and [lo, hi) range;
+// shard numbers are dense, so a shards-sized slice indexed by shard is a
+// safe place for per-shard results.
+func ShardIndexes(n, workers int, fn func(shard, lo, hi int)) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	shards := 0
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		shard := shards
+		shards++
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(shard, lo, hi)
+	}
+	wg.Wait()
+	return shards
+}
+
 // ParallelCount counts distinct distance permutations of points with
 // respect to sites under m, sharding the scan across GOMAXPROCS goroutines
 // with per-shard counters merged at the end. Results are identical to
 // CountDistinct; use it when a single count dominates wall-clock (the
 // 10^6-point experiments).
 func ParallelCount(m metric.Metric, sites, points []metric.Point) int {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(points) {
-		workers = len(points)
-	}
+	workers := ShardWorkers(len(points))
 	if workers <= 1 {
 		return CountDistinct(m, sites, points)
 	}
 	counters := make([]*Counter, workers)
-	var wg sync.WaitGroup
-	chunk := (len(points) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(points) {
-			hi = len(points)
-		}
-		if lo >= hi {
-			counters[w] = NewCounter(m, sites)
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			c := NewCounter(m, sites)
-			c.AddAll(points[lo:hi])
-			counters[w] = c
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	shards := ShardIndexes(len(points), workers, func(shard, lo, hi int) {
+		c := NewCounter(m, sites)
+		c.AddAll(points[lo:hi])
+		counters[shard] = c
+	})
 	total := counters[0]
-	for _, c := range counters[1:] {
+	for _, c := range counters[1:shards] {
 		total.Merge(c)
 	}
 	return total.Distinct()

@@ -58,9 +58,15 @@ type PermIndex struct {
 	distinct int // number of distinct permutations stored
 }
 
+// parallelBuildThreshold is the database size below which sharded
+// construction is not worth the goroutine overhead.
+const parallelBuildThreshold = 2048
+
 // NewPermIndex builds the index with the given site IDs (database indexes)
 // and candidate-ordering distance. Construction costs k·n metric
-// evaluations.
+// evaluations, sharded across runtime.NumCPU() workers for large databases
+// (each worker clones the Permuter, which is not goroutine-safe). The result
+// is identical to a sequential build.
 func NewPermIndex(db *DB, siteIDs []int, dist PermDistance) *PermIndex {
 	if len(siteIDs) == 0 {
 		panic("sisap: PermIndex requires at least one site")
@@ -71,25 +77,64 @@ func NewPermIndex(db *DB, siteIDs []int, dist PermDistance) *PermIndex {
 	}
 	pm := core.NewPermuter(db.Metric, sites)
 	inv := make([]perm.Permutation, db.N())
-	buf := make(perm.Permutation, len(siteIDs))
-	seen := make(map[string]bool)
-	for i, pt := range db.Points {
-		pm.PermutationInto(pt, buf)
-		seen[buf.Key()] = true
-		inv[i] = buf.Inverse()
-	}
 	return &PermIndex{
 		db:       db,
 		siteIDs:  append([]int(nil), siteIDs...),
 		permuter: pm,
 		dist:     dist,
 		invPerms: inv,
-		distinct: len(seen),
+		distinct: buildInvPerms(pm, db.Points, inv),
+	}
+}
+
+// buildInvPerms fills inv[i] with the inverse distance permutation of
+// points[i] and returns the number of distinct permutations, sharding the
+// scan across workers when the database is large. Shards write disjoint
+// ranges of inv; per-shard distinct sets are merged at the end.
+func buildInvPerms(pm *core.Permuter, points []metric.Point, inv []perm.Permutation) int {
+	workers := core.ShardWorkers(len(points))
+	if workers <= 1 || len(points) < parallelBuildThreshold {
+		seen := make(map[string]bool)
+		buildInvPermsRange(pm, points, inv, seen)
+		return len(seen)
+	}
+	shardSeen := make([]map[string]bool, workers)
+	shards := core.ShardIndexes(len(points), workers, func(shard, lo, hi int) {
+		seen := make(map[string]bool)
+		buildInvPermsRange(pm.Clone(), points[lo:hi], inv[lo:hi], seen)
+		shardSeen[shard] = seen
+	})
+	total := shardSeen[0]
+	for _, seen := range shardSeen[1:shards] {
+		for key := range seen {
+			total[key] = true
+		}
+	}
+	return len(total)
+}
+
+func buildInvPermsRange(pm *core.Permuter, points []metric.Point, inv []perm.Permutation, seen map[string]bool) {
+	buf := make(perm.Permutation, pm.K())
+	for i, pt := range points {
+		pm.PermutationInto(pt, buf)
+		seen[buf.Key()] = true
+		inv[i] = buf.Inverse()
 	}
 }
 
 // Name implements Index.
 func (x *PermIndex) Name() string { return "distperm" }
+
+// Replica implements Replicable: the returned index shares the immutable
+// stored permutations and database but owns a fresh Permuter (whose scratch
+// buffers make the query path non-reentrant), so it can be queried
+// concurrently with the original as long as each replica stays on one
+// goroutine.
+func (x *PermIndex) Replica() Index {
+	y := *x
+	y.permuter = x.permuter.Clone()
+	return &y
+}
 
 // K returns the number of sites.
 func (x *PermIndex) K() int { return len(x.siteIDs) }

@@ -32,23 +32,45 @@ const (
 	permIndexVersion = 1
 )
 
-// WriteTo serialises the index. It returns the number of bytes written.
+// WriteTo serialises the index in the standalone v1 format. It returns the
+// number of bytes written. The codec registry (codec.go) wraps the same
+// payload in the v2 multi-index container; both read back via ReadPermIndex
+// / ReadIndex respectively.
 func (x *PermIndex) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
-	put := func(v interface{}) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		written += int64(binary.Size(v))
-		return nil
-	}
 	if _, err := bw.WriteString(permIndexMagic); err != nil {
 		return written, err
 	}
 	written += int64(len(permIndexMagic))
-	if err := put(uint32(permIndexVersion)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(permIndexVersion)); err != nil {
 		return written, err
+	}
+	written += 4
+	n, err := x.encodePayload(bw)
+	written += n
+	if err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// encodePayload writes the header-less index body: k, n, the permutation
+// distance, the site IDs, and the bit-packed Lehmer ranks.
+func (x *PermIndex) encodePayload(w io.Writer) (int64, error) {
+	var written int64
+	// The packed encoding stores Lehmer ranks in a uint64, so the on-disk
+	// format (like its decoder) caps k at 20; an in-memory index above that
+	// is usable but not serialisable.
+	if x.K() > 20 {
+		return 0, fmt.Errorf("sisap: cannot serialise distperm index with k=%d sites (format limit 20)", x.K())
+	}
+	put := func(v interface{}) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
 	}
 	if err := put(uint32(x.K())); err != nil {
 		return written, err
@@ -76,7 +98,7 @@ func (x *PermIndex) WriteTo(w io.Writer) (int64, error) {
 			return written, err
 		}
 	}
-	return written, bw.Flush()
+	return written, nil
 }
 
 // packWords re-encodes a PackedArray's payload deterministically. It exists
@@ -115,14 +137,21 @@ func ReadPermIndex(r io.Reader, db *DB) (*PermIndex, error) {
 	if string(magic) != permIndexMagic {
 		return nil, fmt.Errorf("sisap: bad magic %q", magic)
 	}
-	var version, k, dist uint32
-	var n uint64
+	var version uint32
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
 	if version != permIndexVersion {
 		return nil, fmt.Errorf("sisap: unsupported version %d", version)
 	}
+	return decodePermPayload(br, db)
+}
+
+// decodePermPayload reads the header-less index body written by
+// encodePayload and reconstructs the index against db.
+func decodePermPayload(br io.Reader, db *DB) (*PermIndex, error) {
+	var k, dist uint32
+	var n uint64
 	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
 		return nil, err
 	}

@@ -77,6 +77,27 @@ type Index interface {
 	IndexBits() int64
 }
 
+// Replicable is implemented by indexes whose query path mutates per-index
+// scratch state and which can therefore not be shared across goroutines.
+// Replica returns an independent view over the same immutable built
+// structure, cheap to create (no metric evaluations) and safe to query from
+// one goroutine at a time. Indexes that do not implement Replicable have
+// read-only query paths and may be shared freely.
+type Replicable interface {
+	Index
+	// Replica returns an independent query handle over the same data.
+	Replica() Index
+}
+
+// QueryReplica returns a handle on x suitable for a dedicated worker
+// goroutine: x.Replica() when x is Replicable, x itself otherwise.
+func QueryReplica(x Index) Index {
+	if r, ok := x.(Replicable); ok {
+		return r.Replica()
+	}
+	return x
+}
+
 // sortResults orders results by (distance, id).
 func sortResults(rs []Result) {
 	sort.Slice(rs, func(i, j int) bool {

@@ -1,0 +1,120 @@
+package distperm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"distperm/internal/sisap"
+)
+
+// Spec describes an index to build. The zero value plus an Index kind is a
+// usable spec; K defaults per kind.
+type Spec struct {
+	// Index is the registry kind: one of Kinds() ("linear", "aesa",
+	// "iaesa", "laesa", "distperm", "vptree", "ghtree", plus any
+	// caller-registered kinds).
+	Index string
+	// K is the number of pivots (laesa) or sites (distperm). 0 means
+	// DefaultK, capped at the database size.
+	K int
+	// PermDist is the candidate-ordering permutation distance for
+	// distperm (default Footrule).
+	PermDist PermDistance
+	// Seed drives the randomised choices (site selection, tree pivots), so
+	// builds are reproducible.
+	Seed int64
+}
+
+// DefaultK is the pivot/site count used when Spec.K is zero.
+const DefaultK = 8
+
+// Builder constructs an index over db from a validated spec (db non-empty;
+// for kinds that use K, 1 ≤ spec.K ≤ db.N()).
+type Builder func(db *DB, spec Spec) (Index, error)
+
+var (
+	buildersMu sync.RWMutex
+	builders   = map[string]Builder{}
+)
+
+// Register adds an index kind to the build registry. It panics on a
+// duplicate or incomplete registration — misregistration is a programming
+// error, not a runtime condition.
+func Register(kind string, b Builder) {
+	if kind == "" || b == nil {
+		panic("distperm: Register requires a kind and a Builder")
+	}
+	buildersMu.Lock()
+	defer buildersMu.Unlock()
+	if _, dup := builders[kind]; dup {
+		panic(fmt.Sprintf("distperm: index kind %q registered twice", kind))
+	}
+	builders[kind] = b
+}
+
+// Kinds returns the registered index kinds, sorted.
+func Kinds() []string {
+	buildersMu.RLock()
+	defer buildersMu.RUnlock()
+	kinds := make([]string, 0, len(builders))
+	for k := range builders {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Build constructs the index described by spec over db — the single entry
+// point in front of the family's seven constructors. Unknown kinds and
+// out-of-range parameters are reported as errors.
+func Build(db *DB, spec Spec) (Index, error) {
+	if db == nil || db.N() == 0 {
+		return nil, fmt.Errorf("distperm: Build requires a non-empty database")
+	}
+	buildersMu.RLock()
+	b, ok := builders[spec.Index]
+	buildersMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("distperm: unknown index kind %q (have %s)",
+			spec.Index, strings.Join(Kinds(), ", "))
+	}
+	if spec.K == 0 {
+		spec.K = DefaultK
+		if spec.K > db.N() {
+			spec.K = db.N()
+		}
+	}
+	if spec.K < 1 || spec.K > db.N() {
+		return nil, fmt.Errorf("distperm: k=%d out of range 1..%d", spec.K, db.N())
+	}
+	return b(db, spec)
+}
+
+func init() {
+	Register("linear", func(db *DB, spec Spec) (Index, error) {
+		return sisap.NewLinearScan(db), nil
+	})
+	Register("aesa", func(db *DB, spec Spec) (Index, error) {
+		return sisap.NewAESA(db), nil
+	})
+	Register("iaesa", func(db *DB, spec Spec) (Index, error) {
+		return sisap.NewIAESA(db), nil
+	})
+	Register("laesa", func(db *DB, spec Spec) (Index, error) {
+		return sisap.NewLAESAMaxSpread(db, spec.K), nil
+	})
+	Register("distperm", func(db *DB, spec Spec) (Index, error) {
+		rng := rand.New(rand.NewSource(spec.Seed))
+		siteIDs := rng.Perm(db.N())[:spec.K]
+		return sisap.NewPermIndex(db, siteIDs, spec.PermDist), nil
+	})
+	Register("vptree", func(db *DB, spec Spec) (Index, error) {
+		return sisap.NewVPTree(db, rand.New(rand.NewSource(spec.Seed))), nil
+	})
+	Register("ghtree", func(db *DB, spec Spec) (Index, error) {
+		return sisap.NewGHTree(db, rand.New(rand.NewSource(spec.Seed))), nil
+	})
+}

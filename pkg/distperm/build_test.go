@@ -1,0 +1,99 @@
+package distperm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"distperm/internal/dataset"
+)
+
+func testDB(t *testing.T, seed int64, n, d int) (*DB, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db, err := NewDB(L2, dataset.UniformVectors(rng, n, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, rng
+}
+
+func TestNewDBErrors(t *testing.T) {
+	if _, err := NewDB(nil, []Point{Vector{0}}); err == nil {
+		t.Error("nil metric should error")
+	}
+	if _, err := NewDB(L2, nil); err == nil {
+		t.Error("empty database should error")
+	}
+}
+
+func TestBuildEveryKind(t *testing.T) {
+	db, rng := testDB(t, 1, 300, 4)
+	q := dataset.UniformVectors(rng, 1, 4)[0]
+	truth, _ := mustBuild(t, db, Spec{Index: "linear"}).KNN(q, 3)
+	for _, kind := range Kinds() {
+		idx := mustBuild(t, db, Spec{Index: kind, K: 6, Seed: 7})
+		if idx.Name() != kind {
+			t.Errorf("Build(%q).Name() = %q", kind, idx.Name())
+		}
+		got, stats := idx.KNN(q, 3)
+		if len(got) != 3 {
+			t.Fatalf("%s: %d results", kind, len(got))
+		}
+		for i := range got {
+			if got[i] != truth[i] {
+				t.Errorf("%s: result %d = %+v, want %+v", kind, i, got[i], truth[i])
+			}
+		}
+		if stats.DistanceEvals <= 0 {
+			t.Errorf("%s: no distance evaluations reported", kind)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	db, _ := testDB(t, 2, 50, 3)
+	if _, err := Build(nil, Spec{Index: "linear"}); err == nil {
+		t.Error("nil database should error")
+	}
+	if _, err := Build(db, Spec{Index: "btree"}); err == nil {
+		t.Error("unknown kind should error")
+	} else if !strings.Contains(err.Error(), "distperm") {
+		t.Errorf("error should list known kinds: %v", err)
+	}
+	for _, k := range []int{-1, 51} {
+		if _, err := Build(db, Spec{Index: "distperm", K: k}); err == nil {
+			t.Errorf("k=%d should error", k)
+		}
+	}
+}
+
+func TestBuildDefaultK(t *testing.T) {
+	// K defaults to DefaultK, capped at the database size.
+	db, _ := testDB(t, 3, 5, 2)
+	idx, err := Build(db, Spec{Index: "distperm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.(*PermIndex).K(); got != 5 {
+		t.Errorf("K() = %d, want 5 (capped)", got)
+	}
+}
+
+func TestRegisterValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	Register("linear", func(db *DB, spec Spec) (Index, error) { return nil, nil })
+}
+
+func mustBuild(t *testing.T, db *DB, spec Spec) Index {
+	t.Helper()
+	idx, err := Build(db, spec)
+	if err != nil {
+		t.Fatalf("Build(%+v): %v", spec, err)
+	}
+	return idx
+}

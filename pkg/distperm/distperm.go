@@ -1,0 +1,111 @@
+// Package distperm is the public query layer over the distance-permutation
+// index family of Skala (ICDE 2008): the paper trades metric evaluations
+// against index bits, and this package turns that trade-off into a servable
+// API. It exposes the whole index family (linear scan, AESA, iAESA, LAESA,
+// the distance-permutation index, VP-tree, GH-tree) behind three seams:
+//
+//   - Build: one entry point constructing any index from a Spec, extensible
+//     through a name → Builder registry (Register).
+//   - Engine: a goroutine worker pool answering batched kNN/range traffic
+//     over index replicas, aggregating per-query Stats into engine-level
+//     counters (distance evaluations, latency percentiles).
+//   - WriteIndex/ReadIndex: a versioned codec registry persisting every
+//     index kind in one container format.
+//
+// Point, Metric, and the concrete metrics are re-exported from the internal
+// layers so callers outside the module can use the package without touching
+// internal paths.
+package distperm
+
+import (
+	"errors"
+	"io"
+
+	"distperm/internal/metric"
+	"distperm/internal/sisap"
+)
+
+// Core metric-space vocabulary, shared with the internal layers.
+type (
+	// Point is an opaque element of a metric space (Vector for the Lp
+	// family, String for the string metrics).
+	Point = metric.Point
+	// Metric computes distances between points; implementations satisfy the
+	// metric axioms.
+	Metric = metric.Metric
+	// Vector is a point of a d-dimensional real vector space.
+	Vector = metric.Vector
+	// String is a point of a string metric space.
+	String = metric.String
+)
+
+// Query vocabulary, shared with the index implementations.
+type (
+	// DB is an immutable database of points under a metric.
+	DB = sisap.DB
+	// Index answers kNN and range queries over a DB and reports its storage
+	// cost in bits.
+	Index = sisap.Index
+	// Result is one answer: a database point index and its distance.
+	Result = sisap.Result
+	// Stats reports the cost of a query in metric evaluations.
+	Stats = sisap.Stats
+	// PermIndex is the distance-permutation index, exposed concretely for
+	// its extra surface (KNNBudget, DistinctPermutations, storage splits).
+	PermIndex = sisap.PermIndex
+	// PermDistance selects the candidate-ordering permutation distance.
+	PermDistance = sisap.PermDistance
+)
+
+// Candidate-ordering permutation distances for PermIndex.
+const (
+	Footrule    = sisap.Footrule
+	KendallTau  = sisap.KendallTau
+	SpearmanRho = sisap.SpearmanRho
+)
+
+// Ready-made metrics.
+var (
+	// L1 is the Manhattan metric on Vectors.
+	L1 Metric = metric.L1{}
+	// L2 is the Euclidean metric on Vectors.
+	L2 Metric = metric.L2{}
+	// LInf is the Chebyshev metric on Vectors.
+	LInf Metric = metric.LInf{}
+	// Edit is the Levenshtein metric on Strings.
+	Edit Metric = metric.Edit{}
+	// Prefix is the prefix metric on Strings.
+	Prefix Metric = metric.Prefix{}
+	// Angular is the angular metric on sparse document Vectors.
+	Angular Metric = metric.Angular{}
+)
+
+// LP returns the Minkowski metric for p ≥ 1, choosing the specialised
+// implementation for p ∈ {1, 2, +Inf}.
+func LP(p float64) Metric { return metric.NewLP(p) }
+
+// NewDB returns a database over points under m. Unlike the internal
+// constructors, which panic (their callers are trusted), the public boundary
+// reports bad input as an error.
+func NewDB(m Metric, points []Point) (*DB, error) {
+	if m == nil {
+		return nil, errors.New("distperm: nil metric")
+	}
+	if len(points) == 0 {
+		return nil, errors.New("distperm: empty database")
+	}
+	return sisap.NewDB(m, points), nil
+}
+
+// WriteIndex serialises any index with a registered codec in the versioned
+// DPERMIDX container format. It returns the number of bytes written. The
+// database points are not serialised — the index file accompanies the data.
+func WriteIndex(w io.Writer, x Index) (int64, error) { return sisap.WriteIndex(w, x) }
+
+// ReadIndex deserialises an index written by WriteIndex against db, which
+// must be the database the index was built on. No metric evaluations are
+// re-run — that is the point of persisting the index.
+func ReadIndex(r io.Reader, db *DB) (Index, error) { return sisap.ReadIndex(r, db) }
+
+// Codecs returns the registered serialization kinds, sorted.
+func Codecs() []string { return sisap.Codecs() }

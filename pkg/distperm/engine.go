@@ -1,0 +1,203 @@
+package distperm
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"distperm/internal/sisap"
+)
+
+// Engine is a concurrent query engine over one built index: a pool of
+// worker goroutines, each holding its own query replica of the index (the
+// distance-permutation index's Permuter carries scratch buffers and is not
+// goroutine-safe; sisap.QueryReplica clones it per worker, while the
+// read-only indexes are shared). Batches of kNN/range requests fan out
+// across the pool and per-query Stats fold into engine-level counters.
+//
+// The batch methods are safe to call from many goroutines at once; queries
+// from concurrent batches interleave on the same pool. Close drains the
+// pool and must not race with in-flight batches.
+type Engine struct {
+	db      *DB
+	idx     Index
+	workers int
+	jobs    chan job
+
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	closed  bool
+	queries int64
+	evals   int64
+	// lat is a bounded ring of the most recent per-query latencies
+	// (latSamples entries), so a long-lived engine's memory stays flat;
+	// latPos is the overwrite cursor once the ring is full.
+	lat    []time.Duration
+	latPos int
+}
+
+// latSamples bounds the latency window Stats computes percentiles over.
+const latSamples = 1 << 14
+
+type job struct {
+	q   Point
+	k   int     // > 0: kNN with this k
+	r   float64 // k == 0: range with this radius
+	out *[]Result
+	wg  *sync.WaitGroup
+}
+
+// NewEngine starts a worker pool of the given size (≤ 0 means
+// runtime.NumCPU()) over idx, which must have been built on db.
+func NewEngine(db *DB, idx Index, workers int) (*Engine, error) {
+	if db == nil || idx == nil {
+		return nil, fmt.Errorf("distperm: NewEngine requires a database and an index")
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &Engine{
+		db:      db,
+		idx:     idx,
+		workers: workers,
+		jobs:    make(chan job, 4*workers),
+	}
+	for i := 0; i < workers; i++ {
+		replica := sisap.QueryReplica(idx)
+		e.workerWG.Add(1)
+		go e.worker(replica)
+	}
+	return e, nil
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Index returns the engine's underlying index.
+func (e *Engine) Index() Index { return e.idx }
+
+func (e *Engine) worker(idx Index) {
+	defer e.workerWG.Done()
+	for j := range e.jobs {
+		start := time.Now()
+		var rs []Result
+		var st Stats
+		if j.k > 0 {
+			rs, st = idx.KNN(j.q, j.k)
+		} else {
+			rs, st = idx.Range(j.q, j.r)
+		}
+		elapsed := time.Since(start)
+		*j.out = rs
+
+		e.mu.Lock()
+		e.queries++
+		e.evals += int64(st.DistanceEvals)
+		if len(e.lat) < latSamples {
+			e.lat = append(e.lat, elapsed)
+		} else {
+			e.lat[e.latPos] = elapsed
+			e.latPos = (e.latPos + 1) % latSamples
+		}
+		e.mu.Unlock()
+
+		j.wg.Done()
+	}
+}
+
+// KNNBatch answers one kNN query per point of qs, fanned out across the
+// worker pool. out[i] holds the k nearest database points to qs[i] in
+// increasing distance order — identical to querying the index sequentially.
+func (e *Engine) KNNBatch(qs []Point, k int) ([][]Result, error) {
+	if k < 1 || k > e.db.N() {
+		return nil, fmt.Errorf("distperm: k=%d out of range 1..%d", k, e.db.N())
+	}
+	return e.submit(qs, func(i int, out *[]Result, wg *sync.WaitGroup) job {
+		return job{q: qs[i], k: k, out: out, wg: wg}
+	})
+}
+
+// RangeBatch answers one range query of radius r per point of qs.
+func (e *Engine) RangeBatch(qs []Point, r float64) ([][]Result, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("distperm: negative radius %g", r)
+	}
+	return e.submit(qs, func(i int, out *[]Result, wg *sync.WaitGroup) job {
+		return job{q: qs[i], r: r, out: out, wg: wg}
+	})
+}
+
+func (e *Engine) submit(qs []Point, mk func(i int, out *[]Result, wg *sync.WaitGroup) job) ([][]Result, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("distperm: engine is closed")
+	}
+	e.mu.Unlock()
+	outs := make([][]Result, len(qs))
+	var wg sync.WaitGroup
+	wg.Add(len(qs))
+	for i := range qs {
+		e.jobs <- mk(i, &outs[i], &wg)
+	}
+	wg.Wait()
+	return outs, nil
+}
+
+// Close shuts the pool down after in-flight queries finish. It is
+// idempotent; batches submitted after Close return an error.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
+		close(e.jobs)
+	})
+	e.workerWG.Wait()
+}
+
+// EngineStats aggregates per-query Stats across everything the engine has
+// answered — the paper's cost model (distance evaluations) lifted to the
+// serving layer, plus wall-clock latency percentiles.
+type EngineStats struct {
+	// Queries is the number of queries answered.
+	Queries int64
+	// DistanceEvals is the total metric evaluations spent.
+	DistanceEvals int64
+	// MeanEvals is DistanceEvals / Queries.
+	MeanEvals float64
+	// P50 and P99 are per-query latency percentiles over the most recent
+	// queries (a bounded window of 16384 samples).
+	P50, P99 time.Duration
+}
+
+// Stats returns a snapshot of the engine-level counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	s := EngineStats{Queries: e.queries, DistanceEvals: e.evals}
+	lat := append([]time.Duration(nil), e.lat...)
+	e.mu.Unlock()
+	if s.Queries > 0 {
+		s.MeanEvals = float64(s.DistanceEvals) / float64(s.Queries)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		s.P50 = percentile(lat, 0.50)
+		s.P99 = percentile(lat, 0.99)
+	}
+	return s
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample by the
+// nearest-rank method.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

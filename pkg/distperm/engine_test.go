@@ -1,0 +1,165 @@
+package distperm
+
+import (
+	"sync"
+	"testing"
+
+	"distperm/internal/dataset"
+	"distperm/internal/sisap"
+)
+
+// TestEngineMatchesLinearScan is the concurrency acceptance test: a
+// 1000-query batch answered by the pooled engine over the
+// distance-permutation index (whose Permuter forces per-worker replicas)
+// must equal the sequential LinearScan ground truth exactly. Run under
+// `go test -race` this also proves the replica scheme keeps workers off
+// each other's scratch buffers.
+func TestEngineMatchesLinearScan(t *testing.T) {
+	const (
+		queries = 1000
+		k       = 5
+	)
+	db, rng := testDB(t, 10, 1200, 4)
+	queryPts := dataset.UniformVectors(rng, queries, 4)
+	truth := sisap.NewLinearScan(db)
+
+	for _, kind := range []string{"distperm", "vptree", "laesa"} {
+		idx := mustBuild(t, db, Spec{Index: kind, K: 8, Seed: 11})
+		e, err := NewEngine(db, idx, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.KNNBatch(queryPts, k)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for i, q := range queryPts {
+			want, _ := truth.KNN(q, k)
+			if len(got[i]) != len(want) {
+				t.Fatalf("%s: query %d: %d results, want %d", kind, i, len(got[i]), len(want))
+			}
+			for j := range want {
+				if got[i][j] != want[j] {
+					t.Fatalf("%s: query %d result %d = %+v, want %+v",
+						kind, i, j, got[i][j], want[j])
+				}
+			}
+		}
+		st := e.Stats()
+		if st.Queries != queries {
+			t.Errorf("%s: Stats().Queries = %d, want %d", kind, st.Queries, queries)
+		}
+		if st.DistanceEvals <= 0 || st.MeanEvals <= 0 {
+			t.Errorf("%s: no evaluation counts aggregated: %+v", kind, st)
+		}
+		if st.P50 < 0 || st.P99 < st.P50 {
+			t.Errorf("%s: implausible latency percentiles: %+v", kind, st)
+		}
+		e.Close()
+	}
+}
+
+// TestEngineConcurrentBatches drives one engine from many client goroutines
+// at once — the serving pattern — and checks every batch independently.
+func TestEngineConcurrentBatches(t *testing.T) {
+	db, rng := testDB(t, 12, 600, 3)
+	idx := mustBuild(t, db, Spec{Index: "distperm", K: 6, Seed: 1})
+	e, err := NewEngine(db, idx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	truth := sisap.NewLinearScan(db)
+
+	const clients = 8
+	queryPts := dataset.UniformVectors(rng, clients*50, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		qs := queryPts[c*50 : (c+1)*50]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := e.KNNBatch(qs, 3)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, q := range qs {
+				want, _ := truth.KNN(q, 3)
+				for j := range want {
+					if got[i][j] != want[j] {
+						t.Errorf("concurrent batch diverges from ground truth at query %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestEngineRangeBatch(t *testing.T) {
+	db, rng := testDB(t, 13, 400, 3)
+	idx := mustBuild(t, db, Spec{Index: "vptree", Seed: 2})
+	e, err := NewEngine(db, idx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	queryPts := dataset.UniformVectors(rng, 40, 3)
+	const radius = 0.35
+	got, err := e.RangeBatch(queryPts, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := sisap.NewLinearScan(db)
+	for i, q := range queryPts {
+		want, _ := truth.Range(q, radius)
+		if len(got[i]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("query %d result %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	db, rng := testDB(t, 14, 30, 2)
+	idx := mustBuild(t, db, Spec{Index: "linear"})
+	if _, err := NewEngine(nil, idx, 1); err == nil {
+		t.Error("nil database should error")
+	}
+	if _, err := NewEngine(db, nil, 1); err == nil {
+		t.Error("nil index should error")
+	}
+	e, err := NewEngine(db, idx, 0) // 0 → NumCPU
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() < 1 {
+		t.Errorf("Workers() = %d", e.Workers())
+	}
+	qs := dataset.UniformVectors(rng, 2, 2)
+	if _, err := e.KNNBatch(qs, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := e.KNNBatch(qs, 31); err == nil {
+		t.Error("k>n should error")
+	}
+	if _, err := e.RangeBatch(qs, -1); err == nil {
+		t.Error("negative radius should error")
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.KNNBatch(qs, 1); err == nil {
+		t.Error("batch after Close should error")
+	}
+}

@@ -322,6 +322,46 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedThroughput measures batched 1-NN throughput of the
+// scatter-gather serving layer as the shard count grows, total worker count
+// held fixed: one distance-permutation index and one 2-worker Engine per
+// shard, each query fanned out to every shard and merged. Per-shard indexes
+// are smaller (n/S points each), so per-sub-query work shrinks as shards
+// grow while the fan-out adds merge overhead — the trade-off this benchmark
+// tracks as queries/s.
+func BenchmarkShardedThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, 4_000, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.UniformVectors(rng, 256, 6)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sx, err := distperm.BuildSharded(db,
+				distperm.Spec{Index: "distperm", K: 12, Seed: 9}, shards, distperm.RoundRobin{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			se, err := distperm.NewShardedEngine(sx, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer se.Close()
+			served := 0
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := se.KNNBatch(queries, 1); err != nil {
+					b.Fatal(err)
+				}
+				served += len(queries)
+			}
+			b.ReportMetric(float64(served)/time.Since(start).Seconds(), "queries/s")
+		})
+	}
+}
+
 // BenchmarkPermIndexBuild measures sharded index construction (k·n metric
 // evaluations spread across NumCPU workers).
 func BenchmarkPermIndexBuild(b *testing.B) {

@@ -9,6 +9,9 @@
 // it builds the requested index over the dataset and answers a batch of kNN
 // queries on a goroutine worker pool, reporting throughput and the
 // engine-level cost counters (distance evaluations, latency percentiles).
+// With -shards S (S > 1) the database is partitioned (-partition roundrobin
+// or hash) and served scatter-gather, one worker pool per shard, reporting
+// per-shard and aggregate stats.
 //
 // Usage:
 //
@@ -17,6 +20,7 @@
 //	distperm -file points.txt -metric L1 -k 5     # whitespace-separated vectors
 //	distperm -gen uniform -d 3 -n 100000 -metric L1 -k 5 -bounds
 //	distperm -serve -gen uniform -d 6 -n 20000 -k 12 -index distperm -queries 5000 -workers 8
+//	distperm -serve -gen uniform -d 6 -n 20000 -k 12 -queries 5000 -shards 4 -partition hash
 package main
 
 import (
@@ -50,11 +54,13 @@ func main() {
 		emit   = flag.Bool("emit", false, "write every point's permutation to stdout (1-based)")
 		bounds = flag.Bool("bounds", false, "also print the applicable theoretical bounds")
 
-		serve   = flag.Bool("serve", false, "batch-query mode: build an index and serve kNN traffic on a worker pool")
-		index   = flag.String("index", "distperm", "index kind for -serve: "+strings.Join(distperm.Kinds(), ", "))
-		queries = flag.Int("queries", 1_000, "queries to serve in -serve mode")
-		knn     = flag.Int("knn", 1, "neighbours per query in -serve mode")
-		workers = flag.Int("workers", 0, "worker goroutines in -serve mode (0 = NumCPU)")
+		serve     = flag.Bool("serve", false, "batch-query mode: build an index and serve kNN traffic on a worker pool")
+		index     = flag.String("index", "distperm", "index kind for -serve: "+strings.Join(distperm.Kinds(), ", "))
+		queries   = flag.Int("queries", 1_000, "queries to serve in -serve mode")
+		knn       = flag.Int("knn", 1, "neighbours per query in -serve mode")
+		workers   = flag.Int("workers", 0, "worker goroutines per shard in -serve mode (0 = NumCPU)")
+		shards    = flag.Int("shards", 1, "partition the database across this many scatter-gather shards in -serve mode")
+		partition = flag.String("partition", "roundrobin", "shard placement strategy for -shards > 1: roundrobin, hash")
 	)
 	flag.Parse()
 
@@ -77,6 +83,7 @@ func main() {
 		cfg := serveConfig{
 			Index: *index, K: *k, KNN: *knn,
 			Queries: *queries, Workers: *workers,
+			Shards: *shards, Partition: *partition,
 		}
 		if err := runServe(os.Stdout, ds, rng, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -113,20 +120,27 @@ func main() {
 
 // serveConfig collects the -serve mode parameters.
 type serveConfig struct {
-	Index   string
-	K       int
-	KNN     int
-	Queries int
-	Workers int
+	Index     string
+	K         int
+	KNN       int
+	Queries   int
+	Workers   int
+	Shards    int
+	Partition string
 }
 
 // runServe builds the requested index through the public Build registry and
 // serves a batch of kNN queries (sampled from the dataset) on the engine's
-// worker pool, printing throughput and cost counters to w.
+// worker pool, printing throughput and cost counters to w. With Shards > 1
+// the database is partitioned and served scatter-gather — one worker pool
+// per shard — and both per-shard and aggregate stats are reported.
 func runServe(w io.Writer, ds *dataset.Dataset, rng *rand.Rand, cfg serveConfig) error {
 	db, err := distperm.NewDB(ds.Metric, ds.Points)
 	if err != nil {
 		return err
+	}
+	if cfg.Shards > 1 {
+		return runServeSharded(w, ds, db, rng, cfg)
 	}
 	buildStart := time.Now()
 	idx, err := distperm.Build(db, distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()})
@@ -141,12 +155,8 @@ func runServe(w io.Writer, ds *dataset.Dataset, rng *rand.Rand, cfg serveConfig)
 	}
 	defer e.Close()
 
-	qs := make([]distperm.Point, cfg.Queries)
-	for i := range qs {
-		qs[i] = ds.Points[rng.Intn(ds.N())]
-	}
 	start := time.Now()
-	if _, err := e.KNNBatch(qs, cfg.KNN); err != nil {
+	if _, err := e.KNNBatch(sampleQueries(ds, rng, cfg.Queries), cfg.KNN); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -160,6 +170,59 @@ func runServe(w io.Writer, ds *dataset.Dataset, rng *rand.Rand, cfg serveConfig)
 	fmt.Fprintf(w, "distance evals: %d total, %.1f mean/query; latency p50 %v, p99 %v\n",
 		st.DistanceEvals, st.MeanEvals, st.P50, st.P99)
 	return nil
+}
+
+// runServeSharded is the Shards > 1 arm of runServe: partition, build one
+// index per shard, scatter-gather the same query batch, report per-shard and
+// aggregate counters.
+func runServeSharded(w io.Writer, ds *dataset.Dataset, db *distperm.DB, rng *rand.Rand, cfg serveConfig) error {
+	p, err := distperm.PartitionerByName(cfg.Partition)
+	if err != nil {
+		return err
+	}
+	buildStart := time.Now()
+	sx, err := distperm.BuildSharded(db,
+		distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}, cfg.Shards, p)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(buildStart)
+
+	se, err := distperm.NewShardedEngine(sx, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	defer se.Close()
+
+	start := time.Now()
+	if _, err := se.KNNBatch(sampleQueries(ds, rng, cfg.Queries), cfg.KNN); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "%s: n=%d metric=%s index=%s[%s×%d] (%d bits), %s partition, built in %v\n",
+		ds.Name, ds.N(), ds.Metric.Name(), sx.Name(), cfg.Index, sx.NumShards(),
+		sx.IndexBits(), p.Name(), buildTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "served %d %d-NN queries on %d shards × %d workers in %v (%.0f queries/s)\n",
+		cfg.Queries, cfg.KNN, se.Shards(), se.Workers()/se.Shards(),
+		elapsed.Round(time.Millisecond), float64(cfg.Queries)/elapsed.Seconds())
+	for s, st := range se.ShardStats() {
+		fmt.Fprintf(w, "  shard %d: n=%d, %d sub-queries, %d evals (%.1f mean), p50 %v, p99 %v\n",
+			s, sx.ShardDB(s).N(), st.Queries, st.DistanceEvals, st.MeanEvals, st.P50, st.P99)
+	}
+	agg := se.Stats()
+	fmt.Fprintf(w, "aggregate: distance evals %d total, %.1f mean/sub-query; latency p50 %v, p99 %v\n",
+		agg.DistanceEvals, agg.MeanEvals, agg.P50, agg.P99)
+	return nil
+}
+
+// sampleQueries draws a query batch from the dataset's own points.
+func sampleQueries(ds *dataset.Dataset, rng *rand.Rand, n int) []distperm.Point {
+	qs := make([]distperm.Point, n)
+	for i := range qs {
+		qs[i] = ds.Points[rng.Intn(ds.N())]
+	}
+	return qs
 }
 
 func buildDataset(rng *rand.Rand, gen, file string, n, d int) (*dataset.Dataset, error) {

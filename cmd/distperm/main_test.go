@@ -34,6 +34,46 @@ func TestRunServe(t *testing.T) {
 	}
 }
 
+func TestRunServeSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ds, err := buildDataset(rng, "uniform", "", 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, partition := range []string{"roundrobin", "hash"} {
+		var out strings.Builder
+		cfg := serveConfig{
+			Index: "distperm", K: 6, KNN: 2, Queries: 40, Workers: 2,
+			Shards: 4, Partition: partition,
+		}
+		if err := runServe(&out, ds, rng, cfg); err != nil {
+			t.Fatalf("%s: %v", partition, err)
+		}
+		got := out.String()
+		for _, want := range []string{
+			"index=sharded[distperm×4]", partition + " partition",
+			"4 shards × 2 workers",
+			"shard 0:", "shard 3:", "sub-queries",
+			"aggregate: distance evals",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("%s: output missing %q:\n%s", partition, want, got)
+			}
+		}
+	}
+	// A partitioner typo is an error, not a panic.
+	var out strings.Builder
+	cfg := serveConfig{Index: "linear", KNN: 1, Queries: 1, Shards: 2, Partition: "modulo"}
+	if err := runServe(&out, ds, rng, cfg); err == nil {
+		t.Error("unknown partitioner should error")
+	}
+	// More shards than points is an error.
+	cfg = serveConfig{Index: "linear", KNN: 1, Queries: 1, Shards: 601, Partition: "roundrobin"}
+	if err := runServe(&out, ds, rng, cfg); err == nil {
+		t.Error("shards > n should error")
+	}
+}
+
 func TestMetricByName(t *testing.T) {
 	for name, want := range map[string]string{
 		"L1": "L1", "L2": "L2", "Linf": "Linf",

@@ -139,6 +139,9 @@ func (x *PermIndex) Replica() Index {
 // K returns the number of sites.
 func (x *PermIndex) K() int { return len(x.siteIDs) }
 
+// SiteIDs returns a copy of the database IDs of the sites, in site order.
+func (x *PermIndex) SiteIDs() []int { return append([]int(nil), x.siteIDs...) }
+
 // DistinctPermutations returns the number of distinct distance permutations
 // stored in the index — the paper's central statistic for this structure.
 func (x *PermIndex) DistinctPermutations() int { return x.distinct }

@@ -1,0 +1,302 @@
+package sisap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"distperm/internal/metric"
+)
+
+// ShardedIndex partitions one database across S disjoint shards and holds
+// one member-family index per shard. A query is scattered to every shard and
+// the per-shard answers are merged back into global terms — exactly the
+// answer the unpartitioned index would give, because each shard's local ID
+// order mirrors the global ID order (parts are strictly increasing), so
+// per-shard (distance, ID) tie-breaking agrees with global tie-breaking.
+//
+// The per-shard Stats sum to the query's global cost: the metric-evaluation
+// cost model of the paper composes additively across shards.
+//
+// ShardedIndex itself satisfies Index (and Replicable, cloning per-shard
+// query replicas), so it can be served by a plain Engine; the sharded
+// serving layer in pkg/distperm instead runs one worker-pool Engine per
+// shard and merges in the gather step.
+type ShardedIndex struct {
+	db     *DB
+	parts  [][]int // parts[s][local] = global ID, strictly increasing
+	dbs    []*DB   // shard-local databases, points shared with db
+	shards []Index
+}
+
+// NewShardedIndex partitions db by parts (parts[s] lists the global IDs of
+// shard s, strictly increasing; the parts must cover every ID exactly once
+// and be non-empty) and builds one index per shard via build, which receives
+// the shard number and the shard-local database.
+func NewShardedIndex(db *DB, parts [][]int, build func(shard int, sdb *DB) (Index, error)) (*ShardedIndex, error) {
+	if db == nil || db.N() == 0 {
+		return nil, fmt.Errorf("sisap: sharded index requires a non-empty database")
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sisap: sharded index requires at least one shard")
+	}
+	n := db.N()
+	seen := make([]bool, n)
+	total := 0
+	for s, part := range parts {
+		if len(part) == 0 {
+			return nil, fmt.Errorf("sisap: shard %d is empty", s)
+		}
+		prev := -1
+		for _, id := range part {
+			if id < 0 || id >= n {
+				return nil, fmt.Errorf("sisap: shard %d: ID %d out of range 0..%d", s, id, n-1)
+			}
+			if id <= prev {
+				return nil, fmt.Errorf("sisap: shard %d: IDs not strictly increasing at %d", s, id)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("sisap: ID %d assigned to two shards", id)
+			}
+			seen[id] = true
+			prev = id
+			total++
+		}
+	}
+	if total != n {
+		return nil, fmt.Errorf("sisap: partition covers %d of %d points", total, n)
+	}
+	x := &ShardedIndex{
+		db:     db,
+		parts:  parts,
+		dbs:    make([]*DB, len(parts)),
+		shards: make([]Index, len(parts)),
+	}
+	for s, part := range parts {
+		pts := make([]metric.Point, len(part))
+		for i, id := range part {
+			pts[i] = db.Points[id]
+		}
+		x.dbs[s] = NewDB(db.Metric, pts)
+		idx, err := build(s, x.dbs[s])
+		if err != nil {
+			return nil, fmt.Errorf("sisap: building shard %d: %w", s, err)
+		}
+		if idx == nil {
+			return nil, fmt.Errorf("sisap: shard %d built a nil index", s)
+		}
+		x.shards[s] = idx
+	}
+	return x, nil
+}
+
+// Name identifies the container kind in the codec registry.
+func (x *ShardedIndex) Name() string { return "sharded" }
+
+// NumShards returns the shard count.
+func (x *ShardedIndex) NumShards() int { return len(x.parts) }
+
+// Shard returns shard s's index.
+func (x *ShardedIndex) Shard(s int) Index { return x.shards[s] }
+
+// ShardDB returns shard s's local database.
+func (x *ShardedIndex) ShardDB(s int) *DB { return x.dbs[s] }
+
+// Part returns shard s's local→global ID map. The caller must not modify it.
+func (x *ShardedIndex) Part(s int) []int { return x.parts[s] }
+
+// DB returns the global database the index partitions.
+func (x *ShardedIndex) DB() *DB { return x.db }
+
+// KNN scatters the query to every shard (asking each for its min(k, shard
+// size) best) and gathers the global top k. Stats sum across shards.
+func (x *ShardedIndex) KNN(q metric.Point, k int) ([]Result, Stats) {
+	checkK(k, x.db.N())
+	perShard := make([][]Result, len(x.shards))
+	var st Stats
+	for s, idx := range x.shards {
+		ks := k
+		if ks > x.dbs[s].N() {
+			ks = x.dbs[s].N()
+		}
+		rs, sst := idx.KNN(q, ks)
+		perShard[s] = RemapShardResults(rs, x.parts[s])
+		st.DistanceEvals += sst.DistanceEvals
+	}
+	return MergeKNN(perShard, k), st
+}
+
+// Range scatters the query to every shard and concatenates the gathered
+// answers in global (distance, ID) order. Stats sum across shards.
+func (x *ShardedIndex) Range(q metric.Point, r float64) ([]Result, Stats) {
+	perShard := make([][]Result, len(x.shards))
+	var st Stats
+	for s, idx := range x.shards {
+		rs, sst := idx.Range(q, r)
+		perShard[s] = RemapShardResults(rs, x.parts[s])
+		st.DistanceEvals += sst.DistanceEvals
+	}
+	return MergeRange(perShard), st
+}
+
+// IndexBits sums the shard indexes plus the partition map (⌈lg S⌉ bits per
+// point to name its shard).
+func (x *ShardedIndex) IndexBits() int64 {
+	var bits int64
+	for _, idx := range x.shards {
+		bits += idx.IndexBits()
+	}
+	shardBits := 0
+	for 1<<shardBits < len(x.shards) {
+		shardBits++
+	}
+	return bits + int64(x.db.N())*int64(shardBits)
+}
+
+// Replica clones per-shard query replicas over the shared built structures,
+// satisfying Replicable: shard indexes with mutable scratch state (the
+// distperm index) are cloned, read-only ones are shared.
+func (x *ShardedIndex) Replica() Index {
+	shards := make([]Index, len(x.shards))
+	for s, idx := range x.shards {
+		shards[s] = QueryReplica(idx)
+	}
+	return &ShardedIndex{db: x.db, parts: x.parts, dbs: x.dbs, shards: shards}
+}
+
+// RemapShardResults rewrites shard-local result IDs to global IDs via the
+// shard's local→global part, in place.
+func RemapShardResults(rs []Result, part []int) []Result {
+	for i := range rs {
+		rs[i].ID = part[rs[i].ID]
+	}
+	return rs
+}
+
+// MergeKNN gathers per-shard kNN answers (already remapped to global IDs)
+// into the global top k in (distance, ID) order.
+func MergeKNN(perShard [][]Result, k int) []Result {
+	var all []Result
+	for _, rs := range perShard {
+		all = append(all, rs...)
+	}
+	sortResults(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// MergeRange gathers per-shard range answers (already remapped to global
+// IDs) into one (distance, ID)-ordered slice.
+func MergeRange(perShard [][]Result) []Result {
+	var all []Result
+	for _, rs := range perShard {
+		all = append(all, rs...)
+	}
+	sortResults(all)
+	return all
+}
+
+// --- sharded codec ---
+
+// The sharded container payload: the partition map, then each shard's index
+// as a length-prefixed embedded DPERMIDX container, so any codec-registered
+// kind (including another sharded container) can be a shard member.
+//
+//	n       uint64   global point count
+//	S       uint32   shard count
+//	parts   S × (len uint64, len × uint64 global IDs)
+//	shards  S × (len uint64, len bytes: WriteIndex container)
+const maxShardPayload = 1 << 31 // sanity cap on one embedded shard index
+
+func encodeSharded(w io.Writer, x Index) error {
+	sx, ok := x.(*ShardedIndex)
+	if !ok {
+		return fmt.Errorf("sisap: sharded codec given %T", x)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(sx.db.N())); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(sx.parts))); err != nil {
+		return err
+	}
+	for _, part := range sx.parts {
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(part))); err != nil {
+			return err
+		}
+		for _, id := range part {
+			if err := binary.Write(w, binary.LittleEndian, uint64(id)); err != nil {
+				return err
+			}
+		}
+	}
+	for s, idx := range sx.shards {
+		var buf bytes.Buffer
+		if _, err := WriteIndex(&buf, idx); err != nil {
+			return fmt.Errorf("sisap: encoding shard %d: %w", s, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeSharded(r io.Reader, db *DB) (Index, error) {
+	if err := checkN(r, db); err != nil {
+		return nil, err
+	}
+	var s32 uint32
+	if err := binary.Read(r, binary.LittleEndian, &s32); err != nil {
+		return nil, fmt.Errorf("sisap: reading shard count: %w", err)
+	}
+	if s32 == 0 || int(s32) > db.N() {
+		return nil, fmt.Errorf("sisap: shard count %d out of range 1..%d", s32, db.N())
+	}
+	parts := make([][]int, s32)
+	for s := range parts {
+		var plen uint64
+		if err := binary.Read(r, binary.LittleEndian, &plen); err != nil {
+			return nil, fmt.Errorf("sisap: reading shard %d size: %w", s, err)
+		}
+		// Compare in uint64 space: int(plen) would overflow (and slip past
+		// the bound) for a corrupt length in the top bit range.
+		if plen == 0 || plen > uint64(db.N()) {
+			return nil, fmt.Errorf("sisap: shard %d size %d out of range", s, plen)
+		}
+		part := make([]int, plen)
+		for i := range part {
+			var id uint64
+			if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+				return nil, fmt.Errorf("sisap: reading shard %d IDs: %w", s, err)
+			}
+			part[i] = int(id)
+		}
+		parts[s] = part
+	}
+	// NewShardedIndex re-validates the partition (range, coverage,
+	// monotonicity) before any shard payload is trusted.
+	return NewShardedIndex(db, parts, func(s int, sdb *DB) (Index, error) {
+		var blen uint64
+		if err := binary.Read(r, binary.LittleEndian, &blen); err != nil {
+			return nil, fmt.Errorf("reading payload size: %w", err)
+		}
+		if blen == 0 || blen > maxShardPayload {
+			return nil, fmt.Errorf("payload size %d out of range", blen)
+		}
+		buf := make([]byte, blen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("reading payload: %w", err)
+		}
+		return ReadIndex(bytes.NewReader(buf), sdb)
+	})
+}
+
+func init() {
+	RegisterCodec(Codec{Kind: "sharded", Encode: encodeSharded, Decode: decodeSharded})
+}

@@ -93,6 +93,28 @@ func Build(db *DB, spec Spec) (Index, error) {
 	return b(db, spec)
 }
 
+// sampleSites draws k distinct IDs uniformly from [0, n): the first k steps
+// of a Fisher–Yates shuffle over a sparse (map-backed) array, so selection
+// costs O(k) time and space where rng.Perm(n)[:k] allocates O(n) ints for
+// k ≪ n. Deterministic for a given rng state, so builds stay
+// seed-reproducible.
+func sampleSites(rng *rand.Rand, n, k int) []int {
+	displaced := make(map[int]int, 2*k)
+	at := func(i int) int {
+		if v, ok := displaced[i]; ok {
+			return v
+		}
+		return i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		out[i] = at(j)
+		displaced[j] = at(i)
+	}
+	return out
+}
+
 func init() {
 	Register("linear", func(db *DB, spec Spec) (Index, error) {
 		return sisap.NewLinearScan(db), nil
@@ -108,8 +130,7 @@ func init() {
 	})
 	Register("distperm", func(db *DB, spec Spec) (Index, error) {
 		rng := rand.New(rand.NewSource(spec.Seed))
-		siteIDs := rng.Perm(db.N())[:spec.K]
-		return sisap.NewPermIndex(db, siteIDs, spec.PermDist), nil
+		return sisap.NewPermIndex(db, sampleSites(rng, db.N(), spec.K), spec.PermDist), nil
 	})
 	Register("vptree", func(db *DB, spec Spec) (Index, error) {
 		return sisap.NewVPTree(db, rand.New(rand.NewSource(spec.Seed))), nil

@@ -80,6 +80,55 @@ func TestBuildDefaultK(t *testing.T) {
 	}
 }
 
+// TestDistpermSitesReproducible pins the site draw: the builder's partial
+// Fisher–Yates selection must stay deterministic per seed (serialized index
+// files record explicit site IDs, but reproducible builds are part of the
+// Spec contract). The pinned values are the draw of sampleSites, which
+// replaced the O(N)-allocating rng.Perm(N)[:K].
+func TestDistpermSitesReproducible(t *testing.T) {
+	db, _ := testDB(t, 40, 300, 3)
+	want := []int{86, 106, 87, 147, 144, 198}
+	for run := 0; run < 2; run++ {
+		idx := mustBuild(t, db, Spec{Index: "distperm", K: 6, Seed: 7}).(*PermIndex)
+		got := idx.SiteIDs()
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d sites, want %d", run, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: sites = %v, want %v", run, got, want)
+			}
+		}
+	}
+}
+
+// TestSampleSitesDistinct checks the partial Fisher–Yates draw across the
+// k ≤ n spectrum, including the degenerate k = n full shuffle: k distinct
+// in-range IDs every time.
+func TestSampleSitesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, c := range []struct{ n, k int }{
+		{1, 1}, {2, 1}, {2, 2}, {10, 10}, {100, 1}, {100, 99}, {5000, 8},
+	} {
+		for trial := 0; trial < 20; trial++ {
+			ids := sampleSites(rng, c.n, c.k)
+			if len(ids) != c.k {
+				t.Fatalf("n=%d k=%d: drew %d IDs", c.n, c.k, len(ids))
+			}
+			seen := make(map[int]bool, c.k)
+			for _, id := range ids {
+				if id < 0 || id >= c.n {
+					t.Fatalf("n=%d k=%d: ID %d out of range", c.n, c.k, id)
+				}
+				if seen[id] {
+					t.Fatalf("n=%d k=%d: duplicate ID %d in %v", c.n, c.k, id, ids)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
 func TestRegisterValidates(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -9,8 +9,14 @@
 //   - Engine: a goroutine worker pool answering batched kNN/range traffic
 //     over index replicas, aggregating per-query Stats into engine-level
 //     counters (distance evaluations, latency percentiles).
+//   - ShardedEngine: the scatter-gather serving layer — a Partitioner splits
+//     the database into shards (BuildSharded), one Engine per shard answers
+//     every query, and the merge step returns answers identical to a single
+//     Engine over the unpartitioned database, with per-shard cost counters
+//     summing to the global cost.
 //   - WriteIndex/ReadIndex: a versioned codec registry persisting every
-//     index kind in one container format.
+//     index kind in one container format, including the sharded container
+//     (partition map plus one embedded index per shard).
 //
 // Point, Metric, and the concrete metrics are re-exported from the internal
 // layers so callers outside the module can use the package without touching

@@ -2,6 +2,7 @@ package distperm
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -18,8 +19,9 @@ import (
 // across the pool and per-query Stats fold into engine-level counters.
 //
 // The batch methods are safe to call from many goroutines at once; queries
-// from concurrent batches interleave on the same pool. Close drains the
-// pool and must not race with in-flight batches.
+// from concurrent batches interleave on the same pool. Close is safe to
+// race with in-flight batches: it waits for every batch that observed the
+// engine open to finish sending before the job channel closes.
 type Engine struct {
 	db      *DB
 	idx     Index
@@ -29,10 +31,15 @@ type Engine struct {
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
 
-	mu      sync.Mutex
-	closed  bool
-	queries int64
-	evals   int64
+	mu sync.Mutex
+	// closed and inflight together serialise submission against Close:
+	// submit registers with inflight under mu while closed is still false,
+	// so once Close flips closed and inflight drains, no batch can be
+	// sending on jobs and closing the channel is safe.
+	closed   bool
+	inflight sync.WaitGroup
+	queries  int64
+	evals    int64
 	// lat is a bounded ring of the most recent per-query latencies
 	// (latSamples entries), so a long-lived engine's memory stays flat;
 	// latPos is the overwrite cursor once the ring is full.
@@ -137,7 +144,9 @@ func (e *Engine) submit(qs []Point, mk func(i int, out *[]Result, wg *sync.WaitG
 		e.mu.Unlock()
 		return nil, fmt.Errorf("distperm: engine is closed")
 	}
+	e.inflight.Add(1)
 	e.mu.Unlock()
+	defer e.inflight.Done()
 	outs := make([][]Result, len(qs))
 	var wg sync.WaitGroup
 	wg.Add(len(qs))
@@ -155,6 +164,9 @@ func (e *Engine) Close() {
 		e.mu.Lock()
 		e.closed = true
 		e.mu.Unlock()
+		// New submissions are now refused; wait for batches that got in
+		// before the flip to finish sending, then closing jobs is safe.
+		e.inflight.Wait()
 		close(e.jobs)
 	})
 	e.workerWG.Wait()
@@ -192,10 +204,30 @@ func (e *Engine) Stats() EngineStats {
 	return s
 }
 
-// percentile reads the q-quantile from an ascending-sorted sample by the
-// nearest-rank method.
+// counters snapshots the raw engine counters and a copy of the bounded
+// latency ring (unsorted) in one lock acquisition — the sharded layer sums
+// the counters and merges the per-shard windows before taking percentiles,
+// skipping the per-shard sorts Stats would do.
+func (e *Engine) counters() (queries, evals int64, window []time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queries, e.evals, append([]time.Duration(nil), e.lat...)
+}
+
+// latencyWindow copies the engine's bounded latency ring, unsorted.
+func (e *Engine) latencyWindow() []time.Duration {
+	_, _, window := e.counters()
+	return window
+}
+
+// percentile reads the q-quantile from an ascending-sorted non-empty sample
+// by the nearest-rank method: the smallest value with at least q·n samples
+// at or below it, index ⌈q·n⌉−1.
 func percentile(sorted []time.Duration, q float64) time.Duration {
-	i := int(q * float64(len(sorted)))
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

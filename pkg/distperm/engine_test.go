@@ -3,6 +3,7 @@ package distperm
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"distperm/internal/dataset"
 	"distperm/internal/sisap"
@@ -161,5 +162,121 @@ func TestEngineErrors(t *testing.T) {
 	e.Close() // idempotent
 	if _, err := e.KNNBatch(qs, 1); err == nil {
 		t.Error("batch after Close should error")
+	}
+}
+
+// TestEngineCloseSubmitRace hammers concurrent batch submission against
+// Close. Before the in-flight guard, submit could pass its closed check,
+// then Close would close the jobs channel while the batch was still
+// sending — "send on closed channel". Now every batch either completes or
+// reports the engine closed; run under -race this also proves the guard is
+// data-race-free.
+func TestEngineCloseSubmitRace(t *testing.T) {
+	db, rng := testDB(t, 15, 512, 4)
+	idx := mustBuild(t, db, Spec{Index: "linear"})
+	// One worker and batches much larger than the job buffer (4×workers)
+	// keep submitters blocked inside the send loop for milliseconds, which
+	// is exactly where the unguarded engine panicked when Close closed the
+	// channel under them.
+	qs := dataset.UniformVectors(rng, 256, 4)
+	for iter := 0; iter < 10; iter++ {
+		e, err := NewEngine(db, idx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 4; j++ {
+					if _, err := e.KNNBatch(qs, 2); err != nil {
+						return // engine closed under us — the accepted outcome
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Let the batches get in flight, then close over them.
+			time.Sleep(time.Duration(iter) * 200 * time.Microsecond)
+			e.Close()
+		}()
+		wg.Wait()
+		e.Close()
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank definition (index
+// ⌈q·n⌉−1): P50 over four samples is the second, not the third.
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	four := []time.Duration{ms(10), ms(20), ms(30), ms(40)}
+	cases := []struct {
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{four, 0.50, ms(20)}, // ceil(0.5·4)−1 = 1, was index 2 pre-fix
+		{four, 0.25, ms(10)},
+		{four, 0.75, ms(30)},
+		{four, 0.99, ms(40)},
+		{four, 1.00, ms(40)},
+		{[]time.Duration{ms(5)}, 0.50, ms(5)},
+		{[]time.Duration{ms(5)}, 0.99, ms(5)},
+		{[]time.Duration{ms(1), ms(2), ms(3)}, 0.50, ms(2)},
+		{[]time.Duration{ms(1), ms(2)}, 0.50, ms(1)},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.q); got != c.want {
+			t.Errorf("percentile(%v, %g) = %v, want %v", c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+// TestEngineLatencyRingWraparound pushes more queries through the engine
+// than the latency window holds: the ring must stay bounded at latSamples,
+// the overwrite cursor must stay in range, and the percentiles must remain
+// sane over the wrapped window.
+func TestEngineLatencyRingWraparound(t *testing.T) {
+	const total = latSamples + 300
+	db, rng := testDB(t, 16, 16, 2)
+	idx := mustBuild(t, db, Spec{Index: "linear"})
+	e, err := NewEngine(db, idx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	qs := dataset.UniformVectors(rng, 1024, 2)
+	served := 0
+	for served < total {
+		batch := qs
+		if rest := total - served; rest < len(batch) {
+			batch = batch[:rest]
+		}
+		if _, err := e.KNNBatch(batch, 1); err != nil {
+			t.Fatal(err)
+		}
+		served += len(batch)
+	}
+	e.mu.Lock()
+	ringLen, pos := len(e.lat), e.latPos
+	e.mu.Unlock()
+	if ringLen != latSamples {
+		t.Errorf("latency ring holds %d samples, want exactly %d", ringLen, latSamples)
+	}
+	if pos < 0 || pos >= latSamples {
+		t.Errorf("latPos = %d out of range 0..%d", pos, latSamples-1)
+	}
+	st := e.Stats()
+	if st.Queries != total {
+		t.Errorf("Queries = %d, want %d", st.Queries, total)
+	}
+	if st.P50 < 0 || st.P99 < st.P50 {
+		t.Errorf("implausible percentiles after wraparound: p50=%v p99=%v", st.P50, st.P99)
+	}
+	if win := e.latencyWindow(); len(win) != latSamples {
+		t.Errorf("latencyWindow() returned %d samples, want %d", len(win), latSamples)
 	}
 }

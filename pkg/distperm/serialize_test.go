@@ -18,6 +18,12 @@ func TestSerializeRoundTripEveryKind(t *testing.T) {
 		t.Fatal("no codecs registered")
 	}
 	for _, kind := range Codecs() {
+		if kind == "sharded" {
+			// The sharded container has no Build-registry kind (it needs a
+			// shard count and Partitioner); its round trip is covered by
+			// TestShardedSerializeRoundTrip.
+			continue
+		}
 		idx := mustBuild(t, db, Spec{Index: kind, K: 5, Seed: 3})
 
 		var buf bytes.Buffer

@@ -1,0 +1,315 @@
+package distperm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"distperm/internal/sisap"
+)
+
+// ShardedIndex partitions one database across disjoint shards, one index per
+// shard; see BuildSharded. It satisfies Index, so WriteIndex/ReadIndex
+// round-trip it through the "sharded" codec, and a plain Engine can serve
+// it; ShardedEngine serves it with one worker pool per shard instead.
+type ShardedIndex = sisap.ShardedIndex
+
+// Partitioner assigns database points to shards — the placement seam of the
+// sharded layer. Implementations must be deterministic: the partition map is
+// serialised with the index, and rebuilding with the same inputs must shard
+// identically.
+type Partitioner interface {
+	// Name identifies the strategy (e.g. for CLI flags).
+	Name() string
+	// Shard returns the shard in [0, shards) for the point with global ID
+	// id. Implementations may use the ID, the point's content, or both.
+	Shard(id int, p Point, shards int) int
+}
+
+// RoundRobin deals points to shards in ID order (id mod shards): perfectly
+// balanced shard sizes, placement independent of point content.
+type RoundRobin struct{}
+
+// Name returns "roundrobin".
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// Shard returns id mod shards.
+func (RoundRobin) Shard(id int, _ Point, shards int) int { return id % shards }
+
+// HashPoint places each point by an FNV-1a hash of its content, so a point's
+// shard is stable under database reordering or growth. It supports the
+// package's point types (Vector, String); other dynamic types panic, because
+// no generic fallback (e.g. formatting the value) could honour the
+// Partitioner determinism contract for pointer-typed points. Balance is
+// statistical, not exact, and a pathological dataset can leave a shard
+// empty — Partition reports that as an error.
+type HashPoint struct{}
+
+// Name returns "hash".
+func (HashPoint) Name() string { return "hash" }
+
+// Shard hashes the point's content into [0, shards).
+func (HashPoint) Shard(_ int, p Point, shards int) int {
+	h := fnv.New64a()
+	switch v := p.(type) {
+	case Vector:
+		var b [8]byte
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			h.Write(b[:])
+		}
+	case String:
+		h.Write([]byte(v))
+	default:
+		panic(fmt.Sprintf("distperm: HashPoint cannot hash %T points; use RoundRobin or a custom Partitioner", p))
+	}
+	return int(h.Sum64() % uint64(shards))
+}
+
+// PartitionerByName maps a strategy name ("roundrobin", "hash") to its
+// Partitioner.
+func PartitionerByName(name string) (Partitioner, error) {
+	switch name {
+	case "roundrobin":
+		return RoundRobin{}, nil
+	case "hash":
+		return HashPoint{}, nil
+	default:
+		return nil, fmt.Errorf("distperm: unknown partitioner %q (have roundrobin, hash)", name)
+	}
+}
+
+// Partition assigns every point of db to one of shards shards via p,
+// returning per-shard global ID lists in increasing order (so shard-local
+// tie-breaking agrees with global tie-breaking). Every shard must end up
+// non-empty; a partitioner that leaves one empty (possible with HashPoint)
+// is an error, not a silent degradation.
+func Partition(db *DB, shards int, p Partitioner) ([][]int, error) {
+	if db == nil || db.N() == 0 {
+		return nil, fmt.Errorf("distperm: Partition requires a non-empty database")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("distperm: Partition requires a Partitioner")
+	}
+	if shards < 1 || shards > db.N() {
+		return nil, fmt.Errorf("distperm: shards=%d out of range 1..%d", shards, db.N())
+	}
+	parts := make([][]int, shards)
+	for id := 0; id < db.N(); id++ {
+		s := p.Shard(id, db.Points[id], shards)
+		if s < 0 || s >= shards {
+			return nil, fmt.Errorf("distperm: partitioner %s sent ID %d to shard %d of %d", p.Name(), id, s, shards)
+		}
+		parts[s] = append(parts[s], id)
+	}
+	for s, part := range parts {
+		if len(part) == 0 {
+			return nil, fmt.Errorf("distperm: partitioner %s left shard %d of %d empty; use fewer shards or roundrobin", p.Name(), s, shards)
+		}
+	}
+	return parts, nil
+}
+
+// BuildSharded partitions db with p and builds one index per shard through
+// the Build registry. Each shard builds from spec with the seed offset by
+// the shard number (decorrelating per-shard random choices while keeping the
+// whole build reproducible) and K capped at the shard size.
+func BuildSharded(db *DB, spec Spec, shards int, p Partitioner) (*ShardedIndex, error) {
+	parts, err := Partition(db, shards, p)
+	if err != nil {
+		return nil, err
+	}
+	return sisap.NewShardedIndex(db, parts, func(s int, sdb *sisap.DB) (sisap.Index, error) {
+		shardSpec := spec
+		shardSpec.Seed = spec.Seed + int64(s)
+		if shardSpec.K > sdb.N() {
+			shardSpec.K = sdb.N()
+		}
+		return Build(sdb, shardSpec)
+	})
+}
+
+// ShardedEngine is the scatter-gather serving layer: one worker-pool Engine
+// per shard of a ShardedIndex. Each batch is scattered to every shard's pool
+// concurrently and the per-shard answers are merged — top-k by (distance,
+// global ID) for kNN, concatenation in (distance, global ID) order for
+// range — so answers are identical to a single Engine over the unpartitioned
+// database. The batch methods are safe for concurrent use; Close is safe to
+// race with in-flight batches (each shard Engine drains before stopping).
+type ShardedEngine struct {
+	sx      *ShardedIndex
+	engines []*Engine
+}
+
+// NewShardedEngine starts one Engine of workersPerShard workers (≤ 0 means
+// runtime.NumCPU()) over each shard of sx.
+func NewShardedEngine(sx *ShardedIndex, workersPerShard int) (*ShardedEngine, error) {
+	if sx == nil {
+		return nil, fmt.Errorf("distperm: NewShardedEngine requires a sharded index")
+	}
+	s := &ShardedEngine{sx: sx, engines: make([]*Engine, sx.NumShards())}
+	for i := range s.engines {
+		e, err := NewEngine(sx.ShardDB(i), sx.Shard(i), workersPerShard)
+		if err != nil {
+			for _, prev := range s.engines[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.engines[i] = e
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedEngine) Shards() int { return len(s.engines) }
+
+// Workers returns the total worker count across all shard pools.
+func (s *ShardedEngine) Workers() int {
+	total := 0
+	for _, e := range s.engines {
+		total += e.Workers()
+	}
+	return total
+}
+
+// Index returns the engine's sharded index.
+func (s *ShardedEngine) Index() *ShardedIndex { return s.sx }
+
+// scatter runs run concurrently against every shard engine, collecting each
+// shard's per-query result lists (remapped to global IDs), and returns the
+// first error.
+func (s *ShardedEngine) scatter(run func(shard int, e *Engine) ([][]Result, error)) ([][][]Result, error) {
+	perShard := make([][][]Result, len(s.engines)) // [shard][query][result]
+	errs := make([]error, len(s.engines))
+	var wg sync.WaitGroup
+	for i, e := range s.engines {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			rs, err := run(i, e)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			part := s.sx.Part(i)
+			for _, qr := range rs {
+				sisap.RemapShardResults(qr, part)
+			}
+			perShard[i] = rs
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return perShard, nil
+}
+
+// KNNBatch answers one kNN query per point of qs: each query is scattered to
+// every shard (asking each for its min(k, shard size) best) and the gathered
+// answers merge into the global top k — identical to a single Engine over
+// the unpartitioned database.
+func (s *ShardedEngine) KNNBatch(qs []Point, k int) ([][]Result, error) {
+	n := s.sx.DB().N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("distperm: k=%d out of range 1..%d", k, n)
+	}
+	perShard, err := s.scatter(func(i int, e *Engine) ([][]Result, error) {
+		ks := k
+		if sn := s.sx.ShardDB(i).N(); ks > sn {
+			ks = sn
+		}
+		return e.KNNBatch(qs, ks)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(qs))
+	gather := make([][]Result, len(s.engines))
+	for q := range qs {
+		for i := range s.engines {
+			gather[i] = perShard[i][q]
+		}
+		out[q] = sisap.MergeKNN(gather, k)
+	}
+	return out, nil
+}
+
+// RangeBatch answers one range query of radius r per point of qs, scattered
+// to every shard and gathered in global (distance, ID) order.
+func (s *ShardedEngine) RangeBatch(qs []Point, r float64) ([][]Result, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("distperm: negative radius %g", r)
+	}
+	perShard, err := s.scatter(func(i int, e *Engine) ([][]Result, error) {
+		return e.RangeBatch(qs, r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(qs))
+	gather := make([][]Result, len(s.engines))
+	for q := range qs {
+		for i := range s.engines {
+			gather[i] = perShard[i][q]
+		}
+		out[q] = sisap.MergeRange(gather)
+	}
+	return out, nil
+}
+
+// ShardStats returns one EngineStats snapshot per shard pool. Each shard
+// answers every scattered query, so per-shard Queries count sub-queries: S
+// shards serving a B-query batch record B sub-queries each.
+func (s *ShardedEngine) ShardStats() []EngineStats {
+	stats := make([]EngineStats, len(s.engines))
+	for i, e := range s.engines {
+		stats[i] = e.Stats()
+	}
+	return stats
+}
+
+// Stats aggregates across shards: Queries and DistanceEvals sum (so
+// DistanceEvals is exactly the global cost of the sharded serving, the
+// paper's cost model composing additively), MeanEvals is per sub-query, and
+// the latency percentiles are computed over the merged per-shard windows.
+func (s *ShardedEngine) Stats() EngineStats {
+	var agg EngineStats
+	var lat []time.Duration
+	for _, e := range s.engines {
+		queries, evals, window := e.counters()
+		agg.Queries += queries
+		agg.DistanceEvals += evals
+		lat = append(lat, window...)
+	}
+	if agg.Queries > 0 {
+		agg.MeanEvals = float64(agg.DistanceEvals) / float64(agg.Queries)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		agg.P50 = percentile(lat, 0.50)
+		agg.P99 = percentile(lat, 0.99)
+	}
+	return agg
+}
+
+// Close shuts every shard pool down after in-flight queries finish. It is
+// idempotent; batches submitted after Close return an error.
+func (s *ShardedEngine) Close() {
+	var wg sync.WaitGroup
+	for _, e := range s.engines {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.Close()
+		}(e)
+	}
+	wg.Wait()
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"distperm/internal/tree"
 	"distperm/internal/voronoi"
 	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
 )
 
 func benchCfg() experiments.Config { return experiments.TestScale() }
@@ -360,6 +362,72 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			b.ReportMetric(float64(served)/time.Since(start).Seconds(), "queries/s")
 		})
 	}
+}
+
+// BenchmarkCoalescedServing measures the serving subsystem's micro-batching
+// coalescer (pkg/dpserver) against per-request batch submission at high
+// concurrency: 64 client goroutines fire single 1-NN queries, either each
+// as its own Engine.KNNBatch call (mode=per-request) or through a Coalescer
+// flushing at 64 queries / 200µs (mode=coalesced). Queries are cheap (small
+// database), so per-batch submission overhead — in-flight registration,
+// WaitGroup traffic, engine-lock acquisitions — dominates, and the
+// queries/s metric should favour coalescing.
+func BenchmarkCoalescedServing(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, 64, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := distperm.Build(db, distperm.Spec{Index: "linear"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.UniformVectors(rng, 256, 4)
+	const concurrency = 64
+
+	run := func(b *testing.B, fire func(q distperm.Point) error) {
+		// RunParallel spawns parallelism × GOMAXPROCS goroutines; round up
+		// to at least the target concurrency.
+		b.SetParallelism((concurrency + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+		b.ResetTimer()
+		start := time.Now()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if err := fire(queries[i&255]); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
+	}
+
+	b.Run("mode=per-request", func(b *testing.B) {
+		e, err := distperm.NewEngine(db, idx, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		run(b, func(q distperm.Point) error {
+			_, err := e.KNNBatch([]distperm.Point{q}, 1)
+			return err
+		})
+	})
+	b.Run("mode=coalesced", func(b *testing.B) {
+		e, err := distperm.NewEngine(db, idx, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		co := dpserver.NewCoalescer(e, concurrency, 200*time.Microsecond)
+		defer co.Close()
+		run(b, func(q distperm.Point) error {
+			_, err := co.KNN(q, 1)
+			return err
+		})
+	})
 }
 
 // BenchmarkPermIndexBuild measures sharded index construction (k·n metric

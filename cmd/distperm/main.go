@@ -9,9 +9,12 @@
 // it builds the requested index over the dataset and answers a batch of kNN
 // queries on a goroutine worker pool, reporting throughput and the
 // engine-level cost counters (distance evaluations, latency percentiles).
-// With -shards S (S > 1) the database is partitioned (-partition roundrobin
-// or hash) and served scatter-gather, one worker pool per shard, reporting
-// per-shard and aggregate stats.
+// With -shards S (S > 1) the database is partitioned (any registered
+// -partition strategy) and served scatter-gather, one worker pool per
+// shard, reporting per-shard and aggregate stats. Adding -addr hands the
+// built index to the network serving subsystem (pkg/dpserver) instead: the
+// same HTTP daemon as distpermd, which is the richer entry point for
+// serving (index loading, coalescer/cache tuning, load generation).
 //
 // Usage:
 //
@@ -21,17 +24,21 @@
 //	distperm -gen uniform -d 3 -n 100000 -metric L1 -k 5 -bounds
 //	distperm -serve -gen uniform -d 6 -n 20000 -k 12 -index distperm -queries 5000 -workers 8
 //	distperm -serve -gen uniform -d 6 -n 20000 -k 12 -queries 5000 -shards 4 -partition hash
+//	distperm -serve -gen uniform -d 6 -n 20000 -k 12 -addr :7411   # HTTP via pkg/dpserver
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"distperm/internal/core"
@@ -40,6 +47,7 @@ import (
 	"distperm/internal/metric"
 	"distperm/internal/perm"
 	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
 )
 
 func main() {
@@ -60,18 +68,24 @@ func main() {
 		knn       = flag.Int("knn", 1, "neighbours per query in -serve mode")
 		workers   = flag.Int("workers", 0, "worker goroutines per shard in -serve mode (0 = NumCPU)")
 		shards    = flag.Int("shards", 1, "partition the database across this many scatter-gather shards in -serve mode")
-		partition = flag.String("partition", "roundrobin", "shard placement strategy for -shards > 1: roundrobin, hash")
+		partition = flag.String("partition", "roundrobin", "shard placement strategy for -shards > 1: "+strings.Join(distperm.Partitioners(), ", "))
+		addr      = flag.String("addr", "", "with -serve: serve HTTP on this address via pkg/dpserver instead of a one-shot batch")
 	)
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
-	ds, err := buildDataset(rng, *gen, *file, *n, *d)
+	ds, err := dataset.Load(rng, *gen, *file, *n, *d)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *mname != "" {
-		m, err := metricByName(*mname)
+		m, err := metric.ByName(*mname)
+		if err == nil {
+			// e.g. -metric edit over a vector dataset: a clean error here,
+			// not a panic inside the counter or an engine worker.
+			err = metric.Probe(m, ds.Points[0])
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -84,8 +98,13 @@ func main() {
 			Index: *index, K: *k, KNN: *knn,
 			Queries: *queries, Workers: *workers,
 			Shards: *shards, Partition: *partition,
+			Addr: *addr,
 		}
-		if err := runServe(os.Stdout, ds, rng, cfg); err != nil {
+		run := runServe
+		if cfg.Addr != "" {
+			run = runServeHTTP
+		}
+		if err := run(os.Stdout, ds, rng, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -127,6 +146,53 @@ type serveConfig struct {
 	Workers   int
 	Shards    int
 	Partition string
+	Addr      string
+}
+
+// buildIndex builds the configured index — sharded through the partitioner
+// registry when Shards > 1, plain otherwise — over db.
+func buildIndex(db *distperm.DB, rng *rand.Rand, cfg serveConfig) (distperm.Index, error) {
+	spec := distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}
+	if cfg.Shards > 1 {
+		p, err := distperm.PartitionerByName(cfg.Partition)
+		if err != nil {
+			return nil, err
+		}
+		return distperm.BuildSharded(db, spec, cfg.Shards, p)
+	}
+	return distperm.Build(db, spec)
+}
+
+// runServeHTTP is the -addr arm of -serve: it hands the built index to the
+// network serving subsystem (pkg/dpserver) with its default coalescer and
+// cache, serving until SIGINT/SIGTERM, then draining gracefully. distpermd
+// is the full-featured daemon; this arm exists so the paper-experiment CLI
+// can expose any dataset it can build over HTTP in one step.
+func runServeHTTP(w io.Writer, ds *dataset.Dataset, rng *rand.Rand, cfg serveConfig) error {
+	db, err := distperm.NewDB(ds.Metric, ds.Points)
+	if err != nil {
+		return err
+	}
+	idx, err := buildIndex(db, rng, cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := dpserver.NewFromIndex(db, idx, cfg.Workers, dpserver.Config{
+		BatchMax: 64, BatchWait: 2 * time.Millisecond, CacheSize: 4096,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	info := srv.Info()
+	fmt.Fprintf(w, "%s: serving index=%s (%d bits, %d shards) over HTTP on %s\n",
+		ds.Name, info.Kind, info.Bits, info.Shards, ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Serve(ctx, ln)
 }
 
 // runServe builds the requested index through the public Build registry and
@@ -156,7 +222,7 @@ func runServe(w io.Writer, ds *dataset.Dataset, rng *rand.Rand, cfg serveConfig)
 	defer e.Close()
 
 	start := time.Now()
-	if _, err := e.KNNBatch(sampleQueries(ds, rng, cfg.Queries), cfg.KNN); err != nil {
+	if _, err := e.KNNBatch(ds.Sample(rng, cfg.Queries), cfg.KNN); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -195,7 +261,7 @@ func runServeSharded(w io.Writer, ds *dataset.Dataset, db *distperm.DB, rng *ran
 	defer se.Close()
 
 	start := time.Now()
-	if _, err := se.KNNBatch(sampleQueries(ds, rng, cfg.Queries), cfg.KNN); err != nil {
+	if _, err := se.KNNBatch(ds.Sample(rng, cfg.Queries), cfg.KNN); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -214,104 +280,4 @@ func runServeSharded(w io.Writer, ds *dataset.Dataset, db *distperm.DB, rng *ran
 	fmt.Fprintf(w, "aggregate: distance evals %d total, %.1f mean/sub-query; latency p50 %v, p99 %v\n",
 		agg.DistanceEvals, agg.MeanEvals, agg.P50, agg.P99)
 	return nil
-}
-
-// sampleQueries draws a query batch from the dataset's own points.
-func sampleQueries(ds *dataset.Dataset, rng *rand.Rand, n int) []distperm.Point {
-	qs := make([]distperm.Point, n)
-	for i := range qs {
-		qs[i] = ds.Points[rng.Intn(ds.N())]
-	}
-	return qs
-}
-
-func buildDataset(rng *rand.Rand, gen, file string, n, d int) (*dataset.Dataset, error) {
-	if file != "" {
-		return readVectorFile(file)
-	}
-	switch gen {
-	case "uniform":
-		return dataset.UniformDataset(rng, n, d, metric.L2{}), nil
-	case "gauss":
-		return &dataset.Dataset{Name: "gauss", Metric: metric.L2{},
-			Points: dataset.GaussianVectors(rng, n, d, 0.5, 0.15)}, nil
-	case "clustered":
-		return &dataset.Dataset{Name: "clustered", Metric: metric.L2{},
-			Points: dataset.ClusteredVectors(rng, n, d, 10, 0.03)}, nil
-	case "listeria":
-		return dataset.GeneSequences(rng.Int63(), n), nil
-	case "long":
-		return dataset.DocumentVectors(rng.Int63(), "long", n, 400, 12, 600), nil
-	case "short":
-		return dataset.DocumentVectors(rng.Int63(), "short", n, 400, 40, 30), nil
-	case "colors":
-		return dataset.ColorHistograms(rng.Int63(), n, 112), nil
-	case "nasa":
-		return dataset.NASAFeatures(rng.Int63(), n, 20, 4), nil
-	default:
-		for _, p := range dataset.Languages() {
-			if strings.EqualFold(p.Name, gen) {
-				return dataset.Dictionary(p, n), nil
-			}
-		}
-		return nil, fmt.Errorf("unknown generator %q", gen)
-	}
-}
-
-func metricByName(name string) (metric.Metric, error) {
-	switch name {
-	case "L1":
-		return metric.L1{}, nil
-	case "L2":
-		return metric.L2{}, nil
-	case "Linf":
-		return metric.LInf{}, nil
-	case "edit":
-		return metric.Edit{}, nil
-	case "prefix":
-		return metric.Prefix{}, nil
-	case "angular":
-		return metric.Angular{}, nil
-	default:
-		return nil, fmt.Errorf("unknown metric %q", name)
-	}
-}
-
-func readVectorFile(path string) (*dataset.Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var pts []metric.Point
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	dims := -1
-	for line := 1; sc.Scan(); line++ {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		if dims == -1 {
-			dims = len(fields)
-		} else if len(fields) != dims {
-			return nil, fmt.Errorf("%s:%d: %d fields, want %d", path, line, len(fields), dims)
-		}
-		v := make(metric.Vector, len(fields))
-		for i, fld := range fields {
-			x, err := strconv.ParseFloat(fld, 64)
-			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
-			}
-			v[i] = x
-		}
-		pts = append(pts, v)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(pts) == 0 {
-		return nil, fmt.Errorf("%s: no points", path)
-	}
-	return &dataset.Dataset{Name: path, Metric: metric.L2{}, Points: pts}, nil
 }

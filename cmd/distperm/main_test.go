@@ -6,11 +6,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"distperm/internal/dataset"
 )
 
 func TestRunServe(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	ds, err := buildDataset(rng, "uniform", "", 400, 3)
+	ds, err := dataset.Load(rng, "uniform", "", 400, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func TestRunServe(t *testing.T) {
 
 func TestRunServeSharded(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	ds, err := buildDataset(rng, "uniform", "", 600, 3)
+	ds, err := dataset.Load(rng, "uniform", "", 600, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,78 +76,30 @@ func TestRunServeSharded(t *testing.T) {
 	}
 }
 
-func TestMetricByName(t *testing.T) {
-	for name, want := range map[string]string{
-		"L1": "L1", "L2": "L2", "Linf": "Linf",
-		"edit": "edit", "prefix": "prefix", "angular": "angular",
-	} {
-		m, err := metricByName(name)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		if m.Name() != want {
-			t.Errorf("%s -> %s", name, m.Name())
-		}
-	}
-	if _, err := metricByName("nope"); err == nil {
-		t.Error("unknown metric should error")
-	}
-}
-
-func TestBuildDatasetGenerators(t *testing.T) {
+// TestBuildDataset: the flag-resolution wrapper routes -file to the shared
+// reader and -gen to the shared generators (both covered in depth by
+// internal/dataset's own tests).
+func TestBuildDataset(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for _, gen := range []string{
-		"uniform", "gauss", "clustered", "english", "Dutch", "listeria",
-		"long", "short", "colors", "nasa",
-	} {
-		ds, err := buildDataset(rng, gen, "", 200, 3)
-		if err != nil {
-			t.Fatalf("%s: %v", gen, err)
-		}
-		if ds.N() == 0 {
-			t.Errorf("%s: empty dataset", gen)
-		}
-	}
-	if _, err := buildDataset(rng, "bogus", "", 10, 2); err == nil {
-		t.Error("unknown generator should error")
-	}
-}
-
-func TestReadVectorFile(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "points.txt")
-	content := "0.1 0.2 0.3\n0.4 0.5 0.6\n\n0.7 0.8 0.9\n"
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	ds, err := readVectorFile(path)
+	ds, err := dataset.Load(rng, "uniform", "", 50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds.N() != 3 {
-		t.Fatalf("n = %d, want 3", ds.N())
+	if ds.N() != 50 {
+		t.Errorf("n = %d, want 50", ds.N())
 	}
-
-	// Ragged rows must be rejected.
-	bad := filepath.Join(dir, "ragged.txt")
-	os.WriteFile(bad, []byte("1 2\n3\n"), 0o644)
-	if _, err := readVectorFile(bad); err == nil {
-		t.Error("ragged file should error")
+	if _, err := dataset.Load(rng, "bogus", "", 10, 2); err == nil {
+		t.Error("unknown generator should error")
 	}
-	// Non-numeric input must be rejected.
-	nonNum := filepath.Join(dir, "alpha.txt")
-	os.WriteFile(nonNum, []byte("a b c\n"), 0o644)
-	if _, err := readVectorFile(nonNum); err == nil {
-		t.Error("non-numeric file should error")
+	path := filepath.Join(t.TempDir(), "points.txt")
+	if err := os.WriteFile(path, []byte("0.1 0.2\n0.3 0.4\n"), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	// Empty file must be rejected.
-	empty := filepath.Join(dir, "empty.txt")
-	os.WriteFile(empty, []byte("\n\n"), 0o644)
-	if _, err := readVectorFile(empty); err == nil {
-		t.Error("empty file should error")
+	ds, err = dataset.Load(rng, "uniform", path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Missing file must be rejected.
-	if _, err := readVectorFile(filepath.Join(dir, "missing.txt")); err == nil {
-		t.Error("missing file should error")
+	if ds.N() != 2 {
+		t.Errorf("file dataset n = %d, want 2", ds.N())
 	}
 }

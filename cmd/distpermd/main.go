@@ -1,0 +1,209 @@
+// Command distpermd is the network serving daemon over the distance-
+// permutation index family: it loads a dataset (generated or from a file)
+// plus an index — built on startup or read from a DPERMIDX container of any
+// codec kind, including "sharded" — and serves JSON kNN/range traffic on a
+// worker-pool engine behind a result cache and a micro-batching coalescer
+// (pkg/dpserver). Shutdown on SIGINT/SIGTERM is graceful: in-flight
+// requests drain and pending coalescer batches flush before the engine
+// closes.
+//
+// With -loadgen it is the matching load driver instead: it fires
+// configurable QPS/concurrency at a running daemon through the Go client
+// and reports achieved throughput and latency percentiles — the repo's
+// qps-vs-workers and qps-vs-shards benchmark story extended over the wire.
+//
+// Usage:
+//
+//	distpermd -gen uniform -n 20000 -d 6 -index distperm -k 12 -addr :7411
+//	distpermd -gen uniform -n 20000 -d 6 -shards 4 -partition hash -addr :7411
+//	distpermd -file points.txt -load index.dpermidx -addr :7411
+//	distpermd -loadgen -target http://localhost:7411 -gen uniform -n 1000 -d 6 \
+//	    -knn 3 -qps 500 -concurrency 16 -duration 10s
+//
+//	curl -s localhost:7411/v1/knn -d '{"query": [0.5,0.5,0.5,0.5,0.5,0.5], "k": 3}'
+//	curl -s localhost:7411/v1/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
+	"distperm/pkg/dpserver/client"
+)
+
+func main() {
+	var (
+		// Dataset: what the index is over (and, for -loadgen, the query pool).
+		gen   = flag.String("gen", "uniform", "generator: "+strings.Join(dataset.GeneratorNames(), ", "))
+		file  = flag.String("file", "", "read whitespace-separated vectors from a file instead of generating")
+		n     = flag.Int("n", 20_000, "points to generate")
+		d     = flag.Int("d", 6, "dimensions (vector generators)")
+		mname = flag.String("metric", "", "override metric: L1, L2, Linf, edit, prefix, angular")
+		seed  = flag.Int64("seed", 1, "random seed")
+
+		// Index: built on startup or loaded from a container.
+		index     = flag.String("index", "distperm", "index kind to build: "+strings.Join(distperm.Kinds(), ", "))
+		k         = flag.Int("k", 8, "pivots/sites for the built index")
+		load      = flag.String("load", "", "read a DPERMIDX container (any codec kind, including sharded) instead of building")
+		shards    = flag.Int("shards", 1, "partition the database across this many scatter-gather shards")
+		partition = flag.String("partition", "roundrobin", "shard placement strategy: "+strings.Join(distperm.Partitioners(), ", "))
+		workers   = flag.Int("workers", 0, "worker goroutines per engine pool (0 = NumCPU)")
+
+		// Serving.
+		addr      = flag.String("addr", ":7411", "HTTP listen address")
+		batchMax  = flag.Int("batch-max", 64, "coalescer: flush a pending batch at this many queries")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "coalescer: flush a pending batch after this window")
+		cacheSize = flag.Int("cache", 4096, "result cache entries (0 disables)")
+
+		// Load driver.
+		loadgen     = flag.Bool("loadgen", false, "drive load at a running daemon instead of serving")
+		target      = flag.String("target", "http://localhost:7411", "loadgen: server base URL")
+		knn         = flag.Int("knn", 1, "loadgen: neighbours per query (0 = range queries of -radius)")
+		radius      = flag.Float64("radius", 0.25, "loadgen: range-query radius when -knn 0")
+		qps         = flag.Float64("qps", 0, "loadgen: aggregate request rate cap (0 = unthrottled)")
+		concurrency = flag.Int("concurrency", 8, "loadgen: client workers")
+		duration    = flag.Duration("duration", 5*time.Second, "loadgen: run length")
+		reqBatch    = flag.Int("batch", 1, "loadgen: queries per request (1 = single-query form, exercising the coalescer)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	ds, err := dataset.Load(rng, *gen, *file, *n, *d)
+	if err == nil && *mname != "" {
+		var m metric.Metric
+		if m, err = metric.ByName(*mname); err == nil {
+			// e.g. -metric edit over a vector dataset: refuse at startup,
+			// not as a panic in a query worker on the first request.
+			if err = metric.Probe(m, ds.Points[0]); err == nil {
+				ds.Metric = m
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *loadgen {
+		cfg := client.LoadConfig{
+			Target:      *target,
+			Queries:     ds.Sample(rng, 1024),
+			K:           *knn,
+			Radius:      *radius,
+			QPS:         *qps,
+			Concurrency: *concurrency,
+			Duration:    *duration,
+			Batch:       *reqBatch,
+		}
+		if err := runLoadgen(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	srv, err := buildServer(ds, rng, daemonConfig{
+		Index: *index, K: *k, Load: *load,
+		Shards: *shards, Partition: *partition, Workers: *workers,
+		Serving: dpserver.Config{BatchMax: *batchMax, BatchWait: *batchWait, CacheSize: *cacheSize},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	info := srv.Info()
+	fmt.Printf("distpermd: serving %s (n=%d metric=%s index=%s %d bits, %d shards × %d workers) on %s\n",
+		ds.Name, info.N, info.Metric, info.Kind, info.Bits, info.Shards, info.Workers/info.Shards, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("distpermd: drained and closed cleanly")
+}
+
+// daemonConfig collects the index/serving parameters of one daemon run.
+type daemonConfig struct {
+	Index     string
+	K         int
+	Load      string
+	Shards    int
+	Partition string
+	Workers   int
+	Serving   dpserver.Config
+}
+
+// buildServer assembles the serving stack: database from the dataset, index
+// loaded from a container or built through the registries, engine and HTTP
+// layers from pkg/dpserver.
+func buildServer(ds *dataset.Dataset, rng *rand.Rand, cfg daemonConfig) (*dpserver.Server, error) {
+	db, err := distperm.NewDB(ds.Metric, ds.Points)
+	if err != nil {
+		return nil, err
+	}
+	var idx distperm.Index
+	switch {
+	case cfg.Load != "":
+		f, err := os.Open(cfg.Load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if idx, err = distperm.ReadIndex(f, db); err != nil {
+			return nil, fmt.Errorf("loading %s: %w", cfg.Load, err)
+		}
+	case cfg.Shards > 1:
+		p, err := distperm.PartitionerByName(cfg.Partition)
+		if err != nil {
+			return nil, err
+		}
+		if idx, err = distperm.BuildSharded(db,
+			distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}, cfg.Shards, p); err != nil {
+			return nil, err
+		}
+	default:
+		if idx, err = distperm.Build(db,
+			distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}); err != nil {
+			return nil, err
+		}
+	}
+	return dpserver.NewFromIndex(db, idx, cfg.Workers, cfg.Serving)
+}
+
+// runLoadgen drives RunLoad and prints the report.
+func runLoadgen(w io.Writer, cfg client.LoadConfig) error {
+	mode := fmt.Sprintf("%d-NN", cfg.K)
+	if cfg.K == 0 {
+		mode = fmt.Sprintf("range r=%g", cfg.Radius)
+	}
+	fmt.Fprintf(w, "loadgen: %s queries × batch %d at %s (%d workers, qps cap %g) for %v\n",
+		mode, max(cfg.Batch, 1), cfg.Target, max(cfg.Concurrency, 1), cfg.QPS, cfg.Duration)
+	report, err := client.RunLoad(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sent %d requests (%d queries, %d errors) in %v: %.0f queries/s, latency p50 %v p99 %v\n",
+		report.Requests, report.Queries, report.Errors, report.Elapsed.Round(time.Millisecond),
+		report.QueriesPerSecond, report.P50, report.P99)
+	return nil
+}

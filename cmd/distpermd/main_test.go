@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"distperm/internal/dataset"
+	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
+	"distperm/pkg/dpserver/client"
+)
+
+// TestBuildServerModes covers the three index sources: built through the
+// registry, built sharded through the partitioner registry, and loaded from
+// a DPERMIDX container.
+func TestBuildServerModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds, err := dataset.Load(rng, "uniform", "", 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := buildServer(ds, rng, daemonConfig{Index: "distperm", K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := srv.Info(); info.Kind != "distperm" || info.Shards != 1 {
+		t.Errorf("built server info %+v", info)
+	}
+	srv.Close()
+
+	srv, err = buildServer(ds, rng, daemonConfig{Index: "distperm", K: 6, Shards: 3, Partition: "hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := srv.Info(); info.Kind != "sharded" || info.Shards != 3 {
+		t.Errorf("sharded server info %+v", info)
+	}
+	srv.Close()
+
+	// Round-trip through a container file, the -load path.
+	db, err := distperm.NewDB(ds.Metric, ds.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := distperm.BuildSharded(db, distperm.Spec{Index: "vptree", Seed: 4}, 2, distperm.RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.dpermidx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := distperm.WriteIndex(f, idx); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	srv, err = buildServer(ds, rng, daemonConfig{Load: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := srv.Info(); info.Kind != "sharded" || info.Shards != 2 {
+		t.Errorf("loaded server info %+v", info)
+	}
+	srv.Close()
+
+	// Failure modes are errors, not panics.
+	for _, cfg := range []daemonConfig{
+		{Index: "bogus"},
+		{Index: "distperm", K: 6, Shards: 2, Partition: "modulo"},
+		{Load: filepath.Join(t.TempDir(), "missing.dpermidx")},
+	} {
+		if _, err := buildServer(ds, rng, cfg); err == nil {
+			t.Errorf("config %+v should error", cfg)
+		}
+	}
+}
+
+// TestDaemonEndToEnd runs the serving stack the way main does — listener,
+// Serve, graceful cancellation — and drives it with the client and the
+// loadgen driver.
+func TestDaemonEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, err := dataset.Load(rng, "uniform", "", 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := buildServer(ds, rng, daemonConfig{
+		Index: "distperm", K: 6, Workers: 2,
+		Serving: dpserver.Config{BatchMax: 8, BatchWait: time.Millisecond, CacheSize: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	base := "http://" + ln.Addr().String()
+	c := client.New(base)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.KNN(context.Background(), ds.Points[7], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || rs[0].ID != 7 || rs[0].Distance != 0 {
+		t.Errorf("self-query answer %v", rs)
+	}
+
+	var out strings.Builder
+	if err := runLoadgen(&out, client.LoadConfig{
+		Target:      base,
+		Queries:     ds.Sample(rng, 64),
+		K:           2,
+		Concurrency: 4,
+		Duration:    100 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"loadgen: 2-NN", "queries/s", "p50", "p99", " 0 errors"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("loadgen report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v, want clean shutdown", err)
+	}
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateByName(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, gen := range []string{
+		"uniform", "gauss", "clustered", "english", "Dutch", "listeria",
+		"long", "short", "colors", "nasa",
+	} {
+		ds, err := Generate(rng, gen, 200, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if ds.N() == 0 {
+			t.Errorf("%s: empty dataset", gen)
+		}
+	}
+	if _, err := Generate(rng, "bogus", 10, 2); err == nil {
+		t.Error("unknown generator should error")
+	}
+	if len(GeneratorNames()) < 10 {
+		t.Errorf("GeneratorNames() = %v, implausibly short", GeneratorNames())
+	}
+}
+
+func TestReadVectorFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "points.txt")
+	content := "0.1 0.2 0.3\n0.4 0.5 0.6\n\n0.7 0.8 0.9\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadVectorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 {
+		t.Fatalf("n = %d, want 3", ds.N())
+	}
+
+	// Ragged rows must be rejected.
+	bad := filepath.Join(dir, "ragged.txt")
+	os.WriteFile(bad, []byte("1 2\n3\n"), 0o644)
+	if _, err := ReadVectorFile(bad); err == nil {
+		t.Error("ragged file should error")
+	}
+	// Non-numeric input must be rejected.
+	nonNum := filepath.Join(dir, "alpha.txt")
+	os.WriteFile(nonNum, []byte("a b c\n"), 0o644)
+	if _, err := ReadVectorFile(nonNum); err == nil {
+		t.Error("non-numeric file should error")
+	}
+	// Empty file must be rejected.
+	empty := filepath.Join(dir, "empty.txt")
+	os.WriteFile(empty, []byte("\n\n"), 0o644)
+	if _, err := ReadVectorFile(empty); err == nil {
+		t.Error("empty file should error")
+	}
+	// Missing file must be rejected.
+	if _, err := ReadVectorFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,38 @@
+package metric
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"L1": "L1", "L2": "L2", "Linf": "Linf",
+		"edit": "edit", "prefix": "prefix", "angular": "angular",
+	} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != want {
+			t.Errorf("%s -> %s", name, m.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown metric should error")
+	}
+}
+
+// TestProbe: a metric/point mismatch is reported as an error, not the
+// panic the metrics themselves raise for trusted callers.
+func TestProbe(t *testing.T) {
+	if err := Probe(L2{}, Vector{1, 2}); err != nil {
+		t.Errorf("L2 over Vector: %v", err)
+	}
+	if err := Probe(Edit{}, String("abc")); err != nil {
+		t.Errorf("edit over String: %v", err)
+	}
+	if err := Probe(Edit{}, Vector{1}); err == nil {
+		t.Error("edit over Vector should error")
+	}
+	if err := Probe(L2{}, String("abc")); err == nil {
+		t.Error("L2 over String should error")
+	}
+}

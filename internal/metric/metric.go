@@ -75,6 +75,43 @@ func NewLP(p float64) Metric {
 	}
 }
 
+// Probe checks that m can measure p, converting the metric's type-mismatch
+// panic into an error. Metrics panic on wrong point types by contract (a
+// programming error in trusted internal callers), but at a boundary where
+// the metric/point pairing comes from user input — CLI flags, a loaded
+// dataset — the mismatch must surface as an error before it can reach a
+// query worker.
+func Probe(m Metric, p Point) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("metric %s cannot measure these points: %v", m.Name(), r)
+		}
+	}()
+	m.Distance(p, p)
+	return nil
+}
+
+// ByName maps a CLI-style metric name (L1, L2, Linf, edit, prefix, angular)
+// to its Metric — the one seam behind the -metric flag of every binary.
+func ByName(name string) (Metric, error) {
+	switch name {
+	case "L1":
+		return L1{}, nil
+	case "L2":
+		return L2{}, nil
+	case "Linf":
+		return LInf{}, nil
+	case "edit":
+		return Edit{}, nil
+	case "prefix":
+		return Prefix{}, nil
+	case "angular":
+		return Angular{}, nil
+	default:
+		return nil, fmt.Errorf("unknown metric %q (have L1, L2, Linf, edit, prefix, angular)", name)
+	}
+}
+
 // Distance implements Metric.
 func (m LP) Distance(a, b Point) float64 {
 	x, y := mustVectors(a, b)

@@ -25,6 +25,7 @@ package distperm
 
 import (
 	"errors"
+	"fmt"
 	"io"
 
 	"distperm/internal/metric"
@@ -92,13 +93,18 @@ func LP(p float64) Metric { return metric.NewLP(p) }
 
 // NewDB returns a database over points under m. Unlike the internal
 // constructors, which panic (their callers are trusted), the public boundary
-// reports bad input as an error.
+// reports bad input as an error — including a metric that cannot measure
+// the points (e.g. Edit over Vectors), which is probed here so the mismatch
+// cannot surface later as a panic in a query worker.
 func NewDB(m Metric, points []Point) (*DB, error) {
 	if m == nil {
 		return nil, errors.New("distperm: nil metric")
 	}
 	if len(points) == 0 {
 		return nil, errors.New("distperm: empty database")
+	}
+	if err := metric.Probe(m, points[0]); err != nil {
+		return nil, fmt.Errorf("distperm: %w", err)
 	}
 	return sisap.NewDB(m, points), nil
 }

@@ -139,6 +139,12 @@ func (e *Engine) RangeBatch(qs []Point, r float64) ([][]Result, error) {
 }
 
 func (e *Engine) submit(qs []Point, mk func(i int, out *[]Result, wg *sync.WaitGroup) job) ([][]Result, error) {
+	// An empty batch has nothing to fan out: answer it without touching the
+	// in-flight bookkeeping (a closed engine answers it too — there is no
+	// work a worker would have to do).
+	if len(qs) == 0 {
+		return [][]Result{}, nil
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -198,8 +204,8 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		s.P50 = percentile(lat, 0.50)
-		s.P99 = percentile(lat, 0.99)
+		s.P50 = Percentile(lat, 0.50)
+		s.P99 = Percentile(lat, 0.99)
 	}
 	return s
 }
@@ -220,10 +226,12 @@ func (e *Engine) latencyWindow() []time.Duration {
 	return window
 }
 
-// percentile reads the q-quantile from an ascending-sorted non-empty sample
+// Percentile reads the q-quantile from an ascending-sorted non-empty sample
 // by the nearest-rank method: the smallest value with at least q·n samples
-// at or below it, index ⌈q·n⌉−1.
-func percentile(sorted []time.Duration, q float64) time.Duration {
+// at or below it, index ⌈q·n⌉−1. It is the single definition every latency
+// percentile in the repo uses — the engine, the sharded aggregate, and the
+// load driver (pkg/dpserver/client) — so they cannot drift.
+func Percentile(sorted []time.Duration, q float64) time.Duration {
 	i := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if i < 0 {
 		i = 0

@@ -132,6 +132,21 @@ func TestEngineRangeBatch(t *testing.T) {
 	}
 }
 
+// TestNewDBRejectsMismatchedMetric: the public boundary probes the metric
+// against the points, so e.g. Edit over Vectors is an error at construction
+// — not a panic later in a query worker serving a remote request.
+func TestNewDBRejectsMismatchedMetric(t *testing.T) {
+	if _, err := NewDB(Edit, []Point{Vector{1, 2}}); err == nil {
+		t.Error("edit metric over vector points should error")
+	}
+	if _, err := NewDB(L2, []Point{String("abc")}); err == nil {
+		t.Error("L2 metric over string points should error")
+	}
+	if _, err := NewDB(L2, []Point{Vector{1, 2}}); err != nil {
+		t.Errorf("matching metric rejected: %v", err)
+	}
+}
+
 func TestEngineErrors(t *testing.T) {
 	db, rng := testDB(t, 14, 30, 2)
 	idx := mustBuild(t, db, Spec{Index: "linear"})
@@ -162,6 +177,46 @@ func TestEngineErrors(t *testing.T) {
 	e.Close() // idempotent
 	if _, err := e.KNNBatch(qs, 1); err == nil {
 		t.Error("batch after Close should error")
+	}
+}
+
+// TestEngineEmptyBatch: an empty query slice short-circuits — no in-flight
+// bookkeeping, no jobs, an empty (non-nil) answer — and still works after
+// Close, since there is no work to refuse.
+func TestEngineEmptyBatch(t *testing.T) {
+	db, _ := testDB(t, 17, 30, 2)
+	idx := mustBuild(t, db, Spec{Index: "linear"})
+	e, err := NewEngine(db, idx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, call := range []func() ([][]Result, error){
+		func() ([][]Result, error) { return e.KNNBatch(nil, 1) },
+		func() ([][]Result, error) { return e.KNNBatch([]Point{}, 1) },
+		func() ([][]Result, error) { return e.RangeBatch(nil, 0.2) },
+		func() ([][]Result, error) { return e.RangeBatch([]Point{}, 0.2) },
+	} {
+		out, err := call()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil || len(out) != 0 {
+			t.Fatalf("empty batch returned %v, want empty non-nil slice", out)
+		}
+	}
+	if st := e.Stats(); st.Queries != 0 {
+		t.Errorf("empty batches recorded %d queries, want 0", st.Queries)
+	}
+	// Parameter validation still runs ahead of the short-circuit.
+	if _, err := e.KNNBatch(nil, 0); err == nil {
+		t.Error("k=0 should error even on an empty batch")
+	}
+	if _, err := e.RangeBatch(nil, -1); err == nil {
+		t.Error("negative radius should error even on an empty batch")
+	}
+	e.Close()
+	if out, err := e.KNNBatch(nil, 1); err != nil || len(out) != 0 {
+		t.Errorf("empty batch after Close = (%v, %v), want empty answer", out, err)
 	}
 }
 
@@ -229,8 +284,8 @@ func TestPercentileNearestRank(t *testing.T) {
 		{[]time.Duration{ms(1), ms(2)}, 0.50, ms(1)},
 	}
 	for _, c := range cases {
-		if got := percentile(c.sorted, c.q); got != c.want {
-			t.Errorf("percentile(%v, %g) = %v, want %v", c.sorted, c.q, got, c.want)
+		if got := Percentile(c.sorted, c.q); got != c.want {
+			t.Errorf("Percentile(%v, %g) = %v, want %v", c.sorted, c.q, got, c.want)
 		}
 	}
 }

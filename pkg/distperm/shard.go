@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -70,17 +71,57 @@ func (HashPoint) Shard(_ int, p Point, shards int) int {
 	return int(h.Sum64() % uint64(shards))
 }
 
-// PartitionerByName maps a strategy name ("roundrobin", "hash") to its
-// Partitioner.
-func PartitionerByName(name string) (Partitioner, error) {
-	switch name {
-	case "roundrobin":
-		return RoundRobin{}, nil
-	case "hash":
-		return HashPoint{}, nil
-	default:
-		return nil, fmt.Errorf("distperm: unknown partitioner %q (have roundrobin, hash)", name)
+var (
+	partitionersMu sync.RWMutex
+	partitioners   = map[string]Partitioner{}
+)
+
+// RegisterPartitioner adds a placement strategy to the partitioner registry
+// under its Name(), making it selectable by name from the CLI and the
+// serving daemon — the same extension seam Register gives index kinds. It
+// panics on a duplicate or incomplete registration; misregistration is a
+// programming error, not a runtime condition. RoundRobin and HashPoint are
+// pre-registered.
+func RegisterPartitioner(p Partitioner) {
+	if p == nil || p.Name() == "" {
+		panic("distperm: RegisterPartitioner requires a named Partitioner")
 	}
+	partitionersMu.Lock()
+	defer partitionersMu.Unlock()
+	if _, dup := partitioners[p.Name()]; dup {
+		panic(fmt.Sprintf("distperm: partitioner %q registered twice", p.Name()))
+	}
+	partitioners[p.Name()] = p
+}
+
+// Partitioners returns the registered strategy names, sorted.
+func Partitioners() []string {
+	partitionersMu.RLock()
+	defer partitionersMu.RUnlock()
+	names := make([]string, 0, len(partitioners))
+	for name := range partitioners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PartitionerByName maps a registered strategy name ("roundrobin", "hash",
+// plus any caller-registered strategies) to its Partitioner.
+func PartitionerByName(name string) (Partitioner, error) {
+	partitionersMu.RLock()
+	p, ok := partitioners[name]
+	partitionersMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("distperm: unknown partitioner %q (have %s)",
+			name, strings.Join(Partitioners(), ", "))
+	}
+	return p, nil
+}
+
+func init() {
+	RegisterPartitioner(RoundRobin{})
+	RegisterPartitioner(HashPoint{})
 }
 
 // Partition assigns every point of db to one of shards shards via p,
@@ -221,6 +262,9 @@ func (s *ShardedEngine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("distperm: k=%d out of range 1..%d", k, n)
 	}
+	if len(qs) == 0 {
+		return [][]Result{}, nil
+	}
 	perShard, err := s.scatter(func(i int, e *Engine) ([][]Result, error) {
 		ks := k
 		if sn := s.sx.ShardDB(i).N(); ks > sn {
@@ -247,6 +291,9 @@ func (s *ShardedEngine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 func (s *ShardedEngine) RangeBatch(qs []Point, r float64) ([][]Result, error) {
 	if r < 0 {
 		return nil, fmt.Errorf("distperm: negative radius %g", r)
+	}
+	if len(qs) == 0 {
+		return [][]Result{}, nil
 	}
 	perShard, err := s.scatter(func(i int, e *Engine) ([][]Result, error) {
 		return e.RangeBatch(qs, r)
@@ -294,8 +341,8 @@ func (s *ShardedEngine) Stats() EngineStats {
 	}
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		agg.P50 = percentile(lat, 0.50)
-		agg.P99 = percentile(lat, 0.99)
+		agg.P50 = Percentile(lat, 0.50)
+		agg.P99 = Percentile(lat, 0.99)
 	}
 	return agg
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"distperm/internal/dataset"
@@ -365,6 +366,91 @@ func TestPartitionerByName(t *testing.T) {
 	}
 	if _, err := PartitionerByName("modulo"); err == nil {
 		t.Error("unknown partitioner should error")
+	}
+}
+
+// evenOdd is a custom placement strategy for the registry test: shard 0 gets
+// even IDs, shard 1 odd IDs (shards must be 2).
+type evenOdd struct{}
+
+func (evenOdd) Name() string                          { return "evenodd" }
+func (evenOdd) Shard(id int, _ Point, shards int) int { return id % 2 % shards }
+
+// registerEvenOdd keeps TestRegisterPartitioner idempotent: the registry is
+// process-global, so `go test -count=2` would otherwise hit the duplicate
+// panic on the second run.
+var registerEvenOdd sync.Once
+
+// TestRegisterPartitioner proves the registry is the extension seam the
+// Build registry is: a caller-registered strategy becomes resolvable by
+// name, shows up in Partitioners(), and drives BuildSharded.
+func TestRegisterPartitioner(t *testing.T) {
+	registerEvenOdd.Do(func() { RegisterPartitioner(evenOdd{}) })
+	p, err := PartitionerByName("evenodd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range Partitioners() {
+		if name == "evenodd" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Partitioners() = %v missing evenodd", Partitioners())
+	}
+	db, _ := testDB(t, 41, 20, 2)
+	sx, err := BuildSharded(db, Spec{Index: "linear"}, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		for _, id := range sx.Part(s) {
+			if id%2 != s {
+				t.Fatalf("evenodd sent ID %d to shard %d", id, s)
+			}
+		}
+	}
+	for _, bad := range []Partitioner{nil, evenOdd{}} { // nil and duplicate
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterPartitioner(%v) should panic", bad)
+				}
+			}()
+			RegisterPartitioner(bad)
+		}()
+	}
+}
+
+// TestShardedEngineEmptyBatch: an empty batch short-circuits without
+// scattering — no sub-queries reach any shard pool.
+func TestShardedEngineEmptyBatch(t *testing.T) {
+	db, _ := testDB(t, 42, 30, 2)
+	sx, err := BuildSharded(db, Spec{Index: "linear"}, 3, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewShardedEngine(sx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	for _, call := range []func() ([][]Result, error){
+		func() ([][]Result, error) { return se.KNNBatch(nil, 2) },
+		func() ([][]Result, error) { return se.KNNBatch([]Point{}, 2) },
+		func() ([][]Result, error) { return se.RangeBatch(nil, 0.3) },
+	} {
+		out, err := call()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil || len(out) != 0 {
+			t.Fatalf("empty batch returned %v, want empty non-nil slice", out)
+		}
+	}
+	if st := se.Stats(); st.Queries != 0 {
+		t.Errorf("empty batches recorded %d sub-queries, want 0", st.Queries)
 	}
 }
 

@@ -1,0 +1,170 @@
+package dpserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"distperm/pkg/distperm"
+)
+
+// The JSON wire format, shared by the server handlers and the Go client
+// (pkg/dpserver/client). Points travel as their natural JSON shapes — a
+// vector point as an array of numbers, a string point as a JSON string — so
+// curl requests read exactly like the data.
+
+// KNNRequest is the body of POST /v1/knn: exactly one of Query (single
+// form, eligible for the result cache and the coalescer) or Queries
+// (batched form, submitted to the engine as one batch), plus K.
+type KNNRequest struct {
+	Query   json.RawMessage   `json:"query,omitempty"`
+	Queries []json.RawMessage `json:"queries,omitempty"`
+	K       int               `json:"k"`
+}
+
+// RangeRequest is the body of POST /v1/range: exactly one of Query or
+// Queries, plus the radius R ≥ 0.
+type RangeRequest struct {
+	Query   json.RawMessage   `json:"query,omitempty"`
+	Queries []json.RawMessage `json:"queries,omitempty"`
+	R       float64           `json:"r"`
+}
+
+// Result is one answer on the wire: a database point ID and its distance to
+// the query.
+type Result struct {
+	ID       int     `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+// QueryResponse is the body of a successful /v1/knn or /v1/range answer:
+// Results for the single form, Batches (one result list per query, in
+// request order) for the batched form.
+type QueryResponse struct {
+	Results []Result   `json:"results,omitempty"`
+	Batches [][]Result `json:"batches,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// IndexInfo is the body of GET /v1/index: what is being served.
+type IndexInfo struct {
+	// Kind is the index's registry kind ("distperm", "sharded", ...).
+	Kind string `json:"kind"`
+	// Bits is the index's storage cost (the paper's cost model).
+	Bits int64 `json:"bits"`
+	// N is the database size.
+	N int `json:"n"`
+	// Metric names the database metric.
+	Metric string `json:"metric"`
+	// Shards is the scatter-gather shard count (1 for a single engine).
+	Shards int `json:"shards"`
+	// Workers is the total worker-goroutine count across pools.
+	Workers int `json:"workers"`
+}
+
+// EngineStatsWire mirrors distperm.EngineStats on the wire, with latency
+// percentiles in both nanoseconds (for machines) and formatted durations
+// (for humans reading curl output).
+type EngineStatsWire struct {
+	Queries       int64   `json:"queries"`
+	DistanceEvals int64   `json:"distance_evals"`
+	MeanEvals     float64 `json:"mean_evals"`
+	P50Nanos      int64   `json:"p50_ns"`
+	P99Nanos      int64   `json:"p99_ns"`
+	P50           string  `json:"p50"`
+	P99           string  `json:"p99"`
+}
+
+// ServerCounters is the server-level half of GET /v1/stats: HTTP traffic,
+// coalescer fill, and result-cache effectiveness.
+type ServerCounters struct {
+	// Requests counts HTTP requests accepted on any endpoint.
+	Requests int64 `json:"requests"`
+	// Errors counts requests answered with a non-2xx status.
+	Errors int64 `json:"errors"`
+	// SingleQueries and BatchQueries split the served queries by request
+	// form: singles flow through the cache and coalescer, batches go to the
+	// engine as submitted.
+	SingleQueries int64 `json:"single_queries"`
+	BatchQueries  int64 `json:"batch_queries"`
+	// CoalescedBatches and CoalescedQueries describe the micro-batcher:
+	// CoalescedQueries single queries were submitted to the engine in
+	// CoalescedBatches batches, so their ratio is the mean fill.
+	CoalescedBatches int64 `json:"coalesced_batches"`
+	CoalescedQueries int64 `json:"coalesced_queries"`
+	// CacheHits, CacheMisses, and CacheEntries report the result cache
+	// (all zero when the cache is disabled).
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Engine EngineStatsWire `json:"engine"`
+	Server ServerCounters  `json:"server"`
+}
+
+// EncodePoint marshals a point into its wire shape: a Vector as a JSON
+// array of numbers, a String as a JSON string.
+func EncodePoint(p distperm.Point) (json.RawMessage, error) {
+	switch v := p.(type) {
+	case distperm.Vector:
+		return json.Marshal([]float64(v))
+	case distperm.String:
+		return json.Marshal(string(v))
+	default:
+		return nil, fmt.Errorf("dpserver: cannot encode %T points", p)
+	}
+}
+
+// DecodePoint unmarshals a wire point: a JSON array of numbers becomes a
+// Vector, a JSON string becomes a String.
+func DecodePoint(raw json.RawMessage) (distperm.Point, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("dpserver: empty point")
+	}
+	switch trimmed[0] {
+	case '[':
+		var v []float64
+		if err := json.Unmarshal(trimmed, &v); err != nil {
+			return nil, fmt.Errorf("dpserver: bad vector point: %w", err)
+		}
+		return distperm.Vector(v), nil
+	case '"':
+		var s string
+		if err := json.Unmarshal(trimmed, &s); err != nil {
+			return nil, fmt.Errorf("dpserver: bad string point: %w", err)
+		}
+		return distperm.String(s), nil
+	default:
+		return nil, fmt.Errorf("dpserver: point must be a JSON array (vector) or string, got %q", trimmed)
+	}
+}
+
+// toWire converts engine results to the wire shape.
+func toWire(rs []distperm.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Distance: r.Distance}
+	}
+	return out
+}
+
+// statsWire converts an engine snapshot to the wire shape.
+func statsWire(st distperm.EngineStats) EngineStatsWire {
+	return EngineStatsWire{
+		Queries:       st.Queries,
+		DistanceEvals: st.DistanceEvals,
+		MeanEvals:     st.MeanEvals,
+		P50Nanos:      st.P50.Nanoseconds(),
+		P99Nanos:      st.P99.Nanoseconds(),
+		P50:           st.P50.String(),
+		P99:           st.P99.String(),
+	}
+}

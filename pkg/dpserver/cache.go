@@ -1,0 +1,131 @@
+package dpserver
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"distperm/pkg/distperm"
+)
+
+// Cache is a bounded LRU over query results, keyed by a canonical binary
+// encoding of (query point, k | radius). It sits in front of the coalescer:
+// a hit skips the engine entirely, a miss pays one coalesced query and
+// populates the entry. Safe for concurrent use.
+//
+// Cached result slices are shared between the cache and its callers; they
+// are treated as immutable (the server only marshals them).
+type Cache struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           *list.List // front = most recent
+	items        map[string]*list.Element
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key     string
+	results []distperm.Result
+}
+
+// NewCache returns a cache holding at most capacity entries; capacity < 1
+// returns nil, and a nil *Cache is a valid always-miss cache (Get misses
+// without counting, Put is a no-op), so callers can thread "cache disabled"
+// through without branching.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		return nil
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached results for key, marking the entry most recent.
+func (c *Cache) Get(key string) ([]distperm.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).results, true
+}
+
+// Put stores results under key, evicting the least-recently-used entry when
+// the cache is full. Re-putting an existing key refreshes it.
+func (c *Cache) Put(key string, results []distperm.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).results = results
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, results: results})
+}
+
+// Counters returns the hit/miss counts and the current entry count.
+func (c *Cache) Counters() (hits, misses int64, entries int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// knnKey canonically encodes a kNN query for the cache. The bool reports
+// whether the point type is encodable; unencodable points simply bypass the
+// cache.
+func knnKey(q distperm.Point, k int) (string, bool) {
+	var buf [9]byte
+	buf[0] = 'k'
+	binary.LittleEndian.PutUint64(buf[1:], uint64(k))
+	return pointKey(buf[:], q)
+}
+
+// rangeKey canonically encodes a range query for the cache, keying on the
+// exact bit pattern of the radius.
+func rangeKey(q distperm.Point, r float64) (string, bool) {
+	var buf [9]byte
+	buf[0] = 'r'
+	binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(r))
+	return pointKey(buf[:], q)
+}
+
+func pointKey(prefix []byte, q distperm.Point) (string, bool) {
+	switch v := q.(type) {
+	case distperm.Vector:
+		key := make([]byte, len(prefix)+1+8*len(v))
+		n := copy(key, prefix)
+		key[n] = 'v'
+		n++
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(key[n:], math.Float64bits(x))
+			n += 8
+		}
+		return string(key), true
+	case distperm.String:
+		return string(prefix) + "s" + string(v), true
+	default:
+		return "", false
+	}
+}

@@ -1,0 +1,91 @@
+package dpserver
+
+import (
+	"testing"
+
+	"distperm/pkg/distperm"
+)
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	rs := func(id int) []distperm.Result { return []distperm.Result{{ID: id}} }
+	c.Put("a", rs(1))
+	c.Put("b", rs(2))
+	if got, ok := c.Get("a"); !ok || got[0].ID != 1 {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.Put("c", rs(3))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if got, ok := c.Get("a"); !ok || got[0].ID != 1 {
+		t.Errorf("a evicted instead of b: %v, %v", got, ok)
+	}
+	if got, ok := c.Get("c"); !ok || got[0].ID != 3 {
+		t.Errorf("Get(c) = %v, %v", got, ok)
+	}
+	// Refreshing an existing key replaces its value without growing.
+	c.Put("c", rs(4))
+	if got, _ := c.Get("c"); got[0].ID != 4 {
+		t.Errorf("refresh did not replace: %v", got)
+	}
+	hits, misses, entries := c.Counters()
+	if entries != 2 {
+		t.Errorf("entries = %d, want 2", entries)
+	}
+	if hits != 4 || misses != 1 {
+		t.Errorf("hits, misses = %d, %d, want 4, 1", hits, misses)
+	}
+}
+
+// TestCacheDisabled: capacity < 1 returns a nil cache that misses silently
+// — the "cache off" configuration needs no branching at call sites.
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	if c != nil {
+		t.Fatal("NewCache(0) should return nil")
+	}
+	c.Put("a", nil)
+	if _, ok := c.Get("a"); ok {
+		t.Error("nil cache hit")
+	}
+	if hits, misses, entries := c.Counters(); hits != 0 || misses != 0 || entries != 0 {
+		t.Error("nil cache counted")
+	}
+}
+
+// TestCacheKeys: the canonical encoding separates operations, parameters,
+// and point types, and rejects unencodable points.
+func TestCacheKeys(t *testing.T) {
+	v := distperm.Vector{0.5, 0.25}
+	keys := map[string]string{}
+	add := func(label, key string, ok bool) {
+		if !ok {
+			t.Fatalf("%s not cacheable", label)
+		}
+		if prev, dup := keys[key]; dup {
+			t.Errorf("%s collides with %s", label, prev)
+		}
+		keys[key] = label
+	}
+	k1, ok := knnKey(v, 1)
+	add("knn k=1", k1, ok)
+	k2, ok := knnKey(v, 2)
+	add("knn k=2", k2, ok)
+	r1, ok := rangeKey(v, 1.0)
+	add("range r=1", r1, ok)
+	r2, ok := rangeKey(v, 0.5)
+	add("range r=0.5", r2, ok)
+	s1, ok := knnKey(distperm.String("ab"), 1)
+	add("knn string", s1, ok)
+	// Same inputs must re-derive the same key.
+	again, _ := knnKey(distperm.Vector{0.5, 0.25}, 1)
+	if again != k1 {
+		t.Error("knnKey not canonical")
+	}
+	type opaque struct{}
+	if _, ok := knnKey(opaque{}, 1); ok {
+		t.Error("opaque point should not be cacheable")
+	}
+}

@@ -1,0 +1,189 @@
+// Package client is the Go client for a dpserver HTTP endpoint (the
+// distpermd daemon): typed kNN/range queries in single and batched form,
+// stats and index introspection, plus a configurable load-generation driver
+// (RunLoad) that extends the repo's throughput benchmarks over the wire.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
+)
+
+// Client talks to one dpserver base URL. The zero HTTPClient means
+// http.DefaultClient; set a custom one for timeouts or transport reuse
+// before the first call.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://localhost:7411".
+	Base string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at base (scheme://host:port, no
+// trailing slash required).
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+// KNN answers one kNN query — the request shape that flows through the
+// server's result cache and coalescer.
+func (c *Client) KNN(ctx context.Context, q distperm.Point, k int) ([]distperm.Result, error) {
+	raw, err := dpserver.EncodePoint(q)
+	if err != nil {
+		return nil, err
+	}
+	var resp dpserver.QueryResponse
+	if err := c.post(ctx, "/v1/knn", dpserver.KNNRequest{Query: raw, K: k}, &resp); err != nil {
+		return nil, err
+	}
+	return fromWire(resp.Results), nil
+}
+
+// KNNBatch answers one kNN query per point of qs in one request, submitted
+// to the engine as one batch.
+func (c *Client) KNNBatch(ctx context.Context, qs []distperm.Point, k int) ([][]distperm.Result, error) {
+	raws, err := encodeAll(qs)
+	if err != nil {
+		return nil, err
+	}
+	var resp dpserver.QueryResponse
+	if err := c.post(ctx, "/v1/knn", dpserver.KNNRequest{Queries: raws, K: k}, &resp); err != nil {
+		return nil, err
+	}
+	return fromWireBatches(resp.Batches)
+}
+
+// Range answers one range query of radius r.
+func (c *Client) Range(ctx context.Context, q distperm.Point, r float64) ([]distperm.Result, error) {
+	raw, err := dpserver.EncodePoint(q)
+	if err != nil {
+		return nil, err
+	}
+	var resp dpserver.QueryResponse
+	if err := c.post(ctx, "/v1/range", dpserver.RangeRequest{Query: raw, R: r}, &resp); err != nil {
+		return nil, err
+	}
+	return fromWire(resp.Results), nil
+}
+
+// RangeBatch answers one range query of radius r per point of qs in one
+// request.
+func (c *Client) RangeBatch(ctx context.Context, qs []distperm.Point, r float64) ([][]distperm.Result, error) {
+	raws, err := encodeAll(qs)
+	if err != nil {
+		return nil, err
+	}
+	var resp dpserver.QueryResponse
+	if err := c.post(ctx, "/v1/range", dpserver.RangeRequest{Queries: raws, R: r}, &resp); err != nil {
+		return nil, err
+	}
+	return fromWireBatches(resp.Batches)
+}
+
+// Stats fetches the engine and server counters.
+func (c *Client) Stats(ctx context.Context) (dpserver.StatsResponse, error) {
+	var resp dpserver.StatsResponse
+	err := c.get(ctx, "/v1/stats", &resp)
+	return resp, err
+}
+
+// IndexInfo fetches what the server is serving.
+func (c *Client) IndexInfo(ctx context.Context) (dpserver.IndexInfo, error) {
+	var resp dpserver.IndexInfo
+	err := c.get(ctx, "/v1/index", &resp)
+	return resp, err
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var resp struct {
+		Status string `json:"status"`
+	}
+	if err := c.get(ctx, "/healthz", &resp); err != nil {
+		return err
+	}
+	if resp.Status != "ok" {
+		return fmt.Errorf("client: health status %q", resp.Status)
+	}
+	return nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e dpserver.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func encodeAll(qs []distperm.Point) ([]json.RawMessage, error) {
+	raws := make([]json.RawMessage, len(qs))
+	for i, q := range qs {
+		raw, err := dpserver.EncodePoint(q)
+		if err != nil {
+			return nil, fmt.Errorf("queries[%d]: %w", i, err)
+		}
+		raws[i] = raw
+	}
+	return raws, nil
+}
+
+func fromWire(rs []dpserver.Result) []distperm.Result {
+	out := make([]distperm.Result, len(rs))
+	for i, r := range rs {
+		out[i] = distperm.Result{ID: r.ID, Distance: r.Distance}
+	}
+	return out
+}
+
+func fromWireBatches(batches [][]dpserver.Result) ([][]distperm.Result, error) {
+	out := make([][]distperm.Result, len(batches))
+	for i, rs := range batches {
+		out[i] = fromWire(rs)
+	}
+	return out, nil
+}

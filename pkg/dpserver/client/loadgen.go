@@ -1,0 +1,207 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distperm/pkg/distperm"
+)
+
+// LoadConfig drives RunLoad against a running dpserver.
+type LoadConfig struct {
+	// Target is the server base URL.
+	Target string
+	// Queries is the pool of query points; workers cycle through it.
+	Queries []distperm.Point
+	// K requests k-nearest-neighbour queries; if K is 0, range queries of
+	// Radius are sent instead.
+	K int
+	// Radius is the range-query radius when K is 0.
+	Radius float64
+	// Concurrency is the number of client workers (default 1).
+	Concurrency int
+	// QPS caps the aggregate request rate; 0 means unthrottled.
+	QPS float64
+	// Duration bounds the run (default 5s); ctx cancellation also stops it.
+	Duration time.Duration
+	// Batch is the number of queries per request: 1 sends single-query
+	// requests (exercising the server's coalescer and cache), larger values
+	// send client-side batches.
+	Batch int
+}
+
+// LoadReport summarises one RunLoad run.
+type LoadReport struct {
+	// Requests and Errors count HTTP requests sent and failed.
+	Requests int64
+	Errors   int64
+	// Queries counts the query points served (Requests × batch size when
+	// error-free).
+	Queries int64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+	// QueriesPerSecond is Queries / Elapsed.
+	QueriesPerSecond float64
+	// P50 and P99 are per-request latency percentiles over a bounded
+	// window of the most recent requests.
+	P50, P99 time.Duration
+}
+
+// latWindow bounds the latency samples RunLoad keeps, like the engine's
+// bounded ring: a long run's memory stays flat.
+const latWindow = 1 << 14
+
+// RunLoad fires queries at cfg.Target from cfg.Concurrency workers until
+// cfg.Duration elapses or ctx is cancelled, and reports achieved
+// throughput and latency percentiles — the over-the-wire extension of the
+// repo's qps-vs-workers and qps-vs-shards benchmarks. Individual request
+// failures are counted, not fatal; RunLoad errors only on a misconfigured
+// load.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Target == "" {
+		return LoadReport{}, fmt.Errorf("client: RunLoad requires a target URL")
+	}
+	if len(cfg.Queries) == 0 {
+		return LoadReport{}, fmt.Errorf("client: RunLoad requires query points")
+	}
+	if cfg.K == 0 && cfg.Radius < 0 {
+		return LoadReport{}, fmt.Errorf("client: negative radius %g", cfg.Radius)
+	}
+	conc := cfg.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+
+	// Throttle by metering tokens onto a channel at QPS; unthrottled runs
+	// get a nil channel (never selected).
+	var tokens chan struct{}
+	if cfg.QPS > 0 {
+		tokens = make(chan struct{})
+		interval := time.Duration(float64(time.Second) / cfg.QPS)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var (
+		requests, errors, queries atomic.Int64
+		latMu                     sync.Mutex
+		lat                       = make([]time.Duration, 0, latWindow)
+		latPos                    int
+	)
+	record := func(d time.Duration) {
+		latMu.Lock()
+		if len(lat) < latWindow {
+			lat = append(lat, d)
+		} else {
+			lat[latPos] = d
+			latPos = (latPos + 1) % latWindow
+		}
+		latMu.Unlock()
+	}
+
+	c := New(cfg.Target)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := w // decorrelate workers' walks through the query pool
+			for {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-ctx.Done():
+						return
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				var err error
+				reqStart := time.Now()
+				if batch == 1 {
+					q := cfg.Queries[i%len(cfg.Queries)]
+					if cfg.K > 0 {
+						_, err = c.KNN(ctx, q, cfg.K)
+					} else {
+						_, err = c.Range(ctx, q, cfg.Radius)
+					}
+				} else {
+					qs := make([]distperm.Point, batch)
+					for j := range qs {
+						qs[j] = cfg.Queries[(i+j)%len(cfg.Queries)]
+					}
+					if cfg.K > 0 {
+						_, err = c.KNNBatch(ctx, qs, cfg.K)
+					} else {
+						_, err = c.RangeBatch(ctx, qs, cfg.Radius)
+					}
+				}
+				i += batch
+				if err != nil {
+					if ctx.Err() != nil {
+						return // cut off by the run deadline, not a server failure
+					}
+					requests.Add(1)
+					errors.Add(1)
+					continue
+				}
+				requests.Add(1)
+				queries.Add(int64(batch))
+				record(time.Since(reqStart))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := LoadReport{
+		Requests: requests.Load(),
+		Errors:   errors.Load(),
+		Queries:  queries.Load(),
+		Elapsed:  elapsed,
+	}
+	if elapsed > 0 {
+		report.QueriesPerSecond = float64(report.Queries) / elapsed.Seconds()
+	}
+	latMu.Lock()
+	window := append([]time.Duration(nil), lat...)
+	latMu.Unlock()
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		report.P50 = distperm.Percentile(window, 0.50)
+		report.P99 = distperm.Percentile(window, 0.99)
+	}
+	return report, nil
+}

@@ -1,0 +1,200 @@
+package dpserver
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"distperm/pkg/distperm"
+)
+
+// Backend is the slice of the query-engine surface the serving layer needs;
+// *distperm.Engine and *distperm.ShardedEngine both satisfy it.
+type Backend interface {
+	KNNBatch(qs []distperm.Point, k int) ([][]distperm.Result, error)
+	RangeBatch(qs []distperm.Point, r float64) ([][]distperm.Result, error)
+	Stats() distperm.EngineStats
+	Workers() int
+	Close()
+}
+
+// ErrCoalescerClosed is returned by KNN/Range after Close.
+var ErrCoalescerClosed = errors.New("dpserver: coalescer is closed")
+
+// Coalescer turns concurrent single-query calls into engine batches: calls
+// sharing the same parameters (k for kNN, radius for range) accumulate in a
+// pending batch that flushes when it reaches max queries or when wait
+// elapses since the batch opened, whichever comes first. Every caller gets
+// exactly the answer a direct one-query engine batch would return, but the
+// engine sees max-query batches, amortising the per-batch submission cost
+// (in-flight registration, WaitGroup traffic, lock acquisitions) that
+// dominates per-request serving at high concurrency.
+//
+// All methods are safe for concurrent use. Close flushes the pending
+// batches through the backend so no caller is left waiting, then refuses
+// further calls; it does not close the backend.
+type Coalescer struct {
+	backend Backend
+	max     int
+	wait    time.Duration
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingBatch
+	closed  bool
+	batches int64 // flushed batches
+	queries int64 // queries enqueued
+}
+
+// batchKey groups coalescable calls: queries answer as one engine batch
+// only if they share the operation and its parameter. The radius is keyed
+// by its bit pattern, not its float value — a NaN radius must still equal
+// itself as a map key, or its pending batch could never be found again.
+type batchKey struct {
+	op byte // 'k' (kNN) or 'r' (range)
+	k  int
+	r  uint64 // math.Float64bits of the radius
+}
+
+// pendingBatch accumulates the queries of one future engine batch. Appends
+// happen under the coalescer lock while the batch is in the pending map;
+// the flusher removes it from the map (under the same lock) before reading
+// qs, so flush needs no further synchronisation. done closes after out and
+// err are set.
+type pendingBatch struct {
+	qs    []distperm.Point
+	out   [][]distperm.Result
+	err   error
+	done  chan struct{}
+	timer *time.Timer
+}
+
+// NewCoalescer batches single queries for backend, flushing at max queries
+// or after wait, whichever comes first. max < 1 is treated as 1 and wait ≤ 0
+// as "no window" — both degrade to per-call submission, which keeps the
+// zero Config servable.
+func NewCoalescer(backend Backend, max int, wait time.Duration) *Coalescer {
+	if max < 1 {
+		max = 1
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	return &Coalescer{
+		backend: backend,
+		max:     max,
+		wait:    wait,
+		pending: make(map[batchKey]*pendingBatch),
+	}
+}
+
+// KNN answers one kNN query through the coalescer: identical to
+// backend.KNNBatch([]Point{q}, k) with the submission cost shared across
+// the batch it lands in.
+func (c *Coalescer) KNN(q distperm.Point, k int) ([]distperm.Result, error) {
+	return c.enqueue(batchKey{op: 'k', k: k}, q)
+}
+
+// Range answers one range query through the coalescer.
+func (c *Coalescer) Range(q distperm.Point, r float64) ([]distperm.Result, error) {
+	return c.enqueue(batchKey{op: 'r', r: math.Float64bits(r)}, q)
+}
+
+// Counters reports how many engine batches have been flushed and how many
+// queries they carried; their ratio is the achieved fill.
+func (c *Coalescer) Counters() (batches, queries int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches, c.queries
+}
+
+func (c *Coalescer) enqueue(key batchKey, q distperm.Point) ([]distperm.Result, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrCoalescerClosed
+	}
+	b, open := c.pending[key]
+	if !open {
+		b = &pendingBatch{done: make(chan struct{})}
+		if c.max > 1 && c.wait > 0 {
+			c.pending[key] = b
+			open = true
+			b.timer = time.AfterFunc(c.wait, func() { c.flushTimed(key, b) })
+		}
+		// Otherwise there is no batching window: the batch never enters the
+		// pending map and this call flushes it alone below.
+	}
+	idx := len(b.qs)
+	b.qs = append(b.qs, q)
+	c.queries++
+	full := len(b.qs) >= c.max || !open
+	if full && open {
+		delete(c.pending, key)
+	}
+	c.mu.Unlock()
+
+	if full {
+		// The caller that filled the batch runs it; the timer, if racing,
+		// sees the batch gone from the pending map and stands down.
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		c.flush(key, b)
+	}
+	<-b.done
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.out[idx], nil
+}
+
+// flushTimed is the wait-window path: flush the batch if the fill path has
+// not already taken it.
+func (c *Coalescer) flushTimed(key batchKey, b *pendingBatch) {
+	c.mu.Lock()
+	if c.pending[key] != b {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pending, key)
+	c.mu.Unlock()
+	c.flush(key, b)
+}
+
+// flush submits the batch to the backend and wakes its waiters. The caller
+// must have removed b from the pending map (or never published it), so b.qs
+// is frozen here.
+func (c *Coalescer) flush(key batchKey, b *pendingBatch) {
+	defer close(b.done)
+	if key.op == 'k' {
+		b.out, b.err = c.backend.KNNBatch(b.qs, key.k)
+	} else {
+		b.out, b.err = c.backend.RangeBatch(b.qs, math.Float64frombits(key.r))
+	}
+	c.mu.Lock()
+	c.batches++
+	c.mu.Unlock()
+}
+
+// Close flushes every pending batch through the backend — callers blocked
+// in KNN/Range get real answers (or the backend's error, if it is already
+// closed) — and fails calls arriving afterwards with ErrCoalescerClosed.
+// Idempotent; does not close the backend.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	stale := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for key, b := range stale {
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		c.flush(key, b)
+	}
+}

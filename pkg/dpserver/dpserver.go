@@ -1,0 +1,344 @@
+// Package dpserver is the network serving subsystem over the distperm
+// query-engine layer: it exposes an Engine or ShardedEngine as a JSON HTTP
+// service, the step that takes the index family from in-process batches to
+// multi-user traffic.
+//
+// Endpoints:
+//
+//	POST /v1/knn    kNN queries, single ({"query": ..., "k": 3}) or batched
+//	                ({"queries": [...], "k": 3})
+//	POST /v1/range  range queries, single or batched, radius in "r"
+//	GET  /v1/stats  engine counters (queries, distance evaluations, latency
+//	                percentiles) plus server counters (coalescer fill,
+//	                cache hits/misses)
+//	GET  /v1/index  what is being served (kind, bits, shards, workers)
+//	GET  /healthz   liveness
+//
+// Two layers sit between a single-query request and the engine. A bounded
+// LRU result cache answers repeated queries without any engine work. Below
+// it, a dynamic micro-batching Coalescer gathers concurrent single queries
+// into engine batches (up to Config.BatchMax queries or Config.BatchWait,
+// whichever comes first), amortising the per-batch submission cost exactly
+// where the worker-pool design pays off; answers are identical to direct
+// one-query engine batches. Batched requests bypass both and reach the
+// engine as submitted.
+//
+// Serve runs the server with graceful shutdown: in-flight requests drain,
+// pending coalescer batches flush, and only then does the engine close.
+// Command distpermd is the daemon around this package, and
+// pkg/dpserver/client is the matching Go client with a load-generation
+// driver.
+package dpserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"distperm/pkg/distperm"
+)
+
+// Config tunes the serving layers. The zero value serves correctly:
+// BatchMax ≤ 1 or BatchWait ≤ 0 degrade the coalescer to per-request
+// submission, CacheSize ≤ 0 disables the result cache.
+type Config struct {
+	// BatchMax is the coalescer's flush size: a pending batch is submitted
+	// as soon as it holds this many queries.
+	BatchMax int
+	// BatchWait is the coalescer's flush window: a pending batch is
+	// submitted this long after it opened even if not full, bounding the
+	// latency cost of batching.
+	BatchWait time.Duration
+	// CacheSize bounds the LRU result cache in entries.
+	CacheSize int
+}
+
+// Server is the HTTP serving layer over one Backend. Create with New or
+// NewFromIndex, serve with Serve (or mount it as an http.Handler and call
+// Close yourself).
+type Server struct {
+	backend Backend
+	info    IndexInfo
+	co      *Coalescer
+	cache   *Cache
+	mux     *http.ServeMux
+	// proto is a representative database point; incoming queries are
+	// validated against its shape so a malformed request is a 400, not a
+	// metric panic in a worker. nil skips validation (New without a DB).
+	proto distperm.Point
+
+	mu sync.Mutex
+	ServerCounters
+}
+
+// New wraps backend, described by info, in a Server with cfg's coalescer
+// and cache.
+func New(backend Backend, info IndexInfo, cfg Config) (*Server, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("dpserver: New requires a backend")
+	}
+	s := &Server{
+		backend: backend,
+		info:    info,
+		co:      NewCoalescer(backend, cfg.BatchMax, cfg.BatchWait),
+		cache:   NewCache(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/knn", s.handleKNN)
+	s.mux.HandleFunc("POST /v1/range", s.handleRange)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/index", s.handleIndex)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// NewFromIndex starts the right engine for idx — a ShardedEngine with
+// workers per shard for a sharded index, a single Engine otherwise — and
+// wraps it in a Server. The Server owns the engine: Close (or Serve's
+// shutdown path) closes it.
+func NewFromIndex(db *distperm.DB, idx distperm.Index, workers int, cfg Config) (*Server, error) {
+	if db == nil || idx == nil {
+		return nil, fmt.Errorf("dpserver: NewFromIndex requires a database and an index")
+	}
+	info := IndexInfo{
+		Kind:   idx.Name(),
+		Bits:   idx.IndexBits(),
+		N:      db.N(),
+		Metric: db.Metric.Name(),
+		Shards: 1,
+	}
+	var backend Backend
+	if sx, ok := idx.(*distperm.ShardedIndex); ok {
+		se, err := distperm.NewShardedEngine(sx, workers)
+		if err != nil {
+			return nil, err
+		}
+		info.Shards = se.Shards()
+		backend = se
+	} else {
+		e, err := distperm.NewEngine(db, idx, workers)
+		if err != nil {
+			return nil, err
+		}
+		backend = e
+	}
+	info.Workers = backend.Workers()
+	s, err := New(backend, info, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.proto = db.Points[0]
+	return s, nil
+}
+
+// Info returns what the server is serving.
+func (s *Server) Info() IndexInfo { return s.info }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.Requests++
+	s.mu.Unlock()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close flushes the coalescer's pending batches and closes the backend
+// engine. Idempotent. Callers using Serve never need it.
+func (s *Server) Close() {
+	s.co.Close()
+	s.backend.Close()
+}
+
+// Serve answers HTTP on ln until ctx is cancelled, then shuts down
+// gracefully: stop accepting, drain in-flight handlers, flush the
+// coalescer, close the engine. It returns nil after a clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err := hs.Shutdown(sctx) // in-flight handlers finish before this returns
+	s.Close()
+	return err
+}
+
+// --- handlers ---
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	// info.N may be unset when the Server was built with New rather than
+	// NewFromIndex; then the bound check falls to the backend, whose own
+	// validation surfaces as a request error below.
+	if req.K < 1 || (s.info.N > 0 && req.K > s.info.N) {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("k=%d out of range 1..%d", req.K, s.info.N))
+		return
+	}
+	s.answer(w, req.Query, req.Queries,
+		func(q distperm.Point) (string, bool) { return knnKey(q, req.K) },
+		func(q distperm.Point) ([]distperm.Result, error) { return s.co.KNN(q, req.K) },
+		func(qs []distperm.Point) ([][]distperm.Result, error) { return s.backend.KNNBatch(qs, req.K) },
+	)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.R < 0 || math.IsNaN(req.R) {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad radius %g", req.R))
+		return
+	}
+	s.answer(w, req.Query, req.Queries,
+		func(q distperm.Point) (string, bool) { return rangeKey(q, req.R) },
+		func(q distperm.Point) ([]distperm.Result, error) { return s.co.Range(q, req.R) },
+		func(qs []distperm.Point) ([][]distperm.Result, error) { return s.backend.RangeBatch(qs, req.R) },
+	)
+}
+
+// answer runs the shared request shape of /v1/knn and /v1/range: exactly
+// one of single/batch, points decoded and validated, the single form routed
+// cache → coalescer, the batched form routed straight to the engine.
+func (s *Server) answer(w http.ResponseWriter,
+	single json.RawMessage, batch []json.RawMessage,
+	key func(distperm.Point) (string, bool),
+	one func(distperm.Point) ([]distperm.Result, error),
+	many func([]distperm.Point) ([][]distperm.Result, error),
+) {
+	switch {
+	case single != nil && batch != nil:
+		s.fail(w, http.StatusBadRequest, `"query" and "queries" are mutually exclusive`)
+	case single != nil:
+		q, err := s.decodePoint(single)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		k, cacheable := key(q)
+		if rs, ok := s.cache.Get(k); cacheable && ok {
+			s.bump(func(c *ServerCounters) { c.SingleQueries++ })
+			s.ok(w, QueryResponse{Results: toWire(rs)})
+			return
+		}
+		rs, err := one(q)
+		if err != nil {
+			s.fail(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		if cacheable {
+			s.cache.Put(k, rs)
+		}
+		s.bump(func(c *ServerCounters) { c.SingleQueries++ })
+		s.ok(w, QueryResponse{Results: toWire(rs)})
+	case batch != nil:
+		qs := make([]distperm.Point, len(batch))
+		for i, raw := range batch {
+			q, err := s.decodePoint(raw)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, fmt.Sprintf("queries[%d]: %v", i, err))
+				return
+			}
+			qs[i] = q
+		}
+		outs, err := many(qs)
+		if err != nil {
+			s.fail(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		batches := make([][]Result, len(outs))
+		for i, rs := range outs {
+			batches[i] = toWire(rs)
+		}
+		s.bump(func(c *ServerCounters) { c.BatchQueries += int64(len(qs)) })
+		s.ok(w, QueryResponse{Batches: batches})
+	default:
+		s.fail(w, http.StatusBadRequest, `one of "query" or "queries" is required`)
+	}
+}
+
+// decodePoint decodes a wire point and checks it against the database's
+// point shape, so a malformed query is a 400, not a metric panic in a
+// worker.
+func (s *Server) decodePoint(raw json.RawMessage) (distperm.Point, error) {
+	q, err := DecodePoint(raw)
+	if err != nil {
+		return nil, err
+	}
+	switch proto := s.proto.(type) {
+	case distperm.Vector:
+		v, ok := q.(distperm.Vector)
+		if !ok {
+			return nil, fmt.Errorf("this server serves vector points; got a string")
+		}
+		if len(v) != len(proto) {
+			return nil, fmt.Errorf("query has %d dimensions, database has %d", len(v), len(proto))
+		}
+	case distperm.String:
+		if _, ok := q.(distperm.String); !ok {
+			return nil, fmt.Errorf("this server serves string points; got a vector")
+		}
+	}
+	return q, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	batches, queries := s.co.Counters()
+	hits, misses, entries := s.cache.Counters()
+	s.mu.Lock()
+	counters := s.ServerCounters
+	s.mu.Unlock()
+	counters.CoalescedBatches = batches
+	counters.CoalescedQueries = queries
+	counters.CacheHits = hits
+	counters.CacheMisses = misses
+	counters.CacheEntries = entries
+	s.ok(w, StatsResponse{Engine: statsWire(s.backend.Stats()), Server: counters})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	s.ok(w, s.info)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) ok(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		// Headers are gone; nothing to do but note it server-side.
+		s.bump(func(c *ServerCounters) { c.Errors++ })
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.bump(func(c *ServerCounters) { c.Errors++ })
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: strings.TrimPrefix(msg, "distperm: ")})
+}
+
+func (s *Server) bump(f func(*ServerCounters)) {
+	s.mu.Lock()
+	f(&s.ServerCounters)
+	s.mu.Unlock()
+}

@@ -1,0 +1,494 @@
+package dpserver_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distperm/internal/dataset"
+	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
+	"distperm/pkg/dpserver/client"
+)
+
+// testServer builds a db + index, a server over it, and an independent
+// truth engine over the same built index, so HTTP answers can be compared
+// against direct engine batches exactly.
+func testServer(t *testing.T, seed int64, n, dim int, cfg dpserver.Config) (*dpserver.Server, *httptest.Server, *distperm.Engine, []distperm.Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, n, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := distperm.Build(db, distperm.Spec{Index: "distperm", K: 8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dpserver.NewFromIndex(db, idx, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close() // drains handlers before the engine goes away
+		srv.Close()
+	})
+	truth, err := distperm.NewEngine(db, idx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(truth.Close)
+	return srv, ts, truth, dataset.UniformVectors(rng, 128, dim)
+}
+
+func sameResults(a, b []distperm.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServerCoalescedKNNMatchesEngine is the serving acceptance test: many
+// goroutines firing concurrent single-query HTTP requests — the path
+// through the result cache and the coalescer — must get answers identical
+// to direct Engine.KNNBatch calls. Run under -race this also proves the
+// coalescer keeps concurrent requests off each other's batches.
+func TestServerCoalescedKNNMatchesEngine(t *testing.T) {
+	_, ts, truth, queries := testServer(t, 21, 600, 3,
+		dpserver.Config{BatchMax: 8, BatchWait: time.Millisecond, CacheSize: 64})
+	c := client.New(ts.URL)
+	const k = 3
+	want, err := truth.KNNBatch(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 16
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := cl; i < len(queries); i += clients {
+				got, err := c.KNN(context.Background(), queries[i], k)
+				if err != nil {
+					t.Errorf("query %d: %v", i, err)
+					return
+				}
+				if !sameResults(got, want[i]) {
+					t.Errorf("query %d: HTTP answer %v != engine answer %v", i, got, want[i])
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.SingleQueries != int64(len(queries)) {
+		t.Errorf("SingleQueries = %d, want %d", st.Server.SingleQueries, len(queries))
+	}
+	if st.Server.CoalescedBatches == 0 || st.Server.CoalescedQueries < st.Server.CoalescedBatches {
+		t.Errorf("implausible coalescer counters: %+v", st.Server)
+	}
+	if st.Engine.Queries == 0 || st.Engine.DistanceEvals == 0 {
+		t.Errorf("engine counters not surfaced: %+v", st.Engine)
+	}
+}
+
+// TestServerBatchedForms: the batched request shape reaches the engine as
+// one batch and matches direct engine answers for both kNN and range.
+func TestServerBatchedForms(t *testing.T) {
+	_, ts, truth, queries := testServer(t, 22, 400, 3,
+		dpserver.Config{BatchMax: 4, BatchWait: time.Millisecond})
+	c := client.New(ts.URL)
+	qs := queries[:32]
+
+	wantK, err := truth.KNNBatch(qs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotK, err := c.KNNBatch(context.Background(), qs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const radius = 0.3
+	wantR, err := truth.RangeBatch(qs, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := c.RangeBatch(context.Background(), qs, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if !sameResults(gotK[i], wantK[i]) {
+			t.Errorf("kNN query %d: %v != %v", i, gotK[i], wantK[i])
+		}
+		if !sameResults(gotR[i], wantR[i]) {
+			t.Errorf("range query %d: %v != %v", i, gotR[i], wantR[i])
+		}
+	}
+	// The single-query range path agrees too.
+	gotOne, err := c.Range(context.Background(), qs[0], radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(gotOne, wantR[0]) {
+		t.Errorf("single range: %v != %v", gotOne, wantR[0])
+	}
+}
+
+// TestServerCache: repeating a query hits the LRU instead of the engine,
+// with identical answers and visible hit counters.
+func TestServerCache(t *testing.T) {
+	_, ts, _, queries := testServer(t, 23, 300, 3,
+		dpserver.Config{BatchMax: 4, BatchWait: time.Millisecond, CacheSize: 16})
+	c := client.New(ts.URL)
+	q := queries[0]
+	first, err := c.KNN(context.Background(), q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBefore, _ := c.Stats(context.Background())
+	for i := 0; i < 5; i++ {
+		again, err := c.KNN(context.Background(), q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(again, first) {
+			t.Fatalf("cached answer diverged: %v != %v", again, first)
+		}
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.CacheHits < statsBefore.Server.CacheHits+5 {
+		t.Errorf("CacheHits = %d, want ≥ %d", st.Server.CacheHits, statsBefore.Server.CacheHits+5)
+	}
+	if st.Engine.Queries != statsBefore.Engine.Queries {
+		t.Errorf("cached hits reached the engine: %d → %d queries",
+			statsBefore.Engine.Queries, st.Engine.Queries)
+	}
+	// A different k misses and re-populates.
+	if _, err := c.KNN(context.Background(), q, 3); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := c.Stats(context.Background())
+	if st2.Server.CacheMisses <= st.Server.CacheMisses {
+		t.Errorf("k=3 should miss: misses %d → %d", st.Server.CacheMisses, st2.Server.CacheMisses)
+	}
+}
+
+// TestServerIndexAndHealth: the introspection endpoints describe the
+// serving setup.
+func TestServerIndexAndHealth(t *testing.T) {
+	srv, ts, _, _ := testServer(t, 24, 200, 3, dpserver.Config{})
+	c := client.New(ts.URL)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.IndexInfo(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info != srv.Info() {
+		t.Errorf("IndexInfo = %+v, want %+v", info, srv.Info())
+	}
+	if info.Kind != "distperm" || info.N != 200 || info.Shards != 1 || info.Workers != 4 || info.Bits <= 0 || info.Metric != "L2" {
+		t.Errorf("implausible IndexInfo %+v", info)
+	}
+}
+
+// TestServerSharded: a sharded container serves through a ShardedEngine
+// with scatter-gather answers identical to an unsharded engine over the
+// same database.
+func TestServerSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, 500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := distperm.BuildSharded(db, distperm.Spec{Index: "distperm", K: 6, Seed: 25}, 3, distperm.RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dpserver.NewFromIndex(db, sx, 2, dpserver.Config{BatchMax: 4, BatchWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	if info := srv.Info(); info.Kind != "sharded" || info.Shards != 3 || info.Workers != 6 {
+		t.Fatalf("sharded IndexInfo = %+v", info)
+	}
+	lin, err := distperm.Build(db, distperm.Spec{Index: "linear"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := distperm.NewEngine(db, lin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer te.Close()
+	qs := dataset.UniformVectors(rng, 40, 3)
+	want, err := te.KNNBatch(qs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(ts.URL)
+	for i, q := range qs {
+		got, err := c.KNN(context.Background(), q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(got, want[i]) {
+			t.Errorf("sharded query %d: %v != %v", i, got, want[i])
+		}
+	}
+}
+
+// TestServerRequestErrors: malformed requests are clean 4xx JSON errors,
+// not panics or hangs.
+func TestServerRequestErrors(t *testing.T) {
+	_, ts, _, _ := testServer(t, 26, 100, 3, dpserver.Config{CacheSize: 4})
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/knn", `{"query": [0.1, 0.2, 0.3], "k": 1}`, http.StatusOK},
+		{"/v1/knn", `not json`, http.StatusBadRequest},
+		{"/v1/knn", `{"k": 1}`, http.StatusBadRequest},                                                     // no query
+		{"/v1/knn", `{"query": [0.1,0.2,0.3], "queries": [[0.1,0.2,0.3]], "k": 1}`, http.StatusBadRequest}, // both
+		{"/v1/knn", `{"query": [0.1,0.2,0.3], "k": 0}`, http.StatusBadRequest},                             // bad k
+		{"/v1/knn", `{"query": [0.1,0.2,0.3], "k": 101}`, http.StatusBadRequest},                           // k > n
+		{"/v1/knn", `{"query": [0.1,0.2], "k": 1}`, http.StatusBadRequest},                                 // wrong dims
+		{"/v1/knn", `{"query": "word", "k": 1}`, http.StatusBadRequest},                                    // wrong type
+		{"/v1/knn", `{"query": 7, "k": 1}`, http.StatusBadRequest},                                         // not a point
+		{"/v1/range", `{"query": [0.1,0.2,0.3], "r": -0.5}`, http.StatusBadRequest},                        // bad radius
+		{"/v1/range", `{"queries": [[0.1,0.2,0.3], [0.4]], "r": 0.2}`, http.StatusBadRequest},              // bad element
+		{"/v1/range", `{"query": [0.1,0.2,0.3], "r": 0}`, http.StatusOK},                                   // r=0 is valid
+	}
+	for _, tc := range cases {
+		code, body := post(tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("POST %s %s → %d (%s), want %d", tc.path, tc.body, code, strings.TrimSpace(body), tc.want)
+		}
+		if code != http.StatusOK && !strings.Contains(body, `"error"`) {
+			t.Errorf("POST %s %s: non-JSON error body %q", tc.path, tc.body, body)
+		}
+	}
+	// Wrong method and unknown paths come from the mux.
+	resp, err := http.Get(ts.URL + "/v1/knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/knn → %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/nope → %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerGracefulShutdown fires continuous single-query traffic while
+// the server shuts down: every request either answers correctly or fails
+// with a transport/HTTP error — no panics, no hangs (the PR 2 Close/submit
+// stress test lifted to the network layer). Run under -race.
+func TestServerGracefulShutdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, 400, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := distperm.Build(db, distperm.Spec{Index: "distperm", K: 6, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := distperm.NewEngine(db, idx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer truth.Close()
+	queries := dataset.UniformVectors(rng, 64, 3)
+	want, err := truth.KNNBatch(queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for iter := 0; iter < 3; iter++ {
+		srv, err := dpserver.NewFromIndex(db, idx, 2,
+			dpserver.Config{BatchMax: 16, BatchWait: 500 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve(ctx, ln) }()
+		c := client.New("http://" + ln.Addr().String())
+
+		var wg sync.WaitGroup
+		for cl := 0; cl < 8; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					q := (cl*31 + i) % len(queries)
+					got, err := c.KNN(context.Background(), queries[q], 2)
+					if err != nil {
+						return // shutdown reached this client — accepted
+					}
+					if !sameResults(got, want[q]) {
+						t.Errorf("in-shutdown answer diverged for query %d", q)
+						return
+					}
+				}
+			}(cl)
+		}
+		time.Sleep(time.Duration(iter*3) * time.Millisecond)
+		cancel()
+		if err := <-served; err != nil {
+			t.Fatalf("Serve returned %v, want clean shutdown", err)
+		}
+		wg.Wait()
+		// The engine is closed now; direct use reports it.
+		if _, err := c.KNN(context.Background(), queries[0], 2); err == nil {
+			t.Error("request after shutdown should fail")
+		}
+	}
+}
+
+// TestRunLoad drives the load generator against a live server in both
+// single-query (coalescer-exercising) and batched form.
+func TestRunLoad(t *testing.T) {
+	_, ts, _, queries := testServer(t, 28, 300, 3,
+		dpserver.Config{BatchMax: 8, BatchWait: time.Millisecond, CacheSize: 32})
+	for _, batch := range []int{1, 8} {
+		report, err := client.RunLoad(context.Background(), client.LoadConfig{
+			Target:      ts.URL,
+			Queries:     queries,
+			K:           2,
+			Concurrency: 4,
+			Duration:    150 * time.Millisecond,
+			Batch:       batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Requests == 0 || report.Queries < report.Requests {
+			t.Errorf("batch=%d: implausible report %+v", batch, report)
+		}
+		if report.Errors != 0 {
+			t.Errorf("batch=%d: %d request errors", batch, report.Errors)
+		}
+		if report.QueriesPerSecond <= 0 || report.P99 < report.P50 {
+			t.Errorf("batch=%d: implausible metrics %+v", batch, report)
+		}
+	}
+	// A throttled run stays near the requested rate (loose upper bound:
+	// tokens meter requests, so well under the unthrottled hundreds/s).
+	report, err := client.RunLoad(context.Background(), client.LoadConfig{
+		Target: ts.URL, Queries: queries, K: 1,
+		Concurrency: 2, QPS: 50, Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests > 30 {
+		t.Errorf("QPS=50 for 200ms sent %d requests", report.Requests)
+	}
+	// Misconfigurations are errors.
+	if _, err := client.RunLoad(context.Background(), client.LoadConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := client.RunLoad(context.Background(), client.LoadConfig{Target: ts.URL}); err == nil {
+		t.Error("no queries should error")
+	}
+	if _, err := client.RunLoad(context.Background(), client.LoadConfig{
+		Target: ts.URL, Queries: queries, Radius: -1,
+	}); err == nil {
+		t.Error("negative radius should error")
+	}
+}
+
+// TestPointCodec round-trips the wire encoding of both point types and
+// rejects garbage.
+func TestPointCodec(t *testing.T) {
+	for _, p := range []distperm.Point{
+		distperm.Vector{0.25, -1.5, 3},
+		distperm.String("hello"),
+	} {
+		raw, err := dpserver.EncodePoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := dpserver.DecodePoint(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v := p.(type) {
+		case distperm.Vector:
+			w := back.(distperm.Vector)
+			if len(w) != len(v) {
+				t.Fatalf("round-trip %v → %v", p, back)
+			}
+			for i := range v {
+				if w[i] != v[i] {
+					t.Fatalf("round-trip %v → %v", p, back)
+				}
+			}
+		case distperm.String:
+			if back.(distperm.String) != v {
+				t.Fatalf("round-trip %v → %v", p, back)
+			}
+		}
+	}
+	if _, err := dpserver.EncodePoint(struct{}{}); err == nil {
+		t.Error("opaque point should not encode")
+	}
+	for _, bad := range []string{"", "   ", "7", "{}", "[1, \"x\"]", `"unterminated`} {
+		if _, err := dpserver.DecodePoint(json.RawMessage(bad)); err == nil {
+			t.Errorf("DecodePoint(%q) should error", bad)
+		}
+	}
+}

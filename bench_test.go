@@ -430,6 +430,43 @@ func BenchmarkCoalescedServing(b *testing.B) {
 	})
 }
 
+// BenchmarkMutableKNN measures the live-mutation read path: batched 1-NN
+// through a MutableEngine as the pending delta grows. delta=0 is the
+// pass-through cost of the gather-time filter/remap; larger deltas add the
+// exact linear scan each query pays until the background rebuild folds the
+// writes in — the knob -rebuild-threshold trades this per-query cost
+// against rebuild churn.
+func BenchmarkMutableKNN(b *testing.B) {
+	for _, delta := range []int{0, 256} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(13))
+			db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, 2_000, 6))
+			if err != nil {
+				b.Fatal(err)
+			}
+			me, err := distperm.NewMutableEngine(db, distperm.MutableConfig{
+				Spec: distperm.Spec{Index: "distperm", K: 12, Seed: 13}, Workers: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer me.Close()
+			for _, p := range dataset.UniformVectors(rng, delta, 6) {
+				if _, err := me.Insert(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := dataset.UniformVectors(rng, 64, 6)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := me.KNNBatch(queries[i&63:i&63+1], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPermIndexBuild measures sharded index construction (k·n metric
 // evaluations spread across NumCPU workers).
 func BenchmarkPermIndexBuild(b *testing.B) {

@@ -1,0 +1,244 @@
+// Command benchgate is the CI benchmark-regression gate: it turns `go test
+// -bench` text output into a comparable JSON trajectory point and fails
+// when a hot-path benchmark regresses against a committed baseline.
+//
+// Record mode parses benchmark output (stdin or -in) into a JSON file —
+// one entry per benchmark with its best ns/op (minimum across -count
+// repetitions, the noise-robust choice) and best custom queries/s metric:
+//
+//	go test -bench . -benchtime 300ms -count 3 -run '^$' . | \
+//	    benchgate -record -sha "$GITHUB_SHA" -out "BENCH_$GITHUB_SHA.json"
+//
+// Compare mode reads two such files and exits 1 when any benchmark present
+// in both regressed by more than -max-regress (a fraction; 0.25 means a
+// benchmark may be up to 25% slower, or serve up to 25% fewer queries/s,
+// before the gate trips):
+//
+//	benchgate -baseline bench/BENCH_baseline.json -current BENCH_$GITHUB_SHA.json
+//
+// Benchmarks present on only one side are reported but never fail the gate,
+// so adding or retiring benchmarks does not wedge CI; the committed
+// baseline is refreshed by promoting a run's artifact to
+// bench/BENCH_baseline.json (required after a runner-hardware change, since
+// absolute timings are machine-specific). A baseline recorded with -seed
+// (off-runner, bootstrapping the trajectory) is advisory: regressions are
+// reported but do not fail the gate until a runner-produced baseline is
+// promoted.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Point is one benchmark's measurement in a trajectory file.
+type Point struct {
+	// NsPerOp is the best (minimum) ns/op across repetitions.
+	NsPerOp float64 `json:"ns_per_op"`
+	// QPS is the best (maximum) custom queries/s metric, 0 when the
+	// benchmark does not report one.
+	QPS float64 `json:"qps,omitempty"`
+	// Runs counts the repetitions aggregated.
+	Runs int `json:"runs"`
+}
+
+// File is one trajectory point: every benchmark of one commit's run.
+type File struct {
+	SHA string `json:"sha,omitempty"`
+	// Seed marks a baseline recorded off-runner (e.g. on a developer
+	// machine to bootstrap the trajectory). Absolute timings are
+	// machine-specific, so compare mode reports regressions against a seed
+	// baseline without failing; promoting a runner-produced artifact
+	// (which record mode never stamps as seed) arms the hard gate.
+	Seed       bool             `json:"seed,omitempty"`
+	Benchmarks map[string]Point `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line. The -N GOMAXPROCS
+// suffix is stripped so the name is stable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+var qpsMetric = regexp.MustCompile(`([0-9.e+]+) queries/s`)
+
+// parseBench folds benchmark output into per-name Points: minimum ns/op and
+// maximum queries/s across repeated lines.
+func parseBench(r io.Reader) (map[string]Point, error) {
+	out := map[string]Point{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op %q: %w", m[2], err)
+		}
+		p := out[m[1]]
+		if p.Runs == 0 || ns < p.NsPerOp {
+			p.NsPerOp = ns
+		}
+		if q := qpsMetric.FindStringSubmatch(m[3]); q != nil {
+			qps, err := strconv.ParseFloat(q[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad queries/s %q: %w", q[1], err)
+			}
+			if qps > p.QPS {
+				p.QPS = qps
+			}
+		}
+		p.Runs++
+		out[m[1]] = p
+	}
+	return out, sc.Err()
+}
+
+// regression describes one gate violation.
+type regression struct {
+	name   string
+	metric string
+	base   float64
+	cur    float64
+	frac   float64 // how much worse, as a fraction of base
+}
+
+// compare gates current against baseline: a benchmark regresses when its
+// ns/op grew, or its queries/s shrank, by more than maxRegress. Only
+// benchmarks present in both files are gated; the names present on one
+// side only are returned for reporting.
+func compare(baseline, current map[string]Point, maxRegress float64) (regs []regression, onlyBase, onlyCur []string) {
+	for name, b := range baseline {
+		c, ok := current[name]
+		if !ok {
+			onlyBase = append(onlyBase, name)
+			continue
+		}
+		if b.NsPerOp > 0 {
+			if frac := c.NsPerOp/b.NsPerOp - 1; frac > maxRegress {
+				regs = append(regs, regression{name, "ns/op", b.NsPerOp, c.NsPerOp, frac})
+			}
+		}
+		if b.QPS > 0 && c.QPS > 0 {
+			if frac := 1 - c.QPS/b.QPS; frac > maxRegress {
+				regs = append(regs, regression{name, "queries/s", b.QPS, c.QPS, frac})
+			}
+		}
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			onlyCur = append(onlyCur, name)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].name < regs[j].name })
+	sort.Strings(onlyBase)
+	sort.Strings(onlyCur)
+	return regs, onlyBase, onlyCur
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+func main() {
+	var (
+		record     = flag.Bool("record", false, "parse `go test -bench` output into a trajectory JSON")
+		in         = flag.String("in", "", "record: read benchmark output from this file instead of stdin")
+		out        = flag.String("out", "", "record: write the JSON here (default stdout)")
+		sha        = flag.String("sha", "", "record: commit SHA to stamp the file with")
+		seed       = flag.Bool("seed", false, "record: mark the file as an off-runner seed baseline (compare reports against it without failing)")
+		baseline   = flag.String("baseline", "", "compare: the committed baseline JSON")
+		current    = flag.String("current", "", "compare: the fresh run's JSON")
+		maxRegress = flag.Float64("max-regress", 0.25, "compare: fail when a benchmark is more than this fraction worse")
+	)
+	flag.Parse()
+	if err := run(*record, *in, *out, *sha, *seed, *baseline, *current, *maxRegress, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(record bool, in, out, sha string, seed bool, baseline, current string, maxRegress float64, w io.Writer) error {
+	switch {
+	case record:
+		src := io.Reader(os.Stdin)
+		if in != "" {
+			f, err := os.Open(in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			src = f
+		}
+		points, err := parseBench(src)
+		if err != nil {
+			return err
+		}
+		if len(points) == 0 {
+			return fmt.Errorf("benchgate: no benchmark lines in input")
+		}
+		raw, err := json.MarshalIndent(File{SHA: sha, Seed: seed, Benchmarks: points}, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if out == "" {
+			_, err := w.Write(raw)
+			return err
+		}
+		return os.WriteFile(out, raw, 0o644)
+	case baseline != "" && current != "":
+		base, err := readFile(baseline)
+		if err != nil {
+			return err
+		}
+		cur, err := readFile(current)
+		if err != nil {
+			return err
+		}
+		regs, onlyBase, onlyCur := compare(base.Benchmarks, cur.Benchmarks, maxRegress)
+		for _, name := range onlyBase {
+			fmt.Fprintf(w, "note: %s is in the baseline only (retired?)\n", name)
+		}
+		for _, name := range onlyCur {
+			fmt.Fprintf(w, "note: %s is new (not in the baseline); promote the artifact to gate it\n", name)
+		}
+		gated := 0
+		for name := range cur.Benchmarks {
+			if _, ok := base.Benchmarks[name]; ok {
+				gated++
+			}
+		}
+		if len(regs) == 0 {
+			fmt.Fprintf(w, "benchgate: %d benchmarks within %.0f%% of baseline %s\n",
+				gated, maxRegress*100, base.SHA)
+			return nil
+		}
+		for _, r := range regs {
+			fmt.Fprintf(w, "REGRESSION: %s %s %.4g → %.4g (%.1f%% worse, limit %.0f%%)\n",
+				r.name, r.metric, r.base, r.cur, r.frac*100, maxRegress*100)
+		}
+		if base.Seed {
+			fmt.Fprintf(w, "benchgate: baseline %s is an off-runner seed — regressions reported, not fatal; promote a run's artifact to bench/BENCH_baseline.json to arm the gate\n", base.SHA)
+			return nil
+		}
+		return fmt.Errorf("benchgate: %d regression(s) beyond %.0f%% vs baseline %s",
+			len(regs), maxRegress*100, base.SHA)
+	default:
+		return fmt.Errorf("benchgate: use -record, or -baseline with -current (see package doc)")
+	}
+}

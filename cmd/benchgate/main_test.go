@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: distperm
+BenchmarkKNNLinear-8   	   35870	     33099 ns/op
+BenchmarkKNNLinear-8   	   36012	     32950 ns/op
+BenchmarkKNNLinear-8   	   35011	     34001 ns/op
+BenchmarkEngineThroughput/workers=4-8  	    2623	    456087 ns/op	    561623 queries/s
+BenchmarkEngineThroughput/workers=4-8  	    2590	    460100 ns/op	    555002 queries/s
+BenchmarkPermutationL2-8	 4524525	       265.1 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	distperm	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	points, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, ok := points["BenchmarkKNNLinear"]
+	if !ok || lin.Runs != 3 || lin.NsPerOp != 32950 {
+		t.Errorf("KNNLinear = %+v (want min of 3 runs, 32950 ns/op)", lin)
+	}
+	eng, ok := points["BenchmarkEngineThroughput/workers=4"]
+	if !ok || eng.Runs != 2 || eng.NsPerOp != 456087 || eng.QPS != 561623 {
+		t.Errorf("EngineThroughput = %+v", eng)
+	}
+	perm, ok := points["BenchmarkPermutationL2"]
+	if !ok || perm.NsPerOp != 265.1 || perm.QPS != 0 {
+		t.Errorf("PermutationL2 = %+v", perm)
+	}
+	if empty, err := parseBench(strings.NewReader("no benchmarks here")); err != nil || len(empty) != 0 {
+		t.Errorf("garbage input: %v, %v", empty, err)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]Point{
+		"A": {NsPerOp: 1000, Runs: 3},
+		"B": {NsPerOp: 500, QPS: 10000, Runs: 3},
+		"C": {NsPerOp: 200, Runs: 3}, // retired
+	}
+	cur := map[string]Point{
+		"A": {NsPerOp: 1200, Runs: 3},           // 20% slower: within a 25% gate
+		"B": {NsPerOp: 500, QPS: 7000, Runs: 3}, // 30% fewer queries/s: regression
+		"D": {NsPerOp: 50, Runs: 3},             // new
+	}
+	regs, onlyBase, onlyCur := compare(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].name != "B" || regs[0].metric != "queries/s" {
+		t.Fatalf("regs = %+v, want exactly B on queries/s", regs)
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "C" || len(onlyCur) != 1 || onlyCur[0] != "D" {
+		t.Errorf("membership notes: %v, %v", onlyBase, onlyCur)
+	}
+	// A tighter gate catches the ns/op drift too.
+	regs, _, _ = compare(base, cur, 0.1)
+	if len(regs) != 2 {
+		t.Errorf("10%% gate: %+v, want A and B", regs)
+	}
+	// Identical runs never regress.
+	if regs, _, _ := compare(base, base, 0.25); len(regs) != 0 {
+		t.Errorf("self-compare regressed: %+v", regs)
+	}
+}
+
+// TestEndToEndGate drives record and compare through run(), including the
+// injected-slowdown failure the CI gate exists for.
+func TestEndToEndGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	in := write("bench.txt", sampleOutput)
+	basePath := filepath.Join(dir, "base.json")
+	var sink strings.Builder
+	if err := run(true, in, basePath, "abc123", false, "", "", 0.25, &sink); err != nil {
+		t.Fatal(err)
+	}
+	// Same numbers against themselves: the gate passes.
+	if err := run(false, "", "", "", false, basePath, basePath, 0.25, &sink); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	// Inject a slowdown: every ns/op figure 10× worse must trip the gate.
+	slow := strings.NewReplacer("33099", "330990", "32950", "329500", "34001", "340010",
+		"456087", "4560870", "460100", "4601000", "265.1", "2651").Replace(sampleOutput)
+	slowIn := write("slow.txt", slow)
+	curPath := filepath.Join(dir, "cur.json")
+	if err := run(true, slowIn, curPath, "def456", false, "", "", 0.25, &sink); err != nil {
+		t.Fatal(err)
+	}
+	sink.Reset()
+	err := run(false, "", "", "", false, basePath, curPath, 0.25, &sink)
+	if err == nil {
+		t.Fatalf("injected slowdown passed the gate:\n%s", sink.String())
+	}
+	if !strings.Contains(sink.String(), "REGRESSION: BenchmarkKNNLinear") {
+		t.Errorf("regression report missing:\n%s", sink.String())
+	}
+	// A seed-stamped baseline reports the same regressions without
+	// failing: absolute timings from another machine must not wedge CI
+	// until a runner-produced artifact is promoted.
+	seedPath := filepath.Join(dir, "seedbase.json")
+	if err := run(true, in, seedPath, "abc123", true, "", "", 0.25, &sink); err != nil {
+		t.Fatal(err)
+	}
+	sink.Reset()
+	if err := run(false, "", "", "", false, seedPath, curPath, 0.25, &sink); err != nil {
+		t.Fatalf("seed baseline must be advisory: %v", err)
+	}
+	if !strings.Contains(sink.String(), "REGRESSION: BenchmarkKNNLinear") ||
+		!strings.Contains(sink.String(), "not fatal") {
+		t.Errorf("seed-baseline report wrong:\n%s", sink.String())
+	}
+
+	// Missing-benchmark edge: an empty input errors in record mode.
+	if err := run(true, write("empty.txt", "PASS\n"), "", "", false, "", "", 0.25, &sink); err == nil {
+		t.Error("empty benchmark output should error")
+	}
+	// No mode selected is a usage error.
+	if err := run(false, "", "", "", false, "", "", 0.25, &sink); err == nil {
+		t.Error("no mode should error")
+	}
+}

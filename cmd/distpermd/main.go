@@ -12,10 +12,17 @@
 // and reports achieved throughput and latency percentiles — the repo's
 // qps-vs-workers and qps-vs-shards benchmark story extended over the wire.
 //
+// With -rebuild-threshold N the daemon serves the live write path too:
+// POST /v1/insert and /v1/delete mutate the logical point set (delta buffer
+// + tombstones, stable global IDs), and once N writes are pending a
+// background rebuild folds them into a fresh index, swapped in atomically
+// under traffic.
+//
 // Usage:
 //
 //	distpermd -gen uniform -n 20000 -d 6 -index distperm -k 12 -addr :7411
 //	distpermd -gen uniform -n 20000 -d 6 -shards 4 -partition hash -addr :7411
+//	distpermd -gen uniform -n 20000 -d 6 -rebuild-threshold 4096 -addr :7411
 //	distpermd -file points.txt -load index.dpermidx -addr :7411
 //	distpermd -loadgen -target http://localhost:7411 -gen uniform -n 1000 -d 6 \
 //	    -knn 3 -qps 500 -concurrency 16 -duration 10s
@@ -39,6 +46,7 @@ import (
 
 	"distperm/internal/dataset"
 	"distperm/internal/metric"
+	"distperm/internal/sisap"
 	"distperm/pkg/distperm"
 	"distperm/pkg/dpserver"
 	"distperm/pkg/dpserver/client"
@@ -57,10 +65,11 @@ func main() {
 		// Index: built on startup or loaded from a container.
 		index     = flag.String("index", "distperm", "index kind to build: "+strings.Join(distperm.Kinds(), ", "))
 		k         = flag.Int("k", 8, "pivots/sites for the built index")
-		load      = flag.String("load", "", "read a DPERMIDX container (any codec kind, including sharded) instead of building")
+		load      = flag.String("load", "", "read a DPERMIDX container (any codec kind, including sharded and mutable) instead of building")
 		shards    = flag.Int("shards", 1, "partition the database across this many scatter-gather shards")
 		partition = flag.String("partition", "roundrobin", "shard placement strategy: "+strings.Join(distperm.Partitioners(), ", "))
 		workers   = flag.Int("workers", 0, "worker goroutines per engine pool (0 = NumCPU)")
+		rebuild   = flag.Int("rebuild-threshold", 0, "enable the live write path (POST /v1/insert, /v1/delete): background-rebuild the index once this many writes are pending (0 serves read-only)")
 
 		// Serving.
 		addr      = flag.String("addr", ":7411", "HTTP listen address")
@@ -77,6 +86,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "loadgen: client workers")
 		duration    = flag.Duration("duration", 5*time.Second, "loadgen: run length")
 		reqBatch    = flag.Int("batch", 1, "loadgen: queries per request (1 = single-query form, exercising the coalescer)")
+		writeRatio  = flag.Float64("write-ratio", 0, "loadgen: fraction of requests that mutate (insert/delete) instead of query; needs a -rebuild-threshold server")
 	)
 	flag.Parse()
 
@@ -107,6 +117,7 @@ func main() {
 			Concurrency: *concurrency,
 			Duration:    *duration,
 			Batch:       *reqBatch,
+			WriteRatio:  *writeRatio,
 		}
 		if err := runLoadgen(os.Stdout, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -118,7 +129,8 @@ func main() {
 	srv, err := buildServer(ds, rng, daemonConfig{
 		Index: *index, K: *k, Load: *load,
 		Shards: *shards, Partition: *partition, Workers: *workers,
-		Serving: dpserver.Config{BatchMax: *batchMax, BatchWait: *batchWait, CacheSize: *cacheSize},
+		RebuildThreshold: *rebuild,
+		Serving:          dpserver.Config{BatchMax: *batchMax, BatchWait: *batchWait, CacheSize: *cacheSize},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -144,22 +156,31 @@ func main() {
 
 // daemonConfig collects the index/serving parameters of one daemon run.
 type daemonConfig struct {
-	Index     string
-	K         int
-	Load      string
-	Shards    int
-	Partition string
-	Workers   int
-	Serving   dpserver.Config
+	Index            string
+	K                int
+	Load             string
+	Shards           int
+	Partition        string
+	Workers          int
+	RebuildThreshold int
+	Serving          dpserver.Config
 }
 
 // buildServer assembles the serving stack: database from the dataset, index
 // loaded from a container or built through the registries, engine and HTTP
-// layers from pkg/dpserver.
+// layers from pkg/dpserver. A rebuild threshold turns the stack mutable:
+// the index (built or loaded, including a saved mutable container) is
+// wrapped in a MutableEngine and the write endpoints go live.
 func buildServer(ds *dataset.Dataset, rng *rand.Rand, cfg daemonConfig) (*dpserver.Server, error) {
 	db, err := distperm.NewDB(ds.Metric, ds.Points)
 	if err != nil {
 		return nil, err
+	}
+	var p distperm.Partitioner
+	if cfg.Shards > 1 || cfg.RebuildThreshold > 0 {
+		if p, err = distperm.PartitionerByName(cfg.Partition); err != nil {
+			return nil, err
+		}
 	}
 	var idx distperm.Index
 	switch {
@@ -173,10 +194,6 @@ func buildServer(ds *dataset.Dataset, rng *rand.Rand, cfg daemonConfig) (*dpserv
 			return nil, fmt.Errorf("loading %s: %w", cfg.Load, err)
 		}
 	case cfg.Shards > 1:
-		p, err := distperm.PartitionerByName(cfg.Partition)
-		if err != nil {
-			return nil, err
-		}
 		if idx, err = distperm.BuildSharded(db,
 			distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}, cfg.Shards, p); err != nil {
 			return nil, err
@@ -187,7 +204,75 @@ func buildServer(ds *dataset.Dataset, rng *rand.Rand, cfg daemonConfig) (*dpserv
 			return nil, err
 		}
 	}
-	return dpserver.NewFromIndex(db, idx, cfg.Workers, cfg.Serving)
+	if cfg.RebuildThreshold <= 0 {
+		return dpserver.NewFromIndex(db, idx, cfg.Workers, cfg.Serving)
+	}
+	mcfg := distperm.MutableConfig{
+		Spec:             distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()},
+		Workers:          cfg.Workers,
+		RebuildThreshold: cfg.RebuildThreshold,
+	}
+	if cfg.Load != "" {
+		// Rebuilds of a loaded store keep the loaded shape (kind and
+		// pivot/site count) rather than following the possibly-defaulted
+		// -index/-k flags: resuming a store must not silently rebuild it
+		// into a different index.
+		mcfg.Spec = inferSpec(idx)
+		mcfg.Spec.Seed = rng.Int63()
+	}
+	if cfg.Shards > 1 {
+		mcfg.Shards = cfg.Shards
+		mcfg.Partitioner = p
+	} else if sx := shardedBase(idx); cfg.Load != "" && sx != nil {
+		// A loaded sharded store stays sharded across rebuilds even when
+		// -shards was not repeated on the command line. The partition map
+		// in the container carries no strategy name, so placement follows
+		// -partition (default roundrobin).
+		mcfg.Shards = sx.NumShards()
+		mcfg.Partitioner = p
+	}
+	var me *distperm.MutableEngine
+	if mi, ok := idx.(*distperm.MutableIndex); ok {
+		// A saved mutable container resumes with its write history; the
+		// loaded database must hold its base points then its delta points.
+		me, err = distperm.NewMutableEngineFrom(mi, mcfg)
+	} else {
+		me, err = distperm.WrapMutable(db, idx, mcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dpserver.NewFromMutable(me, cfg.Serving)
+}
+
+// inferSpec derives a rebuild Spec from a loaded index: its kind and, for
+// the parameterised kinds, its pivot/site count, so a resumed store folds
+// back into the shape it was saved with. Containers defer to what they
+// embed (a sharded container to its first shard, a mutable one to its
+// base); kinds without a K leave it zero.
+func inferSpec(idx distperm.Index) distperm.Spec {
+	switch x := idx.(type) {
+	case *distperm.ShardedIndex:
+		return inferSpec(x.Shard(0))
+	case *distperm.MutableIndex:
+		return inferSpec(x.Base())
+	case *distperm.PermIndex:
+		return distperm.Spec{Index: "distperm", K: x.K()}
+	case *sisap.LAESA:
+		return distperm.Spec{Index: "laesa", K: len(x.Pivots())}
+	default:
+		return distperm.Spec{Index: idx.Name()}
+	}
+}
+
+// shardedBase unwraps idx to the sharded container it serves from, if any:
+// the index itself, or a mutable snapshot's base.
+func shardedBase(idx distperm.Index) *distperm.ShardedIndex {
+	if mi, ok := idx.(*distperm.MutableIndex); ok {
+		idx = mi.Base()
+	}
+	sx, _ := idx.(*distperm.ShardedIndex)
+	return sx
 }
 
 // runLoadgen drives RunLoad and prints the report.
@@ -205,5 +290,8 @@ func runLoadgen(w io.Writer, cfg client.LoadConfig) error {
 	fmt.Fprintf(w, "sent %d requests (%d queries, %d errors) in %v: %.0f queries/s, latency p50 %v p99 %v\n",
 		report.Requests, report.Queries, report.Errors, report.Elapsed.Round(time.Millisecond),
 		report.QueriesPerSecond, report.P50, report.P99)
+	if report.Inserts > 0 || report.Deletes > 0 {
+		fmt.Fprintf(w, "mutations: %d inserts, %d deletes\n", report.Inserts, report.Deletes)
+	}
 	return nil
 }

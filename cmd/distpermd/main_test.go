@@ -71,10 +71,68 @@ func TestBuildServerModes(t *testing.T) {
 	}
 	srv.Close()
 
+	// A rebuild threshold turns any of the sources mutable.
+	srv, err = buildServer(ds, rng, daemonConfig{
+		Index: "distperm", K: 6, Shards: 2, Partition: "roundrobin", RebuildThreshold: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := srv.Info(); !info.Mutable || info.Kind != "mutable" || info.Base != "sharded" || info.Shards != 2 {
+		t.Errorf("mutable sharded server info %+v", info)
+	}
+	srv.Close()
+	srv, err = buildServer(ds, rng, daemonConfig{Load: path, Partition: "roundrobin", RebuildThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded store keeps its sharding across rebuilds even though
+	// -shards was not repeated on the command line.
+	if info := srv.Info(); !info.Mutable || info.Base != "sharded" || info.Shards != 2 {
+		t.Errorf("mutable loaded server info %+v", info)
+	}
+	srv.Close()
+
+	// A saved mutable container resumes as a mutable server.
+	me, err := distperm.NewMutableEngine(db, distperm.MutableConfig{
+		Spec: distperm.Spec{Index: "distperm", K: 6, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := me.Insert(ds.Points[0]); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := me.Snapshot()
+	me.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(t.TempDir(), "mutable.dpermidx")
+	mf, err := os.Create(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := distperm.WriteIndex(mf, snap); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	// The resumed database is base + delta: the snapshot's own point set.
+	mds := &dataset.Dataset{Name: "resumed", Metric: snap.DB().Metric, Points: snap.DB().Points}
+	srv, err = buildServer(mds, rng, daemonConfig{Load: mpath, Partition: "roundrobin", RebuildThreshold: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := srv.Info(); !info.Mutable || info.N != 301 {
+		t.Errorf("resumed mutable server info %+v", info)
+	}
+	srv.Close()
+
 	// Failure modes are errors, not panics.
 	for _, cfg := range []daemonConfig{
 		{Index: "bogus"},
 		{Index: "distperm", K: 6, Shards: 2, Partition: "modulo"},
+		{Index: "distperm", K: 6, RebuildThreshold: 16, Partition: "modulo"},
 		{Load: filepath.Join(t.TempDir(), "missing.dpermidx")},
 	} {
 		if _, err := buildServer(ds, rng, cfg); err == nil {

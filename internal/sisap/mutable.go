@@ -1,0 +1,338 @@
+package sisap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"distperm/internal/metric"
+)
+
+// MutableIndex is the snapshot form of a live-mutated store: an immutable
+// base index over the first nb points of the database, a delta of unindexed
+// points (the rest of the database) answered by linear scan, and a tombstone
+// set of deleted points filtered at gather time. Every point carries a
+// stable global ID (gid) that survives rebuilds, deletions, and save/load;
+// query results report gids, so answers stay comparable across snapshots of
+// the same logical point set.
+//
+// The invariants (validated by NewMutableIndex):
+//
+//   - the database holds the base points first, then the delta points;
+//   - gids are strictly increasing in local order (so base gids < delta
+//     gids, and (distance, gid) tie-breaking agrees with (distance, local))
+//     and all below nextGid;
+//   - tombstones name gids present in the database.
+//
+// A query merges the base answer (tombstones filtered, IDs remapped to
+// gids) with a linear scan of the live delta — exactly the answer an index
+// built from scratch over the logical point set would give, with the
+// logical set ordered by gid. MutableIndex satisfies Index and Replicable,
+// so a plain engine can serve a loaded snapshot read-only; the live write
+// path around it is pkg/distperm's MutableEngine.
+type MutableIndex struct {
+	full    *DB
+	baseDB  *DB
+	nb      int
+	base    Index
+	gids    []int
+	tomb    map[int]struct{}
+	tombs   []int // ascending, the serialised form of tomb
+	nextGid int
+}
+
+// NewMutableIndex assembles a snapshot from its parts: the full database
+// (base points then delta points), the base prefix length nb, the base
+// index (built over the first nb points), the per-point gids, the
+// tombstoned gids (ascending), and the next gid an insert would take. The
+// invariants above are validated; violations are errors, not panics,
+// because the codec feeds this from untrusted bytes.
+func NewMutableIndex(full *DB, nb int, base Index, gids []int, tombs []int, nextGid int) (*MutableIndex, error) {
+	if full == nil || full.N() == 0 {
+		return nil, fmt.Errorf("sisap: mutable index requires a non-empty database")
+	}
+	if base == nil {
+		return nil, fmt.Errorf("sisap: mutable index requires a base index")
+	}
+	if nb < 1 || nb > full.N() {
+		return nil, fmt.Errorf("sisap: base prefix %d out of range 1..%d", nb, full.N())
+	}
+	if len(gids) != full.N() {
+		return nil, fmt.Errorf("sisap: %d gids for %d points", len(gids), full.N())
+	}
+	prev := -1
+	for i, g := range gids {
+		if g <= prev {
+			return nil, fmt.Errorf("sisap: gids not strictly increasing at local %d", i)
+		}
+		prev = g
+	}
+	if prev >= nextGid {
+		return nil, fmt.Errorf("sisap: max gid %d ≥ next gid %d", prev, nextGid)
+	}
+	tomb := make(map[int]struct{}, len(tombs))
+	prev = -1
+	for _, g := range tombs {
+		if g <= prev {
+			return nil, fmt.Errorf("sisap: tombstones not strictly increasing at %d", g)
+		}
+		prev = g
+		i := sort.SearchInts(gids, g)
+		if i >= len(gids) || gids[i] != g {
+			return nil, fmt.Errorf("sisap: tombstone %d names no point", g)
+		}
+		tomb[g] = struct{}{}
+	}
+	return &MutableIndex{
+		full:    full,
+		baseDB:  NewDB(full.Metric, full.Points[:nb]),
+		nb:      nb,
+		base:    base,
+		gids:    gids,
+		tomb:    tomb,
+		tombs:   append([]int(nil), tombs...),
+		nextGid: nextGid,
+	}, nil
+}
+
+// Name identifies the snapshot kind in the codec registry.
+func (x *MutableIndex) Name() string { return "mutable" }
+
+// Base returns the base index.
+func (x *MutableIndex) Base() Index { return x.base }
+
+// BaseDB returns the database the base index was built on (the first BaseN
+// points of DB).
+func (x *MutableIndex) BaseDB() *DB { return x.baseDB }
+
+// BaseN returns the number of indexed base points.
+func (x *MutableIndex) BaseN() int { return x.nb }
+
+// DeltaN returns the number of unindexed delta points (live or tombstoned).
+func (x *MutableIndex) DeltaN() int { return x.full.N() - x.nb }
+
+// LiveN returns the logical point count: all points minus tombstones.
+func (x *MutableIndex) LiveN() int { return x.full.N() - len(x.tomb) }
+
+// NextGID returns the gid the next insert would take.
+func (x *MutableIndex) NextGID() int { return x.nextGid }
+
+// GIDs returns the per-point global IDs in local order. The caller must not
+// modify the slice.
+func (x *MutableIndex) GIDs() []int { return x.gids }
+
+// Tombstones returns the tombstoned gids in ascending order. The caller
+// must not modify the slice.
+func (x *MutableIndex) Tombstones() []int { return x.tombs }
+
+// Tombstoned reports whether gid is deleted.
+func (x *MutableIndex) Tombstoned(gid int) bool {
+	_, dead := x.tomb[gid]
+	return dead
+}
+
+// DB returns the full database: base points then delta points, including
+// tombstoned ones (the base index is built over them; they are filtered at
+// gather time).
+func (x *MutableIndex) DB() *DB { return x.full }
+
+// IndexBits counts the base index plus the snapshot bookkeeping: 64 bits of
+// gid per point and per tombstone. Delta points are unindexed and free.
+func (x *MutableIndex) IndexBits() int64 {
+	return x.base.IndexBits() + 64*int64(x.full.N()) + 64*int64(len(x.tombs))
+}
+
+// Replica satisfies Replicable: the base index's scratch state is cloned,
+// everything else is immutable and shared.
+func (x *MutableIndex) Replica() Index {
+	r := *x
+	r.base = QueryReplica(x.base)
+	return &r
+}
+
+// KNN returns the k nearest live points by (distance, gid), with Result.ID
+// carrying gids. The base index is asked for k plus the tombstone count (so
+// at least k live base points surface), the delta is linear-scanned, and
+// the merge keeps the global top k. Fewer than k results are returned when
+// fewer than k points are live.
+func (x *MutableIndex) KNN(q metric.Point, k int) ([]Result, Stats) {
+	checkK(k, x.full.N())
+	kb := k + len(x.tomb)
+	if kb > x.nb {
+		kb = x.nb
+	}
+	rs, st := x.base.KNN(q, kb)
+	rs = x.filterBase(rs)
+	delta := x.scanDelta(q, -1, &st)
+	return MergeKNN([][]Result{rs, delta}, k), st
+}
+
+// Range returns all live points within radius r, in (distance, gid) order.
+func (x *MutableIndex) Range(q metric.Point, r float64) ([]Result, Stats) {
+	rs, st := x.base.Range(q, r)
+	rs = x.filterBase(rs)
+	delta := x.scanDelta(q, r, &st)
+	return MergeRange([][]Result{rs, delta}), st
+}
+
+// FilterLive is the shared gather step of the mutation design: it drops
+// tombstoned base answers and remaps base-local IDs to gids, in place.
+// Remapping preserves (distance, ID) order because gids are strictly
+// increasing in local order. Both MutableIndex and the live engine
+// (pkg/distperm MutableEngine) filter through here, so their answers
+// cannot drift.
+func FilterLive(rs []Result, gids []int, tomb map[int]struct{}) []Result {
+	keep := rs[:0]
+	for _, r := range rs {
+		g := gids[r.ID]
+		if _, dead := tomb[g]; dead {
+			continue
+		}
+		r.ID = g
+		keep = append(keep, r)
+	}
+	return keep
+}
+
+func (x *MutableIndex) filterBase(rs []Result) []Result {
+	return FilterLive(rs, x.gids, x.tomb)
+}
+
+// scanDelta measures the query against every live delta point, counting the
+// evaluations into st. r < 0 keeps every point (the kNN path); otherwise
+// only points within r survive. pkg/distperm's MutableEngine carries the
+// same semantics over its deltaPoint buffer (which holds live points only,
+// so it skips the tombstone check).
+func (x *MutableIndex) scanDelta(q metric.Point, r float64, st *Stats) []Result {
+	var out []Result
+	for local := x.nb; local < x.full.N(); local++ {
+		g := x.gids[local]
+		if _, dead := x.tomb[g]; dead {
+			continue
+		}
+		d := x.full.Metric.Distance(q, x.full.Points[local])
+		st.DistanceEvals++
+		if r < 0 || d <= r {
+			out = append(out, Result{ID: g, Distance: d})
+		}
+	}
+	return out
+}
+
+// --- mutable codec ---
+
+// The mutable container payload — the delta/tombstone section the DPERMIDX
+// format gains so a mutated store survives save/load. The accompanying
+// database must hold the base points first and the delta points after them,
+// exactly as DB() reports; as everywhere else in the format, the points
+// themselves live in the data file, not the index file.
+//
+//	n       uint64   total point count (base + delta; == db.N())
+//	nb      uint64   base prefix length
+//	nextGid uint64   next gid an insert would take
+//	gids    n × uint64   per-point global IDs, strictly increasing
+//	nt      uint64   tombstone count
+//	tombs   nt × uint64  tombstoned gids, ascending
+//	blen    uint64   embedded base container length
+//	base    blen bytes   WriteIndex container over the base prefix
+func encodeMutable(w io.Writer, x Index) error {
+	m, ok := x.(*MutableIndex)
+	if !ok {
+		return fmt.Errorf("sisap: mutable codec given %T", x)
+	}
+	for _, v := range []uint64{uint64(m.full.N()), uint64(m.nb), uint64(m.nextGid)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, g := range m.gids {
+		if err := binary.Write(w, binary.LittleEndian, uint64(g)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(m.tombs))); err != nil {
+		return err
+	}
+	for _, g := range m.tombs {
+		if err := binary.Write(w, binary.LittleEndian, uint64(g)); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := WriteIndex(&buf, m.base); err != nil {
+		return fmt.Errorf("sisap: encoding mutable base: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func decodeMutable(r io.Reader, db *DB) (Index, error) {
+	if err := checkN(r, db); err != nil {
+		return nil, err
+	}
+	var nb, nextGid uint64
+	if err := binary.Read(r, binary.LittleEndian, &nb); err != nil {
+		return nil, fmt.Errorf("sisap: reading base prefix: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nextGid); err != nil {
+		return nil, fmt.Errorf("sisap: reading next gid: %w", err)
+	}
+	if nb == 0 || nb > uint64(db.N()) {
+		return nil, fmt.Errorf("sisap: base prefix %d out of range 1..%d", nb, db.N())
+	}
+	readInts := func(n uint64, what string) ([]int, error) {
+		if n > uint64(db.N()) {
+			return nil, fmt.Errorf("sisap: %d %s for %d points", n, what, db.N())
+		}
+		out := make([]int, n)
+		for i := range out {
+			var v uint64
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return nil, fmt.Errorf("sisap: reading %s: %w", what, err)
+			}
+			if v >= nextGid {
+				return nil, fmt.Errorf("sisap: %s entry %d ≥ next gid %d", what, v, nextGid)
+			}
+			out[i] = int(v)
+		}
+		return out, nil
+	}
+	gids, err := readInts(uint64(db.N()), "gids")
+	if err != nil {
+		return nil, err
+	}
+	var nt uint64
+	if err := binary.Read(r, binary.LittleEndian, &nt); err != nil {
+		return nil, fmt.Errorf("sisap: reading tombstone count: %w", err)
+	}
+	tombs, err := readInts(nt, "tombstones")
+	if err != nil {
+		return nil, err
+	}
+	var blen uint64
+	if err := binary.Read(r, binary.LittleEndian, &blen); err != nil {
+		return nil, fmt.Errorf("sisap: reading base payload size: %w", err)
+	}
+	if blen == 0 || blen > maxShardPayload {
+		return nil, fmt.Errorf("sisap: base payload size %d out of range", blen)
+	}
+	buf := make([]byte, blen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("sisap: reading base payload: %w", err)
+	}
+	baseDB := NewDB(db.Metric, db.Points[:nb])
+	base, err := ReadIndex(bytes.NewReader(buf), baseDB)
+	if err != nil {
+		return nil, fmt.Errorf("sisap: decoding mutable base: %w", err)
+	}
+	return NewMutableIndex(db, int(nb), base, gids, tombs, int(nextGid))
+}
+
+func init() {
+	RegisterCodec(Codec{Kind: "mutable", Encode: encodeMutable, Decode: decodeMutable})
+}

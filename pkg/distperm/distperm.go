@@ -62,6 +62,11 @@ type (
 	PermIndex = sisap.PermIndex
 	// PermDistance selects the candidate-ordering permutation distance.
 	PermDistance = sisap.PermDistance
+	// MutableIndex is the serialisable snapshot of a live-mutated store
+	// (base index + delta + tombstones), the DPERMIDX "mutable" container
+	// kind. MutableEngine produces one via Snapshot and resumes one via
+	// NewMutableEngineFrom; a plain Engine can serve it read-only.
+	MutableIndex = sisap.MutableIndex
 )
 
 // Candidate-ordering permutation distances for PermIndex.

@@ -121,7 +121,7 @@ func (e *Engine) worker(idx Index) {
 // increasing distance order — identical to querying the index sequentially.
 func (e *Engine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 	if k < 1 || k > e.db.N() {
-		return nil, fmt.Errorf("distperm: k=%d out of range 1..%d", k, e.db.N())
+		return nil, fmt.Errorf("distperm: k=%d %w 1..%d", k, ErrOutOfRange, e.db.N())
 	}
 	return e.submit(qs, func(i int, out *[]Result, wg *sync.WaitGroup) job {
 		return job{q: qs[i], k: k, out: out, wg: wg}
@@ -131,7 +131,7 @@ func (e *Engine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 // RangeBatch answers one range query of radius r per point of qs.
 func (e *Engine) RangeBatch(qs []Point, r float64) ([][]Result, error) {
 	if r < 0 {
-		return nil, fmt.Errorf("distperm: negative radius %g", r)
+		return nil, fmt.Errorf("distperm: negative radius %g is %w", r, ErrOutOfRange)
 	}
 	return e.submit(qs, func(i int, out *[]Result, wg *sync.WaitGroup) job {
 		return job{q: qs[i], r: r, out: out, wg: wg}

@@ -1,0 +1,798 @@
+package distperm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distperm/internal/metric"
+	"distperm/internal/sisap"
+)
+
+// ErrOutOfRange tags request-parameter errors (k or radius outside the
+// servable range) so serving layers can tell a bad request from an engine
+// failure. It is wrapped by the batch methods of Engine, ShardedEngine, and
+// MutableEngine; match with errors.Is.
+var ErrOutOfRange = errors.New("out of range")
+
+// ErrUnknownID is wrapped by MutableEngine.Delete when the ID names no live
+// point: never issued, already deleted, or dropped by an earlier delete and
+// rebuild. Match with errors.Is.
+var ErrUnknownID = errors.New("no live point with this id")
+
+// MutableConfig tunes a MutableEngine.
+type MutableConfig struct {
+	// Spec describes the index kind rebuilds construct (and NewMutableEngine
+	// builds initially). For WrapMutable an empty Spec.Index defaults to the
+	// wrapped index's kind.
+	Spec Spec
+	// Workers sizes each engine worker pool (≤ 0 means NumCPU), per shard
+	// when Shards > 1.
+	Workers int
+	// RebuildThreshold triggers a background rebuild once the pending write
+	// count (delta points + tombstones) reaches it. ≤ 0 disables automatic
+	// rebuilds; Rebuild still folds on demand.
+	RebuildThreshold int
+	// Shards > 1 makes rebuilds produce a sharded index served by a
+	// ShardedEngine, partitioned by Partitioner — the same scatter-gather
+	// seam BuildSharded uses. Inserts are routed through the Partitioner at
+	// write time, so per-shard pending-write counts are observable before
+	// the rebuild folds the points in.
+	Shards int
+	// Partitioner places points when Shards > 1 (required then).
+	Partitioner Partitioner
+}
+
+// mutBackend is the engine surface a snapshot serves base queries on;
+// *Engine and *ShardedEngine both satisfy it.
+type mutBackend interface {
+	KNNBatch(qs []Point, k int) ([][]Result, error)
+	RangeBatch(qs []Point, r float64) ([][]Result, error)
+	Stats() EngineStats
+	Workers() int
+	Close()
+}
+
+// epoch ties one base engine to the set of in-flight queries using it, so a
+// superseded engine closes only after its last reader finishes — the grace
+// period of the RCU-style snapshot swap.
+type epoch struct {
+	backend  mutBackend
+	inflight sync.WaitGroup
+}
+
+// deltaPoint is one inserted, not-yet-indexed point.
+type deltaPoint struct {
+	gid   int
+	p     Point
+	shard int // Partitioner assignment at insert time; -1 unsharded
+}
+
+// mutSnapshot is one immutable view of the store: a built base index behind
+// a worker-pool engine, the gid map and tombstones over it, and the delta
+// of inserts since the base was built. Writers publish a fresh snapshot per
+// mutation (sharing everything unchanged); readers pin one snapshot for the
+// duration of a batch and never block on writers or rebuilds.
+type mutSnapshot struct {
+	ep      *epoch
+	baseDB  *sisap.DB
+	baseIdx Index
+	gids    []int // base local -> gid, strictly increasing
+	maxBase int   // gids[len(gids)-1]
+	tomb    map[int]struct{}
+	delta   []deltaPoint // ascending gid, every gid > maxBase
+	logical int          // live point count
+}
+
+func (s *mutSnapshot) pending() int { return len(s.delta) + len(s.tomb) }
+
+// findDelta returns the position of gid in the delta, or (i, false) with
+// the insertion point.
+func (s *mutSnapshot) findDelta(gid int) (int, bool) {
+	i := sort.Search(len(s.delta), func(i int) bool { return s.delta[i].gid >= gid })
+	return i, i < len(s.delta) && s.delta[i].gid == gid
+}
+
+// live reports whether gid names a live point in this snapshot.
+func (s *mutSnapshot) live(gid int) bool {
+	if gid > s.maxBase {
+		_, ok := s.findDelta(gid)
+		return ok
+	}
+	i := sort.SearchInts(s.gids, gid)
+	if i >= len(s.gids) || s.gids[i] != gid {
+		return false
+	}
+	_, dead := s.tomb[gid]
+	return !dead
+}
+
+// MutableEngine wraps any engine of the family with a live write path:
+// inserts land in a linear-scanned delta buffer whose results merge into
+// every kNN/range answer, deletes are tombstones filtered at gather time,
+// and a background rebuilder folds delta and tombstones into a freshly
+// built index that is swapped in atomically — readers pin a snapshot per
+// batch and never see a torn index; a superseded base engine closes only
+// after its last in-flight query drains.
+//
+// Every point carries a stable global ID: the initial database occupies
+// 0..N-1 and each insert takes the next ID. Query results report these IDs,
+// so answers are comparable across mutations, rebuilds, and save/load
+// (Snapshot serialises the store in the DPERMIDX "mutable" container kind).
+// After any sequence of writes, answers equal a from-scratch rebuild over
+// the logical point set — the delta scan is exact, so mutation costs
+// distance evaluations (visible in Stats), never recall.
+//
+// All methods are safe for concurrent use. Writers serialise against each
+// other; readers never wait for writers, rebuilds, or each other.
+type MutableEngine struct {
+	cfg    MutableConfig
+	metric Metric
+	proto  Point
+
+	// curMu publishes cur; readers hold it only long enough to pin the
+	// snapshot's epoch, writers only long enough to store the new pointer.
+	curMu  sync.RWMutex
+	cur    *mutSnapshot
+	closed atomic.Bool
+
+	// writeMu serialises Insert/Delete/rebuild-swap/Close.
+	writeMu sync.Mutex
+	nextGid int
+
+	// rebuildMu serialises whole rebuilds (capture → build → swap) against
+	// each other — the background loop and manual Rebuild calls. The swap
+	// arithmetic relies on the base being unchanged between its snapshot
+	// capture and its swap, which only holds with one rebuild in flight.
+	rebuildMu sync.Mutex
+
+	kick      chan struct{}
+	done      chan struct{}
+	rebuilder sync.WaitGroup
+	reapers   sync.WaitGroup
+
+	// Cross-epoch accounting: closed epochs fold their final counters here,
+	// so Stats survives rebuilds; deltaEvals counts the gather-time scans.
+	statsMu              sync.Mutex
+	accQueries, accEvals int64
+	deltaEvals           atomic.Int64
+	inserts, deletes     atomic.Int64
+	rebuilds             atomic.Int64
+	rebuildFailures      atomic.Int64
+	lastRebuildNanos     atomic.Int64
+	lastRebuildErr       atomic.Pointer[string]
+}
+
+// MutationStats is a snapshot of the write path, reported alongside
+// EngineStats by serving layers.
+type MutationStats struct {
+	// Inserts and Deletes count accepted mutations.
+	Inserts, Deletes int64
+	// LiveN is the logical point count; NextID the ID the next insert takes.
+	LiveN, NextID int
+	// DeltaSize and Tombstones describe the pending write set; their sum is
+	// PendingWrites, compared against RebuildThreshold.
+	DeltaSize, Tombstones int
+	PendingWrites         int
+	RebuildThreshold      int
+	// DeltaPerShard is the Partitioner's routing of the pending inserts
+	// (nil when unsharded).
+	DeltaPerShard []int
+	// Rebuilds and RebuildFailures count background folds; LastRebuild is
+	// the duration of the most recent successful one and LastRebuildError
+	// the message of the most recent failed one.
+	Rebuilds, RebuildFailures int64
+	LastRebuild               time.Duration
+	LastRebuildError          string
+}
+
+// NewMutableEngine builds cfg.Spec over db (sharded when cfg.Shards > 1)
+// and wraps it mutable. The db points take global IDs 0..N-1.
+func NewMutableEngine(db *DB, cfg MutableConfig) (*MutableEngine, error) {
+	if db == nil || db.N() == 0 {
+		return nil, errors.New("distperm: NewMutableEngine requires a non-empty database")
+	}
+	idx, err := buildForConfig(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return WrapMutable(db, idx, cfg)
+}
+
+// buildForConfig is the rebuild constructor: cfg.Spec over db, through
+// BuildSharded when sharding is configured.
+func buildForConfig(db *DB, cfg MutableConfig) (Index, error) {
+	if cfg.Shards > 1 {
+		return BuildSharded(db, cfg.Spec, cfg.Shards, cfg.Partitioner)
+	}
+	return Build(db, cfg.Spec)
+}
+
+// WrapMutable wraps an already-built index (any kind, including "sharded")
+// with the write path. idx must have been built on db; the db points take
+// global IDs 0..N-1. An empty cfg.Spec.Index defaults to idx's kind, so
+// rebuilds reproduce what was wrapped.
+func WrapMutable(db *DB, idx Index, cfg MutableConfig) (*MutableEngine, error) {
+	if db == nil || db.N() == 0 || idx == nil {
+		return nil, errors.New("distperm: WrapMutable requires a database and an index")
+	}
+	gids := make([]int, db.N())
+	for i := range gids {
+		gids[i] = i
+	}
+	return newMutable(db, idx, gids, nil, nil, db.N(), cfg)
+}
+
+// NewMutableEngineFrom resumes a saved store: a *MutableIndex read back
+// from the DPERMIDX "mutable" container (ReadIndex against the full
+// base+delta database) becomes a live engine again, with its gids,
+// tombstones, and pending delta intact.
+func NewMutableEngineFrom(mi *MutableIndex, cfg MutableConfig) (*MutableEngine, error) {
+	if mi == nil {
+		return nil, errors.New("distperm: NewMutableEngineFrom requires a snapshot")
+	}
+	full, nb := mi.DB(), mi.BaseN()
+	gids := mi.GIDs()
+	var tombs []int
+	var delta []deltaPoint
+	for _, g := range mi.Tombstones() {
+		// Tombstoned delta points simply never re-enter the delta; only
+		// base tombstones are carried (the engine's delta holds live points
+		// only).
+		if g <= gids[nb-1] {
+			tombs = append(tombs, g)
+		}
+	}
+	for local := nb; local < full.N(); local++ {
+		if mi.Tombstoned(gids[local]) {
+			continue
+		}
+		delta = append(delta, deltaPoint{gid: gids[local], p: full.Points[local], shard: -1})
+	}
+	return newMutable(mi.BaseDB(), mi.Base(), append([]int(nil), gids[:nb]...), tombs, delta, mi.NextGID(), cfg)
+}
+
+func newMutable(baseDB *DB, baseIdx Index, gids, tombs []int, delta []deltaPoint, nextGid int, cfg MutableConfig) (*MutableEngine, error) {
+	if cfg.Shards > 1 && cfg.Partitioner == nil {
+		return nil, fmt.Errorf("distperm: %d shards need a Partitioner", cfg.Shards)
+	}
+	if cfg.Spec.Index == "" {
+		// Default rebuilds to the wrapped kind; a sharded base defers to
+		// its first member (the container kind "sharded" is not buildable).
+		if sx, ok := baseIdx.(*ShardedIndex); ok {
+			cfg.Spec.Index = sx.Shard(0).Name()
+		} else {
+			cfg.Spec.Index = baseIdx.Name()
+		}
+	}
+	known := false
+	for _, kind := range Kinds() {
+		if kind == cfg.Spec.Index {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("distperm: rebuild spec names unknown index kind %q", cfg.Spec.Index)
+	}
+	backend, err := engineFor(baseDB, baseIdx, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	m := &MutableEngine{
+		cfg:     cfg,
+		metric:  baseDB.Metric,
+		proto:   baseDB.Points[0],
+		nextGid: nextGid,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	tomb := make(map[int]struct{}, len(tombs))
+	for _, g := range tombs {
+		tomb[g] = struct{}{}
+	}
+	for i := range delta {
+		delta[i].shard = m.routeShard(delta[i].gid, delta[i].p)
+	}
+	m.cur = &mutSnapshot{
+		ep:      &epoch{backend: backend},
+		baseDB:  baseDB,
+		baseIdx: baseIdx,
+		gids:    gids,
+		maxBase: gids[len(gids)-1],
+		tomb:    tomb,
+		delta:   delta,
+		logical: len(gids) - len(tomb) + len(delta),
+	}
+	m.rebuilder.Add(1)
+	go m.rebuildLoop()
+	m.maybeKick(m.cur)
+	return m, nil
+}
+
+// engineFor starts the right engine for idx: a ShardedEngine per-shard pool
+// for a sharded index, a single Engine otherwise.
+func engineFor(db *DB, idx Index, workers int) (mutBackend, error) {
+	if sx, ok := idx.(*ShardedIndex); ok {
+		return NewShardedEngine(sx, workers)
+	}
+	return NewEngine(db, idx, workers)
+}
+
+// routeShard places a point through the Partitioner seam at write time.
+func (m *MutableEngine) routeShard(gid int, p Point) int {
+	if m.cfg.Shards > 1 {
+		return m.cfg.Partitioner.Shard(gid, p, m.cfg.Shards)
+	}
+	return -1
+}
+
+// acquire pins the current snapshot for one batch: the snapshot's epoch
+// cannot close until the matching release.
+func (m *MutableEngine) acquire() (*mutSnapshot, error) {
+	m.curMu.RLock()
+	if m.closed.Load() {
+		m.curMu.RUnlock()
+		return nil, errors.New("distperm: mutable engine is closed")
+	}
+	s := m.cur
+	s.ep.inflight.Add(1)
+	m.curMu.RUnlock()
+	return s, nil
+}
+
+// publish installs s as the current snapshot. Callers hold writeMu.
+func (m *MutableEngine) publish(s *mutSnapshot) {
+	m.curMu.Lock()
+	m.cur = s
+	m.curMu.Unlock()
+}
+
+// snapshot reads the current snapshot without pinning its epoch — for paths
+// that only read the immutable bookkeeping, never the engine.
+func (m *MutableEngine) snapshot() *mutSnapshot {
+	m.curMu.RLock()
+	defer m.curMu.RUnlock()
+	return m.cur
+}
+
+// Workers returns the current base engine's worker count.
+func (m *MutableEngine) Workers() int { return m.snapshot().ep.backend.Workers() }
+
+// Shards returns the configured shard count (1 when unsharded).
+func (m *MutableEngine) Shards() int {
+	if m.cfg.Shards > 1 {
+		return m.cfg.Shards
+	}
+	return 1
+}
+
+// BaseKind returns the current base index's registry kind.
+func (m *MutableEngine) BaseKind() string { return m.snapshot().baseIdx.Name() }
+
+// Metric returns the store's metric.
+func (m *MutableEngine) Metric() Metric { return m.metric }
+
+// Proto returns a representative point of the store — the shape inserts
+// and queries are validated against.
+func (m *MutableEngine) Proto() Point { return m.proto }
+
+// LiveN returns the logical point count.
+func (m *MutableEngine) LiveN() int { return m.snapshot().logical }
+
+// IndexBits reports the current base index's storage cost.
+func (m *MutableEngine) IndexBits() int64 { return m.snapshot().baseIdx.IndexBits() }
+
+// KNNBatch answers one kNN query per point of qs over the logical point
+// set: the base engine's answer (over-fetched by the tombstone count, dead
+// points filtered at gather) merged with a linear scan of the delta.
+// Result IDs are stable global IDs.
+func (m *MutableEngine) KNNBatch(qs []Point, k int) ([][]Result, error) {
+	s, err := m.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.ep.inflight.Done()
+	if k < 1 || k > s.logical {
+		return nil, fmt.Errorf("distperm: k=%d %w 1..%d", k, ErrOutOfRange, s.logical)
+	}
+	if len(qs) == 0 {
+		return [][]Result{}, nil
+	}
+	kb := k + len(s.tomb)
+	if kb > len(s.gids) {
+		kb = len(s.gids)
+	}
+	outs, err := s.ep.backend.KNNBatch(qs, kb)
+	if err != nil {
+		return nil, err
+	}
+	var evals int64
+	for i, q := range qs {
+		outs[i] = sisap.MergeKNN([][]Result{
+			filterBase(outs[i], s),
+			scanDelta(m.metric, s.delta, q, -1, &evals),
+		}, k)
+	}
+	m.deltaEvals.Add(evals)
+	return outs, nil
+}
+
+// RangeBatch answers one range query of radius r per point of qs over the
+// logical point set, in (distance, global ID) order.
+func (m *MutableEngine) RangeBatch(qs []Point, r float64) ([][]Result, error) {
+	s, err := m.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.ep.inflight.Done()
+	if r < 0 {
+		return nil, fmt.Errorf("distperm: negative radius %g is %w", r, ErrOutOfRange)
+	}
+	if len(qs) == 0 {
+		return [][]Result{}, nil
+	}
+	outs, err := s.ep.backend.RangeBatch(qs, r)
+	if err != nil {
+		return nil, err
+	}
+	var evals int64
+	for i, q := range qs {
+		outs[i] = sisap.MergeRange([][]Result{
+			filterBase(outs[i], s),
+			scanDelta(m.metric, s.delta, q, r, &evals),
+		})
+	}
+	m.deltaEvals.Add(evals)
+	return outs, nil
+}
+
+// filterBase is sisap.FilterLive over the snapshot's bookkeeping — the
+// same gather step a read-only-served MutableIndex runs.
+func filterBase(rs []Result, s *mutSnapshot) []Result {
+	return sisap.FilterLive(rs, s.gids, s.tomb)
+}
+
+// scanDelta measures q against every delta point — the engine-side twin of
+// MutableIndex's delta scan (the buffer holds live points only, so there
+// is no tombstone check here). r < 0 keeps all (kNN); otherwise only
+// points within r. Evaluations are counted into evals.
+func scanDelta(m Metric, delta []deltaPoint, q Point, r float64, evals *int64) []Result {
+	var out []Result
+	for _, dp := range delta {
+		d := m.Distance(q, dp.p)
+		*evals++
+		if r < 0 || d <= r {
+			out = append(out, Result{ID: dp.gid, Distance: d})
+		}
+	}
+	return out
+}
+
+// checkPoint validates an insert against the store's point shape, so a
+// malformed write is an error here, not a metric panic in a later query.
+func (m *MutableEngine) checkPoint(p Point) error {
+	if p == nil {
+		return errors.New("distperm: nil point")
+	}
+	if err := metric.Probe(m.metric, p); err != nil {
+		return fmt.Errorf("distperm: %w", err)
+	}
+	if proto, ok := m.proto.(Vector); ok {
+		if v, ok := p.(Vector); !ok || len(v) != len(proto) {
+			return fmt.Errorf("distperm: insert must be a %d-dimensional vector", len(proto))
+		}
+	}
+	return nil
+}
+
+// Insert adds p to the logical point set and returns its stable global ID.
+// The point is immediately visible to every query submitted after Insert
+// returns (read-your-writes), served from the delta buffer until a rebuild
+// folds it into the base index.
+func (m *MutableEngine) Insert(p Point) (int, error) {
+	if err := m.checkPoint(p); err != nil {
+		return 0, err
+	}
+	m.writeMu.Lock()
+	if m.closed.Load() {
+		m.writeMu.Unlock()
+		return 0, errors.New("distperm: mutable engine is closed")
+	}
+	s := m.cur
+	gid := m.nextGid
+	m.nextGid++
+	next := *s
+	// Appending may share the backing array with s.delta; that is safe —
+	// s's readers never look past their own length, and all appends
+	// serialise under writeMu.
+	next.delta = append(s.delta, deltaPoint{gid: gid, p: p, shard: m.routeShard(gid, p)})
+	next.logical++
+	m.publish(&next)
+	m.inserts.Add(1)
+	m.writeMu.Unlock()
+	m.maybeKick(&next)
+	return gid, nil
+}
+
+// Delete removes the live point with the given global ID: a base point is
+// tombstoned (filtered from every subsequent answer, physically dropped by
+// the next rebuild), a delta point leaves the buffer directly. Unknown and
+// already-deleted IDs fail with ErrUnknownID.
+func (m *MutableEngine) Delete(gid int) error {
+	m.writeMu.Lock()
+	if m.closed.Load() {
+		m.writeMu.Unlock()
+		return errors.New("distperm: mutable engine is closed")
+	}
+	s := m.cur
+	next := *s
+	switch {
+	case gid < 0 || gid >= m.nextGid:
+		m.writeMu.Unlock()
+		return fmt.Errorf("distperm: id %d: %w", gid, ErrUnknownID)
+	case gid > s.maxBase:
+		i, ok := s.findDelta(gid)
+		if !ok {
+			m.writeMu.Unlock()
+			return fmt.Errorf("distperm: id %d: %w", gid, ErrUnknownID)
+		}
+		next.delta = make([]deltaPoint, 0, len(s.delta)-1)
+		next.delta = append(append(next.delta, s.delta[:i]...), s.delta[i+1:]...)
+	default:
+		if !s.live(gid) {
+			m.writeMu.Unlock()
+			return fmt.Errorf("distperm: id %d: %w", gid, ErrUnknownID)
+		}
+		next.tomb = make(map[int]struct{}, len(s.tomb)+1)
+		for g := range s.tomb {
+			next.tomb[g] = struct{}{}
+		}
+		next.tomb[gid] = struct{}{}
+	}
+	next.logical--
+	m.publish(&next)
+	m.deletes.Add(1)
+	m.writeMu.Unlock()
+	m.maybeKick(&next)
+	return nil
+}
+
+// maybeKick wakes the background rebuilder when the pending write set has
+// reached the threshold.
+func (m *MutableEngine) maybeKick(s *mutSnapshot) {
+	if m.cfg.RebuildThreshold > 0 && s.pending() >= m.cfg.RebuildThreshold && s.logical > 0 {
+		select {
+		case m.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (m *MutableEngine) rebuildLoop() {
+	defer m.rebuilder.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-m.kick:
+		}
+		if err := m.rebuildOnce(false); err != nil {
+			m.rebuildFailures.Add(1)
+			msg := err.Error()
+			m.lastRebuildErr.Store(&msg)
+		}
+	}
+}
+
+// Rebuild folds the pending delta and tombstones into a freshly built base
+// index immediately, regardless of the threshold — the synchronous form of
+// what the background rebuilder does. It is safe to call concurrently with
+// queries and writes; writes landing during the build carry over into the
+// new snapshot's delta and tombstones.
+func (m *MutableEngine) Rebuild() error { return m.rebuildOnce(true) }
+
+func (m *MutableEngine) rebuildOnce(force bool) error {
+	m.rebuildMu.Lock()
+	defer m.rebuildMu.Unlock()
+	s := m.snapshot()
+	if !force && (s.pending() < m.cfg.RebuildThreshold || s.logical == 0) {
+		return nil
+	}
+	if s.logical == 0 {
+		return errors.New("distperm: cannot rebuild an empty store")
+	}
+	if s.pending() == 0 {
+		return nil // nothing to fold
+	}
+	start := time.Now()
+
+	// The new base: s's logical point set in gid order. Delta gids all
+	// exceed base gids, so base-then-delta concatenation is gid-ascending.
+	newGids := make([]int, 0, s.logical)
+	newPts := make([]Point, 0, s.logical)
+	for local, g := range s.gids {
+		if _, dead := s.tomb[g]; dead {
+			continue
+		}
+		newGids = append(newGids, g)
+		newPts = append(newPts, s.baseDB.Points[local])
+	}
+	for _, dp := range s.delta {
+		newGids = append(newGids, dp.gid)
+		newPts = append(newPts, dp.p)
+	}
+	newDB := sisap.NewDB(m.metric, newPts)
+
+	cfg := m.cfg
+	cfg.Spec.Seed += m.rebuilds.Load() // decorrelate successive rebuilds, reproducibly
+	if cfg.Spec.K > newDB.N() {
+		cfg.Spec.K = newDB.N()
+	}
+	if cfg.Shards > newDB.N() {
+		cfg.Shards = newDB.N()
+	}
+	idx, err := buildForConfig(newDB, cfg)
+	if err != nil {
+		return fmt.Errorf("distperm: rebuild: %w", err)
+	}
+	backend, err := engineFor(newDB, idx, cfg.Workers)
+	if err != nil {
+		return fmt.Errorf("distperm: rebuild: %w", err)
+	}
+
+	m.writeMu.Lock()
+	if m.closed.Load() {
+		m.writeMu.Unlock()
+		backend.Close()
+		return errors.New("distperm: mutable engine is closed")
+	}
+	// Writes landed since s was captured; c shares s's base (only this
+	// rebuilder replaces bases, and writers only touch delta/tomb), so the
+	// new snapshot's tombstones are exactly the new-base points no longer
+	// live in c, and its delta the c-delta entries newer than the new base.
+	c := m.cur
+	maxBase := newGids[len(newGids)-1]
+	newTomb := make(map[int]struct{})
+	for _, g := range newGids {
+		if !c.live(g) {
+			newTomb[g] = struct{}{}
+		}
+	}
+	i, _ := c.findDelta(maxBase + 1)
+	newDelta := append([]deltaPoint(nil), c.delta[i:]...)
+	next := &mutSnapshot{
+		ep:      &epoch{backend: backend},
+		baseDB:  newDB,
+		baseIdx: idx,
+		gids:    newGids,
+		maxBase: maxBase,
+		tomb:    newTomb,
+		delta:   newDelta,
+		logical: len(newGids) - len(newTomb) + len(newDelta),
+	}
+	oldEp := c.ep
+	m.publish(next)
+	m.rebuilds.Add(1)
+	m.lastRebuildNanos.Store(int64(time.Since(start)))
+	m.reapers.Add(1)
+	m.writeMu.Unlock()
+
+	// Grace period: the old engine closes once its last pinned reader
+	// finishes; its counters fold into the cross-epoch accumulators so
+	// Stats survives the swap.
+	go func() {
+		defer m.reapers.Done()
+		oldEp.inflight.Wait()
+		st := oldEp.backend.Stats()
+		m.statsMu.Lock()
+		m.accQueries += st.Queries
+		m.accEvals += st.DistanceEvals
+		m.statsMu.Unlock()
+		oldEp.backend.Close()
+	}()
+	m.maybeKick(next)
+	return nil
+}
+
+// Stats aggregates across every epoch the engine has served: query and
+// distance-evaluation counts accumulate over rebuilds, and the gather-time
+// delta scans are costed in. Latency percentiles cover the current epoch's
+// window.
+func (m *MutableEngine) Stats() EngineStats {
+	st := m.snapshot().ep.backend.Stats()
+	m.statsMu.Lock()
+	st.Queries += m.accQueries
+	st.DistanceEvals += m.accEvals
+	m.statsMu.Unlock()
+	st.DistanceEvals += m.deltaEvals.Load()
+	if st.Queries > 0 {
+		st.MeanEvals = float64(st.DistanceEvals) / float64(st.Queries)
+	}
+	return st
+}
+
+// MutationStats snapshots the write path.
+func (m *MutableEngine) MutationStats() MutationStats {
+	s := m.snapshot()
+	ms := MutationStats{
+		Inserts:          m.inserts.Load(),
+		Deletes:          m.deletes.Load(),
+		LiveN:            s.logical,
+		DeltaSize:        len(s.delta),
+		Tombstones:       len(s.tomb),
+		PendingWrites:    s.pending(),
+		RebuildThreshold: m.cfg.RebuildThreshold,
+		Rebuilds:         m.rebuilds.Load(),
+		RebuildFailures:  m.rebuildFailures.Load(),
+		LastRebuild:      time.Duration(m.lastRebuildNanos.Load()),
+	}
+	m.writeMu.Lock()
+	ms.NextID = m.nextGid
+	m.writeMu.Unlock()
+	if msg := m.lastRebuildErr.Load(); msg != nil {
+		ms.LastRebuildError = *msg
+	}
+	if m.cfg.Shards > 1 {
+		ms.DeltaPerShard = make([]int, m.cfg.Shards)
+		for _, dp := range s.delta {
+			if dp.shard >= 0 && dp.shard < len(ms.DeltaPerShard) {
+				ms.DeltaPerShard[dp.shard]++
+			}
+		}
+	}
+	return ms
+}
+
+// Snapshot captures the store as a serialisable *MutableIndex — write it
+// with WriteIndex (the DPERMIDX "mutable" container kind) and resume it
+// with ReadIndex + NewMutableEngineFrom. The snapshot's database is the
+// base points followed by the live delta points; it shares the built base
+// index with the engine, which both only read.
+func (m *MutableEngine) Snapshot() (*MutableIndex, error) {
+	s := m.snapshot()
+	pts := append([]Point(nil), s.baseDB.Points...)
+	gids := append([]int(nil), s.gids...)
+	for _, dp := range s.delta {
+		pts = append(pts, dp.p)
+		gids = append(gids, dp.gid)
+	}
+	tombs := make([]int, 0, len(s.tomb))
+	for g := range s.tomb {
+		tombs = append(tombs, g)
+	}
+	sort.Ints(tombs)
+	m.writeMu.Lock()
+	nextGid := m.nextGid
+	m.writeMu.Unlock()
+	full := sisap.NewDB(m.metric, pts)
+	return sisap.NewMutableIndex(full, len(s.gids), s.baseIdx, gids, tombs, nextGid)
+}
+
+// Close stops the rebuilder, waits for superseded engines to drain, and
+// closes the current engine after its in-flight batches finish. Idempotent;
+// queries and writes after Close return an error.
+func (m *MutableEngine) Close() {
+	m.writeMu.Lock()
+	// Flipping closed under the exclusive curMu section is the barrier
+	// against acquire: a reader that saw closed=false completed its
+	// inflight.Add before this Lock could succeed, and every reader
+	// admitted afterwards observes closed=true and never Adds — so the
+	// Wait below cannot race an Add. Holding writeMu means no rebuild swap
+	// is mid-publish either, making ep the final epoch.
+	m.curMu.Lock()
+	already := m.closed.Swap(true)
+	ep := m.cur.ep
+	m.curMu.Unlock()
+	m.writeMu.Unlock()
+	if !already {
+		close(m.done)
+	}
+	m.rebuilder.Wait()
+	m.reapers.Wait()
+	ep.inflight.Wait()
+	ep.backend.Close()
+}

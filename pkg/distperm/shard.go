@@ -260,7 +260,7 @@ func (s *ShardedEngine) scatter(run func(shard int, e *Engine) ([][]Result, erro
 func (s *ShardedEngine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 	n := s.sx.DB().N()
 	if k < 1 || k > n {
-		return nil, fmt.Errorf("distperm: k=%d out of range 1..%d", k, n)
+		return nil, fmt.Errorf("distperm: k=%d %w 1..%d", k, ErrOutOfRange, n)
 	}
 	if len(qs) == 0 {
 		return [][]Result{}, nil
@@ -290,7 +290,7 @@ func (s *ShardedEngine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 // to every shard and gathered in global (distance, ID) order.
 func (s *ShardedEngine) RangeBatch(qs []Point, r float64) ([][]Result, error) {
 	if r < 0 {
-		return nil, fmt.Errorf("distperm: negative radius %g", r)
+		return nil, fmt.Errorf("distperm: negative radius %g is %w", r, ErrOutOfRange)
 	}
 	if len(qs) == 0 {
 		return [][]Result{}, nil

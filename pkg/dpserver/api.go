@@ -45,6 +45,29 @@ type QueryResponse struct {
 	Batches [][]Result `json:"batches,omitempty"`
 }
 
+// InsertRequest is the body of POST /v1/insert: exactly one of Point
+// (single form) or Points (batched form), in the same wire shapes queries
+// use.
+type InsertRequest struct {
+	Point  json.RawMessage   `json:"point,omitempty"`
+	Points []json.RawMessage `json:"points,omitempty"`
+}
+
+// DeleteRequest is the body of POST /v1/delete: exactly one of ID (single
+// form, distinguished from deleting ID 0 by HasID) or IDs.
+type DeleteRequest struct {
+	ID  *int  `json:"id,omitempty"`
+	IDs []int `json:"ids,omitempty"`
+}
+
+// MutateResponse is the body of a successful /v1/insert or /v1/delete
+// answer: the stable global IDs granted (inserts) or removed (deletes), ID
+// for the single form, IDs for the batched form.
+type MutateResponse struct {
+	ID  *int  `json:"id,omitempty"`
+	IDs []int `json:"ids,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -64,6 +87,10 @@ type IndexInfo struct {
 	Shards int `json:"shards"`
 	// Workers is the total worker-goroutine count across pools.
 	Workers int `json:"workers"`
+	// Mutable reports whether the write endpoints (/v1/insert, /v1/delete)
+	// are live; Base then names the rebuilt index kind behind the delta.
+	Mutable bool   `json:"mutable"`
+	Base    string `json:"base,omitempty"`
 }
 
 // EngineStatsWire mirrors distperm.EngineStats on the wire, with latency
@@ -101,12 +128,36 @@ type ServerCounters struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
+	// Inserts and Deletes count accepted write requests' mutations;
+	// CacheInvalidations counts the cache flushes they forced.
+	Inserts            int64 `json:"inserts"`
+	Deletes            int64 `json:"deletes"`
+	CacheInvalidations int64 `json:"cache_invalidations"`
+}
+
+// MutationStatsWire mirrors distperm.MutationStats on the wire — the write
+// path's half of GET /v1/stats, present only on mutable servers.
+type MutationStatsWire struct {
+	Inserts          int64  `json:"inserts"`
+	Deletes          int64  `json:"deletes"`
+	LiveN            int    `json:"live_n"`
+	NextID           int    `json:"next_id"`
+	DeltaSize        int    `json:"delta_size"`
+	Tombstones       int    `json:"tombstones"`
+	PendingWrites    int    `json:"pending_writes"`
+	RebuildThreshold int    `json:"rebuild_threshold"`
+	DeltaPerShard    []int  `json:"delta_per_shard,omitempty"`
+	Rebuilds         int64  `json:"rebuilds"`
+	RebuildFailures  int64  `json:"rebuild_failures"`
+	LastRebuildNanos int64  `json:"last_rebuild_ns"`
+	LastRebuildError string `json:"last_rebuild_error,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Engine EngineStatsWire `json:"engine"`
-	Server ServerCounters  `json:"server"`
+	Engine   EngineStatsWire    `json:"engine"`
+	Server   ServerCounters     `json:"server"`
+	Mutation *MutationStatsWire `json:"mutation,omitempty"`
 }
 
 // EncodePoint marshals a point into its wire shape: a Vector as a JSON
@@ -154,6 +205,25 @@ func toWire(rs []distperm.Result) []Result {
 		out[i] = Result{ID: r.ID, Distance: r.Distance}
 	}
 	return out
+}
+
+// mutationWire converts a write-path snapshot to the wire shape.
+func mutationWire(ms distperm.MutationStats) *MutationStatsWire {
+	return &MutationStatsWire{
+		Inserts:          ms.Inserts,
+		Deletes:          ms.Deletes,
+		LiveN:            ms.LiveN,
+		NextID:           ms.NextID,
+		DeltaSize:        ms.DeltaSize,
+		Tombstones:       ms.Tombstones,
+		PendingWrites:    ms.PendingWrites,
+		RebuildThreshold: ms.RebuildThreshold,
+		DeltaPerShard:    ms.DeltaPerShard,
+		Rebuilds:         ms.Rebuilds,
+		RebuildFailures:  ms.RebuildFailures,
+		LastRebuildNanos: int64(ms.LastRebuild),
+		LastRebuildError: ms.LastRebuildError,
+	}
 }
 
 // statsWire converts an engine snapshot to the wire shape.

@@ -14,6 +14,13 @@ import (
 // a hit skips the engine entirely, a miss pays one coalesced query and
 // populates the entry. Safe for concurrent use.
 //
+// The cache is generation-stamped for mutation safety: Put only stores a
+// result computed at the current generation, and Invalidate (called after
+// every insert/delete) clears the entries and advances the generation. The
+// stamp closes the stale-fill race — a query that read the pre-mutation
+// store but finishes after the invalidation carries the old generation, so
+// its Put is dropped instead of re-poisoning the cache.
+//
 // Cached result slices are shared between the cache and its callers; they
 // are treated as immutable (the server only marshals them).
 type Cache struct {
@@ -22,6 +29,8 @@ type Cache struct {
 	ll           *list.List // front = most recent
 	items        map[string]*list.Element
 	hits, misses int64
+	gen          uint64
+	invalidates  int64
 }
 
 type cacheEntry struct {
@@ -61,14 +70,44 @@ func (c *Cache) Get(key string) ([]distperm.Result, bool) {
 	return el.Value.(*cacheEntry).results, true
 }
 
-// Put stores results under key, evicting the least-recently-used entry when
-// the cache is full. Re-putting an existing key refreshes it.
-func (c *Cache) Put(key string, results []distperm.Result) {
+// Generation returns the stamp a caller must capture before computing a
+// result it intends to Put. A nil cache is always at generation 0.
+func (c *Cache) Generation() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Invalidate empties the cache and advances the generation, so in-flight
+// results computed before the mutation can no longer be stored.
+func (c *Cache) Invalidate() {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+	c.gen++
+	c.invalidates++
+}
+
+// Put stores results under key, evicting the least-recently-used entry when
+// the cache is full. Re-putting an existing key refreshes it. The entry is
+// dropped when gen is not the current generation: the result was computed
+// before a mutation invalidated the cache.
+func (c *Cache) Put(key string, gen uint64, results []distperm.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).results = results
 		c.ll.MoveToFront(el)
@@ -90,6 +129,16 @@ func (c *Cache) Counters() (hits, misses int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.ll.Len()
+}
+
+// Invalidations returns how many times the cache has been invalidated.
+func (c *Cache) Invalidations() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invalidates
 }
 
 // knnKey canonically encodes a kNN query for the cache. The bool reports

@@ -9,13 +9,13 @@ import (
 func TestCacheLRU(t *testing.T) {
 	c := NewCache(2)
 	rs := func(id int) []distperm.Result { return []distperm.Result{{ID: id}} }
-	c.Put("a", rs(1))
-	c.Put("b", rs(2))
+	c.Put("a", 0, rs(1))
+	c.Put("b", 0, rs(2))
 	if got, ok := c.Get("a"); !ok || got[0].ID != 1 {
 		t.Fatalf("Get(a) = %v, %v", got, ok)
 	}
 	// "a" is now most recent; inserting "c" must evict "b".
-	c.Put("c", rs(3))
+	c.Put("c", 0, rs(3))
 	if _, ok := c.Get("b"); ok {
 		t.Error("b survived eviction")
 	}
@@ -26,7 +26,7 @@ func TestCacheLRU(t *testing.T) {
 		t.Errorf("Get(c) = %v, %v", got, ok)
 	}
 	// Refreshing an existing key replaces its value without growing.
-	c.Put("c", rs(4))
+	c.Put("c", 0, rs(4))
 	if got, _ := c.Get("c"); got[0].ID != 4 {
 		t.Errorf("refresh did not replace: %v", got)
 	}
@@ -46,13 +46,51 @@ func TestCacheDisabled(t *testing.T) {
 	if c != nil {
 		t.Fatal("NewCache(0) should return nil")
 	}
-	c.Put("a", nil)
+	c.Put("a", 0, nil)
 	if _, ok := c.Get("a"); ok {
 		t.Error("nil cache hit")
 	}
 	if hits, misses, entries := c.Counters(); hits != 0 || misses != 0 || entries != 0 {
 		t.Error("nil cache counted")
 	}
+}
+
+// TestCacheInvalidation: Invalidate empties the cache and advances the
+// generation, and Put drops results stamped with an older generation — the
+// rule that keeps a mutation from being masked by a racing query's fill.
+func TestCacheInvalidation(t *testing.T) {
+	c := NewCache(4)
+	rs := func(id int) []distperm.Result { return []distperm.Result{{ID: id}} }
+	gen := c.Generation()
+	c.Put("a", gen, rs(1))
+	c.Put("b", gen, rs(2))
+	c.Invalidate()
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived invalidation")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived invalidation")
+	}
+	// The stale-fill race: a result computed before the invalidation (old
+	// generation stamp) must not enter the cache afterwards.
+	c.Put("a", gen, rs(1))
+	if _, ok := c.Get("a"); ok {
+		t.Error("stale-generation Put was stored")
+	}
+	// A result computed at the new generation stores normally.
+	c.Put("a", c.Generation(), rs(9))
+	if got, ok := c.Get("a"); !ok || got[0].ID != 9 {
+		t.Errorf("current-generation Put lost: %v, %v", got, ok)
+	}
+	if c.Invalidations() != 1 {
+		t.Errorf("Invalidations = %d, want 1", c.Invalidations())
+	}
+	// The nil (disabled) cache accepts the whole protocol as no-ops.
+	var nc *Cache
+	if nc.Generation() != 0 || nc.Invalidations() != 0 {
+		t.Error("nil cache has state")
+	}
+	nc.Invalidate()
 }
 
 // TestCacheKeys: the canonical encoding separates operations, parameters,

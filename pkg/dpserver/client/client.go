@@ -88,6 +88,54 @@ func (c *Client) RangeBatch(ctx context.Context, qs []distperm.Point, r float64)
 	return fromWireBatches(resp.Batches)
 }
 
+// Insert adds one point to a mutable server's logical point set and
+// returns the stable global ID it was granted. The point is visible to
+// every query issued after Insert returns.
+func (c *Client) Insert(ctx context.Context, p distperm.Point) (int, error) {
+	raw, err := dpserver.EncodePoint(p)
+	if err != nil {
+		return 0, err
+	}
+	var resp dpserver.MutateResponse
+	if err := c.post(ctx, "/v1/insert", dpserver.InsertRequest{Point: raw}, &resp); err != nil {
+		return 0, err
+	}
+	if resp.ID == nil {
+		return 0, fmt.Errorf("client: insert answer carried no id")
+	}
+	return *resp.ID, nil
+}
+
+// InsertBatch adds every point of ps in one request and returns their
+// global IDs in order.
+func (c *Client) InsertBatch(ctx context.Context, ps []distperm.Point) ([]int, error) {
+	raws, err := encodeAll(ps)
+	if err != nil {
+		return nil, err
+	}
+	var resp dpserver.MutateResponse
+	if err := c.post(ctx, "/v1/insert", dpserver.InsertRequest{Points: raws}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.IDs) != len(ps) {
+		return nil, fmt.Errorf("client: %d ids for %d inserted points", len(resp.IDs), len(ps))
+	}
+	return resp.IDs, nil
+}
+
+// Delete removes the live point with the given global ID from a mutable
+// server.
+func (c *Client) Delete(ctx context.Context, id int) error {
+	var resp dpserver.MutateResponse
+	return c.post(ctx, "/v1/delete", dpserver.DeleteRequest{ID: &id}, &resp)
+}
+
+// DeleteBatch removes every listed ID in one request.
+func (c *Client) DeleteBatch(ctx context.Context, ids []int) error {
+	var resp dpserver.MutateResponse
+	return c.post(ctx, "/v1/delete", dpserver.DeleteRequest{IDs: ids}, &resp)
+}
+
 // Stats fetches the engine and server counters.
 func (c *Client) Stats(ctx context.Context) (dpserver.StatsResponse, error) {
 	var resp dpserver.StatsResponse

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,11 @@ type LoadConfig struct {
 	// requests (exercising the server's coalescer and cache), larger values
 	// send client-side batches.
 	Batch int
+	// WriteRatio is the fraction of requests that mutate instead of query
+	// (0..1; requires a mutable server). Mutation requests alternate
+	// between inserting a pool point and deleting a previously inserted
+	// one, so the store's size stays roughly flat over a long run.
+	WriteRatio float64
 }
 
 // LoadReport summarises one RunLoad run.
@@ -42,6 +48,8 @@ type LoadReport struct {
 	// Queries counts the query points served (Requests × batch size when
 	// error-free).
 	Queries int64
+	// Inserts and Deletes count the mutations a WriteRatio run applied.
+	Inserts, Deletes int64
 	// Elapsed is the measured wall time.
 	Elapsed time.Duration
 	// QueriesPerSecond is Queries / Elapsed.
@@ -70,6 +78,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	}
 	if cfg.K == 0 && cfg.Radius < 0 {
 		return LoadReport{}, fmt.Errorf("client: negative radius %g", cfg.Radius)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return LoadReport{}, fmt.Errorf("client: write ratio %g out of range 0..1", cfg.WriteRatio)
 	}
 	conc := cfg.Concurrency
 	if conc < 1 {
@@ -115,6 +126,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 
 	var (
 		requests, errors, queries atomic.Int64
+		inserts, deletes          atomic.Int64
 		latMu                     sync.Mutex
 		lat                       = make([]time.Duration, 0, latWindow)
 		latPos                    int
@@ -138,6 +150,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		go func(w int) {
 			defer wg.Done()
 			i := w // decorrelate workers' walks through the query pool
+			// Each worker keeps its own mutation state: a seeded RNG for the
+			// write/read decision and the IDs of its own inserts, so deletes
+			// always name live points.
+			wrng := rand.New(rand.NewSource(int64(w) + 1))
+			var myIDs []int
 			for {
 				if tokens != nil {
 					select {
@@ -150,6 +167,34 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				}
 				var err error
 				reqStart := time.Now()
+				if cfg.WriteRatio > 0 && wrng.Float64() < cfg.WriteRatio {
+					if len(myIDs) > 0 && wrng.Intn(2) == 0 {
+						err = c.Delete(ctx, myIDs[0])
+						if err == nil {
+							myIDs = myIDs[1:]
+							deletes.Add(1)
+						}
+					} else {
+						var id int
+						id, err = c.Insert(ctx, cfg.Queries[i%len(cfg.Queries)])
+						if err == nil {
+							myIDs = append(myIDs, id)
+							inserts.Add(1)
+						}
+					}
+					i++
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						requests.Add(1)
+						errors.Add(1)
+						continue
+					}
+					requests.Add(1)
+					record(time.Since(reqStart))
+					continue
+				}
 				if batch == 1 {
 					q := cfg.Queries[i%len(cfg.Queries)]
 					if cfg.K > 0 {
@@ -190,6 +235,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		Requests: requests.Load(),
 		Errors:   errors.Load(),
 		Queries:  queries.Load(),
+		Inserts:  inserts.Load(),
+		Deletes:  deletes.Load(),
 		Elapsed:  elapsed,
 	}
 	if elapsed > 0 {

@@ -10,13 +10,24 @@ import (
 )
 
 // Backend is the slice of the query-engine surface the serving layer needs;
-// *distperm.Engine and *distperm.ShardedEngine both satisfy it.
+// *distperm.Engine, *distperm.ShardedEngine, and *distperm.MutableEngine
+// all satisfy it.
 type Backend interface {
 	KNNBatch(qs []distperm.Point, k int) ([][]distperm.Result, error)
 	RangeBatch(qs []distperm.Point, r float64) ([][]distperm.Result, error)
 	Stats() distperm.EngineStats
 	Workers() int
 	Close()
+}
+
+// MutableBackend extends Backend with the live write path;
+// *distperm.MutableEngine satisfies it. A Server whose backend is mutable
+// serves POST /v1/insert and /v1/delete.
+type MutableBackend interface {
+	Backend
+	Insert(p distperm.Point) (int, error)
+	Delete(id int) error
+	MutationStats() distperm.MutationStats
 }
 
 // ErrCoalescerClosed is returned by KNN/Range after Close.

@@ -8,11 +8,22 @@
 //	POST /v1/knn    kNN queries, single ({"query": ..., "k": 3}) or batched
 //	                ({"queries": [...], "k": 3})
 //	POST /v1/range  range queries, single or batched, radius in "r"
+//	POST /v1/insert add points ({"point": ...} or {"points": [...]});
+//	                answers carry the stable global IDs granted
+//	POST /v1/delete remove points by global ID ({"id": 4} or {"ids": [...]})
 //	GET  /v1/stats  engine counters (queries, distance evaluations, latency
 //	                percentiles) plus server counters (coalescer fill,
-//	                cache hits/misses)
+//	                cache hits/misses) and, on mutable servers, the write
+//	                path (delta size, tombstones, rebuilds)
 //	GET  /v1/index  what is being served (kind, bits, shards, workers)
 //	GET  /healthz   liveness
+//
+// The write endpoints are live when the backend is a MutableBackend
+// (distperm.MutableEngine); a read-only server answers them 409. A write
+// returns only after the mutation is visible to every subsequent query
+// (read-your-writes) and after the result cache is invalidated — the cache
+// is generation-stamped, so a query racing the mutation cannot re-poison
+// it with a pre-mutation answer.
 //
 // Two layers sit between a single-query request and the engine. A bounded
 // LRU result cache answers repeated queries without any engine work. Below
@@ -33,6 +44,7 @@ package dpserver
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -64,6 +76,9 @@ type Config struct {
 // Close yourself).
 type Server struct {
 	backend Backend
+	// mutable is backend's write surface when it has one (the type
+	// assertion happens once, in New); nil means read-only serving.
+	mutable MutableBackend
 	info    IndexInfo
 	co      *Coalescer
 	cache   *Cache
@@ -90,8 +105,14 @@ func New(backend Backend, info IndexInfo, cfg Config) (*Server, error) {
 		cache:   NewCache(cfg.CacheSize),
 		mux:     http.NewServeMux(),
 	}
+	s.mutable, _ = backend.(MutableBackend)
+	if s.mutable != nil {
+		s.info.Mutable = true
+	}
 	s.mux.HandleFunc("POST /v1/knn", s.handleKNN)
 	s.mux.HandleFunc("POST /v1/range", s.handleRange)
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/index", s.handleIndex)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -134,6 +155,32 @@ func NewFromIndex(db *distperm.DB, idx distperm.Index, workers int, cfg Config) 
 		return nil, err
 	}
 	s.proto = db.Points[0]
+	return s, nil
+}
+
+// NewFromMutable wraps a live-mutation engine in a Server: the query
+// endpoints serve through the cache and coalescer as usual, and the write
+// endpoints mutate the store. The Server owns the engine: Close (or
+// Serve's shutdown path) closes it. IndexInfo.N reports the live count at
+// wrap time; /v1/stats tracks it as it moves.
+func NewFromMutable(me *distperm.MutableEngine, cfg Config) (*Server, error) {
+	if me == nil {
+		return nil, fmt.Errorf("dpserver: NewFromMutable requires an engine")
+	}
+	info := IndexInfo{
+		Kind:    "mutable",
+		Base:    me.BaseKind(),
+		Bits:    me.IndexBits(),
+		N:       me.LiveN(),
+		Metric:  me.Metric().Name(),
+		Shards:  me.Shards(),
+		Workers: me.Workers(),
+	}
+	s, err := New(me, info, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.proto = me.Proto()
 	return s, nil
 }
 
@@ -184,9 +231,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// info.N may be unset when the Server was built with New rather than
-	// NewFromIndex; then the bound check falls to the backend, whose own
-	// validation surfaces as a request error below.
-	if req.K < 1 || (s.info.N > 0 && req.K > s.info.N) {
+	// NewFromIndex, and goes stale on a mutable server; then the bound
+	// check falls to the backend, whose range errors surface as 400s below.
+	if req.K < 1 || (s.info.N > 0 && !s.info.Mutable && req.K > s.info.N) {
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("k=%d out of range 1..%d", req.K, s.info.N))
 		return
 	}
@@ -238,13 +285,17 @@ func (s *Server) answer(w http.ResponseWriter,
 			s.ok(w, QueryResponse{Results: toWire(rs)})
 			return
 		}
+		// The generation is read before computing: if a mutation lands
+		// while the query runs, the stamp no longer matches and the Put is
+		// dropped, so the cache cannot serve the pre-mutation answer.
+		gen := s.cache.Generation()
 		rs, err := one(q)
 		if err != nil {
-			s.fail(w, http.StatusServiceUnavailable, err.Error())
+			s.fail(w, backendErrorCode(err), err.Error())
 			return
 		}
 		if cacheable {
-			s.cache.Put(k, rs)
+			s.cache.Put(k, gen, rs)
 		}
 		s.bump(func(c *ServerCounters) { c.SingleQueries++ })
 		s.ok(w, QueryResponse{Results: toWire(rs)})
@@ -260,7 +311,7 @@ func (s *Server) answer(w http.ResponseWriter,
 		}
 		outs, err := many(qs)
 		if err != nil {
-			s.fail(w, http.StatusServiceUnavailable, err.Error())
+			s.fail(w, backendErrorCode(err), err.Error())
 			return
 		}
 		batches := make([][]Result, len(outs))
@@ -299,6 +350,131 @@ func (s *Server) decodePoint(raw json.RawMessage) (distperm.Point, error) {
 	return q, nil
 }
 
+// backendErrorCode maps an engine error to an HTTP status: parameter
+// errors (k or radius out of the servable range) are the client's fault,
+// everything else (typically a closing engine) is 503.
+func backendErrorCode(err error) int {
+	if errors.Is(err, distperm.ErrOutOfRange) {
+		return http.StatusBadRequest
+	}
+	return http.StatusServiceUnavailable
+}
+
+// requireMutable answers nil and a 409 when the backend has no write path.
+func (s *Server) requireMutable(w http.ResponseWriter) MutableBackend {
+	if s.mutable == nil {
+		s.fail(w, http.StatusConflict, "server is read-only; start with a mutable engine (-rebuild-threshold) to enable writes")
+		return nil
+	}
+	return s.mutable
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	mb := s.requireMutable(w)
+	if mb == nil {
+		return
+	}
+	var req InsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	single := req.Point != nil
+	switch {
+	case single && req.Points != nil:
+		s.fail(w, http.StatusBadRequest, `"point" and "points" are mutually exclusive`)
+		return
+	case single:
+		req.Points = []json.RawMessage{req.Point}
+	case req.Points == nil:
+		s.fail(w, http.StatusBadRequest, `one of "point" or "points" is required`)
+		return
+	}
+	// Decode and validate everything before the first mutation, so a
+	// malformed batch is rejected whole.
+	pts := make([]distperm.Point, len(req.Points))
+	for i, raw := range req.Points {
+		p, err := s.decodePoint(raw)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Sprintf("points[%d]: %v", i, err))
+			return
+		}
+		pts[i] = p
+	}
+	ids := make([]int, 0, len(pts))
+	for i, p := range pts {
+		id, err := mb.Insert(p)
+		if err != nil {
+			s.mutated(int64(len(ids)), 0)
+			s.fail(w, http.StatusServiceUnavailable, fmt.Sprintf("points[%d]: %v (%d of %d inserted)", i, err, len(ids), len(pts)))
+			return
+		}
+		ids = append(ids, id)
+	}
+	s.mutated(int64(len(ids)), 0)
+	if single {
+		s.ok(w, MutateResponse{ID: &ids[0]})
+		return
+	}
+	s.ok(w, MutateResponse{IDs: ids})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	mb := s.requireMutable(w)
+	if mb == nil {
+		return
+	}
+	var req DeleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	single := req.ID != nil
+	switch {
+	case single && req.IDs != nil:
+		s.fail(w, http.StatusBadRequest, `"id" and "ids" are mutually exclusive`)
+		return
+	case single:
+		req.IDs = []int{*req.ID}
+	case req.IDs == nil:
+		s.fail(w, http.StatusBadRequest, `one of "id" or "ids" is required`)
+		return
+	}
+	deleted := make([]int, 0, len(req.IDs))
+	for i, id := range req.IDs {
+		if err := mb.Delete(id); err != nil {
+			s.mutated(0, int64(len(deleted)))
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, distperm.ErrUnknownID) {
+				code = http.StatusNotFound
+			}
+			s.fail(w, code, fmt.Sprintf("ids[%d]: %v (%d of %d deleted)", i, err, len(deleted), len(req.IDs)))
+			return
+		}
+		deleted = append(deleted, id)
+	}
+	s.mutated(0, int64(len(deleted)))
+	if single {
+		s.ok(w, MutateResponse{ID: &deleted[0]})
+		return
+	}
+	s.ok(w, MutateResponse{IDs: deleted})
+}
+
+// mutated records accepted mutations and invalidates the result cache —
+// even on a partially-applied batch, so the applied prefix cannot be
+// served stale.
+func (s *Server) mutated(inserts, deletes int64) {
+	if inserts == 0 && deletes == 0 {
+		return
+	}
+	s.cache.Invalidate()
+	s.bump(func(c *ServerCounters) {
+		c.Inserts += inserts
+		c.Deletes += deletes
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	batches, queries := s.co.Counters()
 	hits, misses, entries := s.cache.Counters()
@@ -310,7 +486,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	counters.CacheHits = hits
 	counters.CacheMisses = misses
 	counters.CacheEntries = entries
-	s.ok(w, StatsResponse{Engine: statsWire(s.backend.Stats()), Server: counters})
+	counters.CacheInvalidations = s.cache.Invalidations()
+	resp := StatsResponse{Engine: statsWire(s.backend.Stats()), Server: counters}
+	if s.mutable != nil {
+		resp.Mutation = mutationWire(s.mutable.MutationStats())
+	}
+	s.ok(w, resp)
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {

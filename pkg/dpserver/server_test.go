@@ -451,6 +451,276 @@ func TestRunLoad(t *testing.T) {
 	}
 }
 
+// mutableServer builds a live-mutation serving stack over a fresh store.
+func mutableServer(t *testing.T, seed int64, n int, mcfg distperm.MutableConfig, cfg dpserver.Config) (*dpserver.Server, *httptest.Server, []distperm.Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := distperm.NewMutableEngine(db, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dpserver.NewFromMutable(me, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts, dataset.UniformVectors(rng, 32, 3)
+}
+
+// TestServerMutation: the write endpoints mutate the logical point set with
+// read-your-write visibility, stable IDs, mutation counters in /v1/stats,
+// and clean error codes.
+func TestServerMutation(t *testing.T) {
+	srv, ts, _ := mutableServer(t, 31, 200,
+		distperm.MutableConfig{Spec: distperm.Spec{Index: "distperm", K: 6, Seed: 31}},
+		dpserver.Config{BatchMax: 4, BatchWait: time.Millisecond, CacheSize: 16})
+	c := client.New(ts.URL)
+
+	if info := srv.Info(); !info.Mutable || info.Kind != "mutable" || info.Base != "distperm" || info.N != 200 {
+		t.Fatalf("mutable IndexInfo %+v", info)
+	}
+	// Insert a far-corner point: it must be its own nearest neighbour on
+	// the very next query.
+	far := distperm.Vector{9, 9, 9}
+	id, err := c.Insert(context.Background(), far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 200 {
+		t.Errorf("first insert took id %d, want 200", id)
+	}
+	rs, err := c.KNN(context.Background(), far, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].ID != id || rs[0].Distance != 0 {
+		t.Fatalf("read-your-write failed: %v", rs)
+	}
+	// Delete it: the same query must stop returning it.
+	if err := c.Delete(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = c.KNN(context.Background(), far, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].ID == id {
+		t.Fatalf("deleted point still answered: %v", rs)
+	}
+	// Batched forms.
+	ids, err := c.InsertBatch(context.Background(),
+		[]distperm.Point{distperm.Vector{8, 8, 8}, distperm.Vector{7, 7, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 201 || ids[1] != 202 {
+		t.Fatalf("batch insert ids %v", ids)
+	}
+	if err := c.DeleteBatch(context.Background(), ids); err != nil {
+		t.Fatal(err)
+	}
+	// Counters surface on /v1/stats.
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Inserts != 3 || st.Server.Deletes != 3 || st.Server.CacheInvalidations == 0 {
+		t.Errorf("mutation counters %+v", st.Server)
+	}
+	if st.Mutation == nil || st.Mutation.Inserts != 3 || st.Mutation.Deletes != 3 || st.Mutation.LiveN != 200 || st.Mutation.NextID != 203 {
+		t.Errorf("mutation stats %+v", st.Mutation)
+	}
+	// Error codes: unknown ID is 404, malformed bodies 400.
+	if err := c.Delete(context.Background(), 999); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown id delete: %v", err)
+	}
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for body, want := range map[string]int{
+		`not json`: http.StatusBadRequest,
+		`{}`:       http.StatusBadRequest,
+		`{"point": [1,2,3], "points": [[1,2,3]]}`: http.StatusBadRequest,
+		`{"point": [1,2]}`:                        http.StatusBadRequest, // wrong dims
+		`{"point": "word"}`:                       http.StatusBadRequest, // wrong type
+		`{"points": [[1,2,3],[9]]}`:               http.StatusBadRequest, // batch validated whole
+		`{"point": [0.5, 0.5, 0.5]}`:              http.StatusOK,
+	} {
+		if got := post("/v1/insert", body); got != want {
+			t.Errorf("POST /v1/insert %s → %d, want %d", body, got, want)
+		}
+	}
+	if got := post("/v1/delete", `{"ids": []}`); got != http.StatusOK {
+		t.Errorf("empty ids delete → %d", got)
+	}
+	if got := post("/v1/delete", `{}`); got != http.StatusBadRequest {
+		t.Errorf("delete without id → %d", got)
+	}
+}
+
+// TestServerReadOnlyRejectsWrites: a server over a plain engine answers the
+// write endpoints with 409 and a JSON error.
+func TestServerReadOnlyRejectsWrites(t *testing.T) {
+	_, ts, _, _ := testServer(t, 32, 100, 3, dpserver.Config{})
+	c := client.New(ts.URL)
+	if _, err := c.Insert(context.Background(), distperm.Vector{1, 2, 3}); err == nil ||
+		!strings.Contains(err.Error(), "read-only") {
+		t.Errorf("insert on read-only server: %v", err)
+	}
+	if err := c.Delete(context.Background(), 1); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("delete on read-only server: %v", err)
+	}
+}
+
+// TestServerCacheNotStaleAfterMutation is the invalidation acceptance test:
+// a cached kNN answer must not be served stale after an insert or delete
+// that changes it.
+func TestServerCacheNotStaleAfterMutation(t *testing.T) {
+	_, ts, _ := mutableServer(t, 33, 150,
+		distperm.MutableConfig{Spec: distperm.Spec{Index: "distperm", K: 6, Seed: 33}},
+		dpserver.Config{BatchMax: 4, BatchWait: time.Millisecond, CacheSize: 32})
+	c := client.New(ts.URL)
+	q := distperm.Vector{5, 5, 5} // far from the uniform [0,1]³ cloud
+
+	// Prime the cache and prove it is serving hits.
+	first, err := c.KNN(context.Background(), q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.KNN(context.Background(), q, 2); err != nil {
+		t.Fatal(err)
+	}
+	st0, _ := c.Stats(context.Background())
+	if st0.Server.CacheHits == 0 {
+		t.Fatalf("cache not engaged: %+v", st0.Server)
+	}
+	// An insert that becomes the new nearest neighbour must show up
+	// immediately, not the cached answer.
+	id, err := c.Insert(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.KNN(context.Background(), q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != id || got[0].Distance != 0 {
+		t.Fatalf("stale cached answer after insert: %v (pre-insert %v)", got, first)
+	}
+	// And a delete of that point must stop it from being served — again
+	// through the cached-key path.
+	if _, err := c.KNN(context.Background(), q, 2); err != nil { // re-prime
+		t.Fatal(err)
+	}
+	if err := c.Delete(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.KNN(context.Background(), q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.ID == id {
+			t.Fatalf("stale cached answer after delete: %v", got)
+		}
+	}
+}
+
+// TestServerMutableSharded: writes route through the Partitioner seam into
+// a sharded mutable store, the loadgen's write mix drives it, and answers
+// keep matching a from-scratch linear scan after a background fold.
+func TestServerMutableSharded(t *testing.T) {
+	srv, ts, queries := mutableServer(t, 34, 300,
+		distperm.MutableConfig{
+			Spec:             distperm.Spec{Index: "distperm", K: 6, Seed: 34},
+			Shards:           2,
+			Partitioner:      distperm.RoundRobin{},
+			RebuildThreshold: 32,
+		},
+		dpserver.Config{BatchMax: 8, BatchWait: time.Millisecond, CacheSize: 32})
+	if info := srv.Info(); info.Shards != 2 || !info.Mutable || info.Base != "sharded" {
+		t.Fatalf("sharded mutable IndexInfo %+v", info)
+	}
+	report, err := client.RunLoad(context.Background(), client.LoadConfig{
+		Target:      ts.URL,
+		Queries:     queries,
+		K:           2,
+		Concurrency: 4,
+		Duration:    250 * time.Millisecond,
+		WriteRatio:  0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("write-mix load saw %d errors: %+v", report.Errors, report)
+	}
+	if report.Inserts == 0 {
+		t.Fatalf("write-mix load never inserted: %+v", report)
+	}
+	c := client.New(ts.URL)
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server may have applied a trailing mutation whose response the
+	// run deadline cut off, so its counters bound the report from above.
+	if st.Mutation == nil || st.Mutation.Inserts < report.Inserts || st.Mutation.Deletes < report.Deletes {
+		t.Fatalf("server mutation stats %+v vs report %+v", st.Mutation, report)
+	}
+	// The load mix deletes its own inserts (delta entries cancel), so the
+	// threshold may never trip during the run; a pure insert burst past the
+	// threshold must trigger the background fold.
+	burst := make([]distperm.Point, 40)
+	for i := range burst {
+		burst[i] = queries[i%len(queries)]
+	}
+	if _, err := c.InsertBatch(context.Background(), burst); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err = c.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Mutation.Rebuilds > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background fold never happened: %+v", st.Mutation)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Mutation.RebuildFailures != 0 || st.Mutation.LastRebuildError != "" {
+		t.Errorf("fold failed: %+v", st.Mutation)
+	}
+}
+
+// TestRunLoadWriteRatioValidation: the write mix is validated like the
+// other load parameters.
+func TestRunLoadWriteRatioValidation(t *testing.T) {
+	_, ts, _, queries := testServer(t, 35, 100, 3, dpserver.Config{})
+	if _, err := client.RunLoad(context.Background(), client.LoadConfig{
+		Target: ts.URL, Queries: queries, K: 1, WriteRatio: 1.5,
+	}); err == nil {
+		t.Error("write ratio > 1 should error")
+	}
+}
+
 // TestPointCodec round-trips the wire encoding of both point types and
 // rejects garbage.
 func TestPointCodec(t *testing.T) {

@@ -467,6 +467,57 @@ func BenchmarkMutableKNN(b *testing.B) {
 	}
 }
 
+// scanOrderDB builds the ScanOrder/KNNBudget benchmark workloads at a
+// representative serving size (n=20k, k=12). data=uniform is the
+// permutation-rich case; data=clustered (32 tight clusters) is the paper's
+// distinct ≪ n regime, where the table-encoded scan computes each
+// permutation distance once per distinct permutation instead of once per
+// point and the win is largest.
+func scanOrderDB(b *testing.B, clustered bool) (*sisap.PermIndex, []metric.Point) {
+	rng := rand.New(rand.NewSource(15))
+	var pts []metric.Point
+	if clustered {
+		pts = dataset.ClusteredVectors(rng, 20_000, 6, 32, 0.02)
+	} else {
+		pts = dataset.UniformVectors(rng, 20_000, 6)
+	}
+	db := sisap.NewDB(metric.L2{}, pts)
+	idx := sisap.NewPermIndex(db, rng.Perm(db.N())[:12], sisap.Footrule)
+	queries := dataset.UniformVectors(rng, 64, 6)
+	b.Logf("distinct permutations: %d of %d points", idx.DistinctPermutations(), db.N())
+	return idx, queries
+}
+
+// BenchmarkScanOrder measures the full candidate-ordering pass — the heart
+// of every PermIndex query: query permutation, per-distinct distance
+// kernel, key scatter, counting sort.
+func BenchmarkScanOrder(b *testing.B) {
+	for _, data := range []string{"uniform", "clustered"} {
+		b.Run("data="+data, func(b *testing.B) {
+			idx, queries := scanOrderDB(b, data == "clustered")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.ScanOrder(queries[i&63])
+			}
+		})
+	}
+}
+
+// BenchmarkKNNBudget measures the budgeted kNN at a 5% scan budget, the
+// index's intended operating point: the partial counting sort orders only
+// the first maxEvals candidates instead of the whole database.
+func BenchmarkKNNBudget(b *testing.B) {
+	for _, data := range []string{"uniform", "clustered"} {
+		b.Run("data="+data, func(b *testing.B) {
+			idx, queries := scanOrderDB(b, data == "clustered")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.KNNBudget(queries[i&63], 1, 1_000)
+			}
+		})
+	}
+}
+
 // BenchmarkPermIndexBuild measures sharded index construction (k·n metric
 // evaluations spread across NumCPU workers).
 func BenchmarkPermIndexBuild(b *testing.B) {

@@ -24,6 +24,15 @@
 // (off-runner, bootstrapping the trajectory) is advisory: regressions are
 // reported but do not fail the gate until a runner-produced baseline is
 // promoted.
+//
+// Report mode renders a series of trajectory files — in commit order, as
+// downloaded from the per-run BENCH_<sha>.json artifacts — as a markdown
+// table, one row per benchmark and one column per commit, each cell showing
+// ns/op with the drift against the previous commit carrying that
+// benchmark. It makes perf drift visible across a whole commit range before
+// any single step trips the gate:
+//
+//	benchgate -report BENCH_aaa.json BENCH_bbb.json BENCH_ccc.json
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -142,6 +152,71 @@ func compare(baseline, current map[string]Point, maxRegress float64) (regs []reg
 	return regs, onlyBase, onlyCur
 }
 
+// columnLabel names a trajectory file in the report header: the short SHA
+// when the file carries one (with a seed marker when applicable), else the
+// file's base name.
+func columnLabel(path string, f File) string {
+	label := f.SHA
+	if label == "" {
+		label = filepath.Base(path)
+	}
+	if len(label) > 12 {
+		label = label[:12]
+	}
+	if f.Seed {
+		label += " (seed)"
+	}
+	return label
+}
+
+// writeReport renders the trajectory files (in the given order) as a
+// markdown table: benchmark × commit, ns/op with percentage drift against
+// the previous commit that has the benchmark.
+func writeReport(w io.Writer, paths []string, files []File) error {
+	names := map[string]bool{}
+	for _, f := range files {
+		for name := range f.Benchmarks {
+			names[name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "| benchmark |")
+	for i, f := range files {
+		fmt.Fprintf(w, " %s |", columnLabel(paths[i], f))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|")
+	for range files {
+		fmt.Fprintf(w, "---:|")
+	}
+	fmt.Fprintln(w)
+	for _, name := range sorted {
+		fmt.Fprintf(w, "| %s |", name)
+		prev := 0.0 // last ns/op seen for this benchmark, 0 = none yet
+		for _, f := range files {
+			p, ok := f.Benchmarks[name]
+			switch {
+			case !ok:
+				fmt.Fprintf(w, " — |")
+			case prev == 0:
+				fmt.Fprintf(w, " %.4g ns/op |", p.NsPerOp)
+			default:
+				fmt.Fprintf(w, " %.4g ns/op (%+.1f%%) |", p.NsPerOp, (p.NsPerOp/prev-1)*100)
+			}
+			if ok {
+				prev = p.NsPerOp
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
 func readFile(path string) (File, error) {
 	var f File
 	raw, err := os.ReadFile(path)
@@ -164,16 +239,31 @@ func main() {
 		baseline   = flag.String("baseline", "", "compare: the committed baseline JSON")
 		current    = flag.String("current", "", "compare: the fresh run's JSON")
 		maxRegress = flag.Float64("max-regress", 0.25, "compare: fail when a benchmark is more than this fraction worse")
+		report     = flag.Bool("report", false, "render the trajectory files given as arguments (in commit order) as a markdown drift table")
 	)
 	flag.Parse()
-	if err := run(*record, *in, *out, *sha, *seed, *baseline, *current, *maxRegress, os.Stdout); err != nil {
+	var reportFiles []string
+	if *report {
+		reportFiles = flag.Args()
+	}
+	if err := run(*record, *in, *out, *sha, *seed, *baseline, *current, *maxRegress, reportFiles, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(record bool, in, out, sha string, seed bool, baseline, current string, maxRegress float64, w io.Writer) error {
+func run(record bool, in, out, sha string, seed bool, baseline, current string, maxRegress float64, report []string, w io.Writer) error {
 	switch {
+	case len(report) > 0:
+		files := make([]File, len(report))
+		for i, path := range report {
+			f, err := readFile(path)
+			if err != nil {
+				return err
+			}
+			files[i] = f
+		}
+		return writeReport(w, report, files)
 	case record:
 		src := io.Reader(os.Stdin)
 		if in != "" {
@@ -239,6 +329,6 @@ func run(record bool, in, out, sha string, seed bool, baseline, current string, 
 		return fmt.Errorf("benchgate: %d regression(s) beyond %.0f%% vs baseline %s",
 			len(regs), maxRegress*100, base.SHA)
 	default:
-		return fmt.Errorf("benchgate: use -record, or -baseline with -current (see package doc)")
+		return fmt.Errorf("benchgate: use -record, -baseline with -current, or -report with trajectory files (see package doc)")
 	}
 }

@@ -85,11 +85,11 @@ func TestEndToEndGate(t *testing.T) {
 	in := write("bench.txt", sampleOutput)
 	basePath := filepath.Join(dir, "base.json")
 	var sink strings.Builder
-	if err := run(true, in, basePath, "abc123", false, "", "", 0.25, &sink); err != nil {
+	if err := run(true, in, basePath, "abc123", false, "", "", 0.25, nil, &sink); err != nil {
 		t.Fatal(err)
 	}
 	// Same numbers against themselves: the gate passes.
-	if err := run(false, "", "", "", false, basePath, basePath, 0.25, &sink); err != nil {
+	if err := run(false, "", "", "", false, basePath, basePath, 0.25, nil, &sink); err != nil {
 		t.Fatalf("self-compare failed: %v", err)
 	}
 	// Inject a slowdown: every ns/op figure 10× worse must trip the gate.
@@ -97,11 +97,11 @@ func TestEndToEndGate(t *testing.T) {
 		"456087", "4560870", "460100", "4601000", "265.1", "2651").Replace(sampleOutput)
 	slowIn := write("slow.txt", slow)
 	curPath := filepath.Join(dir, "cur.json")
-	if err := run(true, slowIn, curPath, "def456", false, "", "", 0.25, &sink); err != nil {
+	if err := run(true, slowIn, curPath, "def456", false, "", "", 0.25, nil, &sink); err != nil {
 		t.Fatal(err)
 	}
 	sink.Reset()
-	err := run(false, "", "", "", false, basePath, curPath, 0.25, &sink)
+	err := run(false, "", "", "", false, basePath, curPath, 0.25, nil, &sink)
 	if err == nil {
 		t.Fatalf("injected slowdown passed the gate:\n%s", sink.String())
 	}
@@ -112,11 +112,11 @@ func TestEndToEndGate(t *testing.T) {
 	// failing: absolute timings from another machine must not wedge CI
 	// until a runner-produced artifact is promoted.
 	seedPath := filepath.Join(dir, "seedbase.json")
-	if err := run(true, in, seedPath, "abc123", true, "", "", 0.25, &sink); err != nil {
+	if err := run(true, in, seedPath, "abc123", true, "", "", 0.25, nil, &sink); err != nil {
 		t.Fatal(err)
 	}
 	sink.Reset()
-	if err := run(false, "", "", "", false, seedPath, curPath, 0.25, &sink); err != nil {
+	if err := run(false, "", "", "", false, seedPath, curPath, 0.25, nil, &sink); err != nil {
 		t.Fatalf("seed baseline must be advisory: %v", err)
 	}
 	if !strings.Contains(sink.String(), "REGRESSION: BenchmarkKNNLinear") ||
@@ -125,11 +125,56 @@ func TestEndToEndGate(t *testing.T) {
 	}
 
 	// Missing-benchmark edge: an empty input errors in record mode.
-	if err := run(true, write("empty.txt", "PASS\n"), "", "", false, "", "", 0.25, &sink); err == nil {
+	if err := run(true, write("empty.txt", "PASS\n"), "", "", false, "", "", 0.25, nil, &sink); err == nil {
 		t.Error("empty benchmark output should error")
 	}
 	// No mode selected is a usage error.
-	if err := run(false, "", "", "", false, "", "", 0.25, &sink); err == nil {
+	if err := run(false, "", "", "", false, "", "", 0.25, nil, &sink); err == nil {
 		t.Error("no mode should error")
+	}
+}
+
+// TestReportTable renders a three-commit trajectory as the markdown drift
+// table the ROADMAP's bench-trajectory item asks for.
+func TestReportTable(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := write("BENCH_a.json", `{"sha":"aaaaaaaaaaaaaaaa","benchmarks":{
+		"BenchmarkX":{"ns_per_op":1000,"runs":3},
+		"BenchmarkRetired":{"ns_per_op":50,"runs":3}}}`)
+	b := write("BENCH_b.json", `{"sha":"bbbbbbbbbbbbbbbb","seed":true,"benchmarks":{
+		"BenchmarkX":{"ns_per_op":1100,"runs":3},
+		"BenchmarkNew":{"ns_per_op":200,"runs":3}}}`)
+	c := write("BENCH_c.json", `{"benchmarks":{
+		"BenchmarkX":{"ns_per_op":880,"runs":3},
+		"BenchmarkNew":{"ns_per_op":200,"runs":3}}}`)
+
+	var sink strings.Builder
+	if err := run(false, "", "", "", false, "", "", 0.25, []string{a, b, c}, &sink); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.String()
+	for _, want := range []string{
+		// Columns: short SHA, seed marker, basename fallback. First
+		// appearance of a benchmark has no drift; later cells show % vs the
+		// previous commit carrying it, and absences render as a dash.
+		"| benchmark | aaaaaaaaaaaa | bbbbbbbbbbbb (seed) | BENCH_c.json |",
+		"| BenchmarkX | 1000 ns/op | 1100 ns/op (+10.0%) | 880 ns/op (-20.0%) |",
+		"| BenchmarkRetired | 50 ns/op | — | — |",
+		"| BenchmarkNew | — | 200 ns/op | 200 ns/op (+0.0%) |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	// An unreadable file is an error, not a blank column.
+	if err := run(false, "", "", "", false, "", "", 0.25, []string{filepath.Join(dir, "missing.json")}, &sink); err == nil {
+		t.Error("missing trajectory file should error")
 	}
 }

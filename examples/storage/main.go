@@ -6,12 +6,12 @@
 //
 //   - raw ints (what a naive implementation stores),
 //   - bit-packed Lehmer ranks at ⌈lg k!⌉ bits each (the unrestricted-
-//     permutation lower bound, O(k log k) per point — this is what the
-//     serialized index file contains),
+//     permutation lower bound, O(k log k) per point),
 //   - the shared-table encoding at ⌈lg #distinct⌉ bits per point (the
 //     paper's improvement: Θ(d log k) per point in d-dimensional Euclidean
-//     space, because only N(d,k) ≪ k! permutations can occur), and
-//   - the bytes WriteIndex actually puts on disk (packed payload + header).
+//     space, because only N(d,k) ≪ k! permutations can occur — and since
+//     PR 5 what the serialized index file contains), and
+//   - the bytes WriteIndex actually puts on disk (table payload + header).
 //
 // Low-dimensional data compresses dramatically under the table encoding;
 // as d grows toward k−1 the advantage vanishes — exactly the paper's story.
@@ -68,6 +68,6 @@ func main() {
 	fmt.Println("\nthe table encoding tracks lg(distinct) per point: a multiple smaller for")
 	fmt.Println("small d, and losing to plain packing once d -> k-1 makes most permutations")
 	fmt.Println("realisable (the table itself then dominates) — the paper's §4 crossover.")
-	fmt.Println("the serialized file carries the packed encoding plus a fixed header, so")
-	fmt.Println("file bytes ≈ packed bits / 8: Corollary 8's accounting, on disk.")
+	fmt.Println("the serialized file carries the table encoding plus a fixed header, so")
+	fmt.Println("file bytes ≈ table bits / 8: Corollary 8's improvement, on disk.")
 }

@@ -31,13 +31,21 @@ func SpearmanFootrule(p, q Permutation) int {
 // SpearmanRho returns sqrt(Σ_i (p[i] − q[i])²), the L2 distance between the
 // rank vectors.
 func SpearmanRho(p, q Permutation) float64 {
+	return math.Sqrt(float64(SpearmanRhoSq(p, q)))
+}
+
+// SpearmanRhoSq returns Σ_i (p[i] − q[i])², the squared Spearman rho. It is
+// an integer bounded by k(k²−1)/3, and sorting by it is equivalent to
+// sorting by SpearmanRho (sqrt is strictly monotone), which is what lets
+// candidate ordering use integer keys for all three permutation distances.
+func SpearmanRhoSq(p, q Permutation) int {
 	mustSameLen(p, q)
-	s := 0.0
+	s := 0
 	for i := range p {
-		d := float64(p[i] - q[i])
+		d := p[i] - q[i]
 		s += d * d
 	}
-	return math.Sqrt(s)
+	return s
 }
 
 // KendallTau returns the number of discordant pairs between p and q: pairs

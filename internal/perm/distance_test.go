@@ -168,3 +168,25 @@ func TestDistancePanicsOnMismatch(t *testing.T) {
 	}()
 	SpearmanFootrule(Identity(3), Identity(4))
 }
+
+func TestSpearmanRhoSqConsistent(t *testing.T) {
+	// Rho must be exactly the square root of the integer RhoSq, and RhoSq
+	// must respect its k(k²−1)/3 maximum (attained by the reversal).
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(12)
+		p := Permutation(rng.Perm(k))
+		q := Permutation(rng.Perm(k))
+		sq := SpearmanRhoSq(p, q)
+		if got := SpearmanRho(p, q); got != math.Sqrt(float64(sq)) {
+			t.Fatalf("rho %v vs sqrt(rhoSq %d) for %v %v", got, sq, p, q)
+		}
+		if maxSq := k * (k*k - 1) / 3; sq > maxSq {
+			t.Fatalf("rhoSq %d exceeds bound %d at k=%d", sq, maxSq, k)
+		}
+	}
+	rev := Permutation{4, 3, 2, 1, 0}
+	if got := SpearmanRhoSq(Identity(5), rev); got != 5*(25-1)/3 {
+		t.Errorf("reversal rhoSq = %d, want %d", got, 5*(25-1)/3)
+	}
+}

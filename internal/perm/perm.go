@@ -107,7 +107,9 @@ func (p Permutation) String() string {
 // Key returns a compact representation of p usable as a map key when
 // counting distinct permutations. For k ≤ 20 it is the Lehmer rank packed
 // into a uint64 rendered as 8 bytes; beyond that it falls back to one byte
-// per element (k ≤ 255).
+// per element (k ≤ 255), then two little-endian bytes per element
+// (k ≤ 65535). Keys are only comparable between permutations of equal
+// length.
 func (p Permutation) Key() string {
 	if len(p) <= 20 {
 		r := p.Rank64()
@@ -117,12 +119,20 @@ func (p Permutation) Key() string {
 		}
 		return string(b[:])
 	}
-	if len(p) > 255 {
-		panic("perm: Key supports k <= 255")
+	if len(p) <= 255 {
+		b := make([]byte, len(p))
+		for i, v := range p {
+			b[i] = byte(v)
+		}
+		return string(b)
 	}
-	b := make([]byte, len(p))
+	if len(p) > 65535 {
+		panic("perm: Key supports k <= 65535")
+	}
+	b := make([]byte, 2*len(p))
 	for i, v := range p {
-		b[i] = byte(v)
+		b[2*i] = byte(v)
+		b[2*i+1] = byte(v >> 8)
 	}
 	return string(b)
 }

@@ -109,18 +109,13 @@ func (a *IAESA) search(q metric.Point, visit func(id int, d float64) float64, ra
 			}
 		} else {
 			qr := queryRank()
-			bestScore := math.MaxInt64 // footrule is integral
-			bs := float64(bestScore)
+			bs := math.MaxInt // footrule is integral; the integer kernel is
+			// the same one the PermIndex table path runs per distinct row.
 			for i := 0; i < n; i++ {
 				if !alive[i] {
 					continue
 				}
-				cr := candidateRank(i)
-				f := 0.0
-				for pos := range qr {
-					f += math.Abs(float64(qr[pos] - cr[pos]))
-				}
-				if f < bs {
+				if f := footruleRanks(qr, candidateRank(i)); f < bs {
 					best, bs = i, f
 				}
 			}

@@ -46,16 +46,37 @@ func (p PermDistance) String() string {
 // an answer a given fraction of the database buys. That cost/quality curve
 // is the search-performance side of the paper; the index size (counted by
 // IndexBits via the paper's counting results) is the storage side.
+//
+// The in-memory representation is the paper's table encoding, live: the
+// distinct occurring inverse permutations sit once each in a flat row-major
+// rank matrix (rankTable) and every point stores only a table row ID, so a
+// query pays the permutation distance once per *distinct* permutation and
+// scatters integer keys to points — the few-distinct-permutations
+// phenomenon the paper counts is a direct query-time speedup.
 type PermIndex struct {
 	db       *DB
 	siteIDs  []int
 	permuter *core.Permuter
 	dist     PermDistance
-	// invPerms[i] is the *inverse* distance permutation of point i:
-	// invPerms[i][s] = rank of site s in point i's closeness order.
-	// Inverses are what the Spearman/Kendall comparisons consume.
-	invPerms []perm.Permutation
-	distinct int // number of distinct permutations stored
+	// table holds one row per distinct stored inverse permutation
+	// (site → rank); tableIDs[i] is the row of point i. Both are immutable
+	// after construction and shared between replicas.
+	table    *rankTable
+	tableIDs []uint32
+	// scratch holds the per-query buffers (allocated lazily, never shared:
+	// Replica clears it), which is what makes the query path non-reentrant.
+	scratch *permScratch
+}
+
+// permScratch is the per-replica query workspace.
+type permScratch struct {
+	qbuf   perm.Permutation // forward query permutation, len k
+	qfwd   []int32          // qbuf as int32, for the Kendall kernel
+	qinv   []int32          // query inverse ranks, len k
+	seq    []int32          // Kendall relabel buffer, len k
+	tkeys  []int64          // one integer distance key per distinct row
+	keys   []int64          // per-point keys scattered from tkeys
+	counts []int32          // counting-sort buckets, grown on demand
 }
 
 // parallelBuildThreshold is the database size below which sharded
@@ -66,7 +87,8 @@ const parallelBuildThreshold = 2048
 // and candidate-ordering distance. Construction costs k·n metric
 // evaluations, sharded across runtime.NumCPU() workers for large databases
 // (each worker clones the Permuter, which is not goroutine-safe). The result
-// is identical to a sequential build.
+// is identical to a sequential build, including the table row order
+// (first occurrence in index order).
 func NewPermIndex(db *DB, siteIDs []int, dist PermDistance) *PermIndex {
 	if len(siteIDs) == 0 {
 		panic("sisap: PermIndex requires at least one site")
@@ -76,63 +98,113 @@ func NewPermIndex(db *DB, siteIDs []int, dist PermDistance) *PermIndex {
 		sites[i] = db.Points[id]
 	}
 	pm := core.NewPermuter(db.Metric, sites)
-	inv := make([]perm.Permutation, db.N())
+	ids := make([]uint32, db.N())
 	return &PermIndex{
 		db:       db,
 		siteIDs:  append([]int(nil), siteIDs...),
 		permuter: pm,
 		dist:     dist,
-		invPerms: inv,
-		distinct: buildInvPerms(pm, db.Points, inv),
+		table:    buildPermTable(pm, db.Points, ids),
+		tableIDs: ids,
 	}
 }
 
-// buildInvPerms fills inv[i] with the inverse distance permutation of
-// points[i] and returns the number of distinct permutations, sharding the
-// scan across workers when the database is large. Shards write disjoint
-// ranges of inv; per-shard distinct sets are merged at the end.
-func buildInvPerms(pm *core.Permuter, points []metric.Point, inv []perm.Permutation) int {
+// newPermIndexFromTable assembles an index from an already-built table
+// encoding (the deserialization path).
+func newPermIndexFromTable(db *DB, siteIDs []int, dist PermDistance, table *rankTable, ids []uint32) *PermIndex {
+	sites := make([]metric.Point, len(siteIDs))
+	for i, id := range siteIDs {
+		sites[i] = db.Points[id]
+	}
+	return &PermIndex{
+		db:       db,
+		siteIDs:  siteIDs,
+		permuter: core.NewPermuter(db.Metric, sites),
+		dist:     dist,
+		table:    table,
+		tableIDs: ids,
+	}
+}
+
+// buildPermTable computes each point's distance permutation, deduplicates
+// the inverses into a rankTable (rows in first-occurrence order), and fills
+// ids with each point's row. Large databases shard the scan: workers build
+// local tables over disjoint ranges, which are then merged in shard order —
+// shards cover ascending contiguous ranges, so the merged row order equals
+// the sequential first-occurrence order.
+func buildPermTable(pm *core.Permuter, points []metric.Point, ids []uint32) *rankTable {
 	workers := core.ShardWorkers(len(points))
 	if workers <= 1 || len(points) < parallelBuildThreshold {
-		seen := make(map[string]bool)
-		buildInvPermsRange(pm, points, inv, seen)
-		return len(seen)
+		table := newRankTable(pm.K())
+		buildPermTableRange(pm, points, ids, table, nil)
+		return table
 	}
-	shardSeen := make([]map[string]bool, workers)
+	locals := make([]*rankTable, workers)
+	localKeys := make([][]string, workers)
+	ranges := make([][2]int, workers)
 	shards := core.ShardIndexes(len(points), workers, func(shard, lo, hi int) {
-		seen := make(map[string]bool)
-		buildInvPermsRange(pm.Clone(), points[lo:hi], inv[lo:hi], seen)
-		shardSeen[shard] = seen
+		table := newRankTable(pm.K())
+		keys := buildPermTableRange(pm.Clone(), points[lo:hi], ids[lo:hi], table, []string{})
+		locals[shard] = table
+		localKeys[shard] = keys
+		ranges[shard] = [2]int{lo, hi}
 	})
-	total := shardSeen[0]
-	for _, seen := range shardSeen[1:shards] {
-		for key := range seen {
-			total[key] = true
+	table := newRankTable(pm.K())
+	global := make(map[string]uint32)
+	for s := 0; s < shards; s++ {
+		local := locals[s]
+		l2g := make([]uint32, local.rows)
+		for r, key := range localKeys[s] {
+			gid, ok := global[key]
+			if !ok {
+				gid = uint32(table.rows)
+				global[key] = gid
+				table.appendRowFrom(local, r)
+			}
+			l2g[r] = gid
+		}
+		// Remap this shard's point IDs from local to global rows.
+		for i := ranges[s][0]; i < ranges[s][1]; i++ {
+			ids[i] = l2g[ids[i]]
 		}
 	}
-	return len(total)
+	return table
 }
 
-func buildInvPermsRange(pm *core.Permuter, points []metric.Point, inv []perm.Permutation, seen map[string]bool) {
+// buildPermTableRange fills ids[i] with the table row of points[i],
+// appending new rows to table. When keys is non-nil it records the dedup
+// key of every new row, in row order (the parallel merge needs them).
+func buildPermTableRange(pm *core.Permuter, points []metric.Point, ids []uint32, table *rankTable, keys []string) []string {
+	index := make(map[string]uint32)
 	buf := make(perm.Permutation, pm.K())
 	for i, pt := range points {
 		pm.PermutationInto(pt, buf)
-		seen[buf.Key()] = true
-		inv[i] = buf.Inverse()
+		key := buf.Key()
+		id, ok := index[key]
+		if !ok {
+			id = uint32(table.appendInverseOf(buf))
+			index[key] = id
+			if keys != nil {
+				keys = append(keys, key)
+			}
+		}
+		ids[i] = id
 	}
+	return keys
 }
 
 // Name implements Index.
 func (x *PermIndex) Name() string { return "distperm" }
 
 // Replica implements Replicable: the returned index shares the immutable
-// stored permutations and database but owns a fresh Permuter (whose scratch
-// buffers make the query path non-reentrant), so it can be queried
-// concurrently with the original as long as each replica stays on one
-// goroutine.
+// table encoding and database but owns fresh query scratch and a fresh
+// Permuter (whose buffers make the query path non-reentrant), so it can be
+// queried concurrently with the original as long as each replica stays on
+// one goroutine.
 func (x *PermIndex) Replica() Index {
 	y := *x
 	y.permuter = x.permuter.Clone()
+	y.scratch = nil
 	return &y
 }
 
@@ -143,8 +215,16 @@ func (x *PermIndex) K() int { return len(x.siteIDs) }
 func (x *PermIndex) SiteIDs() []int { return append([]int(nil), x.siteIDs...) }
 
 // DistinctPermutations returns the number of distinct distance permutations
-// stored in the index — the paper's central statistic for this structure.
-func (x *PermIndex) DistinctPermutations() int { return x.distinct }
+// stored in the index — the paper's central statistic for this structure,
+// and the per-query permutation-distance workload of the scan.
+func (x *PermIndex) DistinctPermutations() int { return x.table.rows }
+
+// invPermAt reconstructs the stored inverse permutation of point i
+// (allocating; the reference and serialization paths use it, queries never
+// do).
+func (x *PermIndex) invPermAt(i int) perm.Permutation {
+	return x.table.invAt(int(x.tableIDs[i]))
+}
 
 // IndexBits implements Index: the cheaper of the two encodings the paper
 // discusses. The naive encoding stores ⌈lg k!⌉ bits per point. The
@@ -162,8 +242,8 @@ func (x *PermIndex) IndexBits() int64 {
 // TableIndexBits returns the storage of the shared-table encoding:
 // n·⌈lg(#distinct)⌉ bits of per-point table indexes plus the table itself.
 func (x *PermIndex) TableIndexBits() int64 {
-	perPoint := counting.Bits(big.NewInt(int64(x.distinct)))
-	table := int64(x.distinct) * int64(naiveBitsPerPerm(x.K()))
+	perPoint := counting.Bits(big.NewInt(int64(x.table.rows)))
+	table := int64(x.table.rows) * int64(naiveBitsPerPerm(x.K()))
 	return int64(x.db.N())*int64(perPoint) + table
 }
 
@@ -173,14 +253,64 @@ func (x *PermIndex) NaiveIndexBits() int64 {
 	return int64(x.db.N()) * int64(naiveBitsPerPerm(x.K()))
 }
 
+// scratchBuffers returns the per-replica query workspace, allocating it on
+// first use (Replica hands out copies with nil scratch).
+func (x *PermIndex) scratchBuffers() *permScratch {
+	if x.scratch == nil {
+		k := x.K()
+		x.scratch = &permScratch{
+			qbuf:  make(perm.Permutation, k),
+			qfwd:  make([]int32, k),
+			qinv:  make([]int32, k),
+			seq:   make([]int32, k),
+			tkeys: make([]int64, x.table.rows),
+			keys:  make([]int64, x.db.N()),
+		}
+	}
+	return x.scratch
+}
+
+// scanOrderInto fills out with the first len(out) database indexes of the
+// permutation-distance scan order (ties by lower index) and returns the
+// query's own cost, k metric evaluations. It is the table-encoded fast
+// path: one permutation distance per distinct row, an O(n) key scatter, and
+// a (partial) counting sort.
+func (x *PermIndex) scanOrderInto(q metric.Point, out []int) Stats {
+	s := x.scratchBuffers()
+	x.permuter.PermutationInto(q, s.qbuf)
+	for rank, site := range s.qbuf {
+		s.qfwd[rank] = int32(site)
+		s.qinv[site] = int32(rank)
+	}
+	maxKey := x.table.distanceKeys(x.dist, s.qinv, s.qfwd, s.seq, s.tkeys)
+	for i, id := range x.tableIDs {
+		s.keys[i] = s.tkeys[id]
+	}
+	s.counts = countingArgsortInto(s.keys, maxKey, s.counts, out)
+	return Stats{DistanceEvals: x.K()}
+}
+
 // ScanOrder returns the database indexes ordered by increasing permutation
 // distance between each point's stored permutation and the query's, ties by
 // index — the candidate schedule iAESA-style search follows. It costs k
 // metric evaluations (the query's own permutation).
 func (x *PermIndex) ScanOrder(q metric.Point) ([]int, Stats) {
+	order := make([]int, x.db.N())
+	stats := x.scanOrderInto(q, order)
+	return order, stats
+}
+
+// referenceScanOrder is the pre-table-encoding scan, retained as the oracle
+// for equivalence tests: one permutation-distance evaluation per *point*
+// over materialised inverse permutations and a stable float64 argsort. Its
+// output is byte-identical to ScanOrder by construction (integer keys order
+// identically to their float images; counting sort and SliceStable break
+// ties the same way).
+func (x *PermIndex) referenceScanOrder(q metric.Point) []int {
 	qinv := x.permuter.Permutation(q).Inverse()
 	keys := make([]float64, x.db.N())
-	for i, inv := range x.invPerms {
+	for i := range keys {
+		inv := x.invPermAt(i)
 		switch x.dist {
 		case Footrule:
 			keys[i] = float64(perm.SpearmanFootrule(qinv, inv))
@@ -192,22 +322,24 @@ func (x *PermIndex) ScanOrder(q metric.Point) ([]int, Stats) {
 			panic("sisap: unknown permutation distance")
 		}
 	}
-	order := argsort(keys)
-	return order, Stats{DistanceEvals: x.K()}
+	return argsort(keys)
 }
 
 // KNNBudget returns the best k results found after measuring at most
 // maxEvals database points in permutation-distance order (the query's k
 // site evaluations are charged on top). With maxEvals ≥ n the scan is
-// exhaustive and the answer exact.
+// exhaustive and the answer exact. The candidate schedule is produced by
+// the partial counting sort, so a small budget never pays for ordering the
+// whole database.
 func (x *PermIndex) KNNBudget(q metric.Point, k, maxEvals int) ([]Result, Stats) {
 	checkK(k, x.db.N())
-	order, stats := x.ScanOrder(q)
-	if maxEvals > len(order) {
-		maxEvals = len(order)
+	if maxEvals > x.db.N() {
+		maxEvals = x.db.N()
 	}
+	order := make([]int, maxEvals)
+	stats := x.scanOrderInto(q, order)
 	h := newKNNHeap(k)
-	for _, i := range order[:maxEvals] {
+	for _, i := range order {
 		h.push(Result{ID: i, Distance: x.db.Metric.Distance(q, x.db.Points[i])})
 	}
 	stats.DistanceEvals += maxEvals
@@ -222,19 +354,24 @@ func (x *PermIndex) KNN(q metric.Point, k int) ([]Result, Stats) {
 	return x.KNNBudget(q, k, x.db.N())
 }
 
-// Range implements Index: permutations carry no metric lower bound, so the
-// scan is exhaustive; results are exact.
+// Range implements Index: permutations carry no metric lower bound, so
+// every point is measured and the results are exact. The scan runs in plain
+// index order — computing the query permutation and ordering candidates
+// first (as this method once did) is pure overhead when every point is
+// measured anyway — into a result slice pre-sized to the database. Stats
+// are identical to the permutation-ordered scan this replaced: the k site
+// evaluations stay charged so the index's reported Range cost model is
+// unchanged by the optimisation.
 func (x *PermIndex) Range(q metric.Point, r float64) ([]Result, Stats) {
-	order, stats := x.ScanOrder(q)
-	var out []Result
-	for _, i := range order {
-		if d := x.db.Metric.Distance(q, x.db.Points[i]); d <= r {
+	n := x.db.N()
+	out := make([]Result, 0, n)
+	for i, pt := range x.db.Points {
+		if d := x.db.Metric.Distance(q, pt); d <= r {
 			out = append(out, Result{ID: i, Distance: d})
 		}
 	}
-	stats.DistanceEvals += len(order)
 	sortResults(out)
-	return out, stats
+	return out, Stats{DistanceEvals: x.K() + n}
 }
 
 // EvalsToFindTrueKNN reports how many database points must be measured, in

@@ -1,0 +1,165 @@
+package sisap
+
+import (
+	"math/rand"
+	"testing"
+
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+	"distperm/internal/perm"
+)
+
+func TestRankTableRoundTrip(t *testing.T) {
+	// Rows appended from forward permutations must come back as their
+	// inverses, for both rank widths.
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{1, 7, 256, 300} {
+		tab := newRankTable(k)
+		perms := make([]perm.Permutation, 5)
+		for i := range perms {
+			perms[i] = perm.Permutation(rng.Perm(k))
+			if got := tab.appendInverseOf(perms[i]); got != i {
+				t.Fatalf("k=%d: row id %d, want %d", k, got, i)
+			}
+		}
+		for i, p := range perms {
+			if !tab.invAt(i).Equal(p.Inverse()) {
+				t.Fatalf("k=%d: row %d is not the inverse of its permutation", k, i)
+			}
+		}
+		other := newRankTable(k)
+		other.appendRowFrom(tab, 3)
+		if !other.invAt(0).Equal(perms[3].Inverse()) {
+			t.Fatalf("k=%d: appendRowFrom copied the wrong row", k)
+		}
+	}
+}
+
+func TestDistanceKernelsMatchPermPackage(t *testing.T) {
+	// The width-specialised kernels must agree exactly with the perm
+	// package's definitions on the same inverse vectors.
+	rng := rand.New(rand.NewSource(6))
+	for _, k := range []int{1, 2, 9, 300} {
+		tab := newRankTable(k)
+		const rows = 12
+		invs := make([]perm.Permutation, rows)
+		for r := range invs {
+			p := perm.Permutation(rng.Perm(k))
+			tab.appendInverseOf(p)
+			invs[r] = p.Inverse()
+		}
+		qfwdPerm := perm.Permutation(rng.Perm(k))
+		qinvPerm := qfwdPerm.Inverse()
+		qinv := make([]int32, k)
+		qfwd := make([]int32, k)
+		for s, rank := range qinvPerm {
+			qinv[s] = int32(rank)
+		}
+		for rank, site := range qfwdPerm {
+			qfwd[rank] = int32(site)
+		}
+		seq := make([]int32, k)
+		out := make([]int64, rows)
+		for _, dist := range allPermDistances {
+			maxKey := tab.distanceKeys(dist, qinv, qfwd, seq, out)
+			var top int64
+			for r, got := range out {
+				var want int64
+				switch dist {
+				case Footrule:
+					want = int64(perm.SpearmanFootrule(qinvPerm, invs[r]))
+				case KendallTau:
+					want = int64(perm.KendallTau(qinvPerm, invs[r]))
+				case SpearmanRho:
+					want = int64(perm.SpearmanRhoSq(qinvPerm, invs[r]))
+				}
+				if got != want {
+					t.Fatalf("k=%d %s row %d: kernel %d, perm package %d", k, dist, r, got, want)
+				}
+				if got > top {
+					top = got
+				}
+			}
+			if maxKey != top {
+				t.Fatalf("k=%d %s: reported maxKey %d, actual %d", k, dist, maxKey, top)
+			}
+		}
+	}
+}
+
+func TestCountingArgsortMatchesArgsort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		maxKey := int64(rng.Intn(50)) // dense keys: plenty of ties
+		keys := make([]int64, n)
+		floats := make([]float64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(int(maxKey) + 1))
+			floats[i] = float64(keys[i])
+		}
+		want := argsort(floats)
+		var counts []int32
+		full := make([]int, n)
+		counts = countingArgsortInto(keys, maxKey, counts, full)
+		assertSameOrder(t, "full", full, want)
+		limit := rng.Intn(n + 1)
+		partial := make([]int, limit)
+		countingArgsortInto(keys, maxKey, counts, partial)
+		assertSameOrder(t, "partial", partial, want[:limit])
+	}
+}
+
+func TestCountingArgsortSparseFallback(t *testing.T) {
+	// Keys far beyond the bucket limit take the comparison-sort path; the
+	// ordering contract is identical.
+	rng := rand.New(rand.NewSource(8))
+	n := 100
+	keys := make([]int64, n)
+	floats := make([]float64, n)
+	var maxKey int64
+	for i := range keys {
+		keys[i] = int64(rng.Intn(1 << 30))
+		floats[i] = float64(keys[i])
+		if keys[i] > maxKey {
+			maxKey = keys[i]
+		}
+	}
+	if maxKey <= countingBucketLimit(n) {
+		t.Fatal("test premise broken: keys fit the bucket limit")
+	}
+	want := argsort(floats)
+	full := make([]int, n)
+	countingArgsortInto(keys, maxKey, nil, full)
+	assertSameOrder(t, "sparse full", full, want)
+	partial := make([]int, 17)
+	countingArgsortInto(keys, maxKey, nil, partial)
+	assertSameOrder(t, "sparse partial", partial, want[:17])
+}
+
+func TestFootruleRanksMatchesPermPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(20)
+		a := perm.Permutation(rng.Perm(k))
+		b := perm.Permutation(rng.Perm(k))
+		if got, want := footruleRanks(a, b), perm.SpearmanFootrule(a, b); got != want {
+			t.Fatalf("footruleRanks = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestWideKScanOrderMatchesReference(t *testing.T) {
+	// k > 256 exercises the uint16 rank rows (and, for rho², the sparse-key
+	// fallback). The in-memory index has no k cap; only serialization does.
+	rng := rand.New(rand.NewSource(10))
+	db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 350, 4))
+	for _, dist := range allPermDistances {
+		idx := NewPermIndex(db, rng.Perm(db.N())[:300], dist)
+		for qi := 0; qi < 3; qi++ {
+			q := dataset.UniformVectors(rng, 1, 4)[0]
+			got, _ := idx.ScanOrder(q)
+			assertSameOrder(t, dist.String(), got, idx.referenceScanOrder(q))
+		}
+	}
+}

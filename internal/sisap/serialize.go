@@ -5,35 +5,49 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 
-	"distperm/internal/core"
-	"distperm/internal/metric"
 	"distperm/internal/perm"
 )
 
-// Serialization of the distance-permutation index: the sites (by database
-// ID) and one permutation per point, bit-packed at ⌈lg k!⌉ bits each via
-// perm.PackedArray. This is the artefact whose size the paper's analysis is
-// about, written to disk the way a production index would be. The database
-// points themselves are not serialised — like the SISAP library, the index
-// file accompanies the data file.
+// Serialization of the distance-permutation index. Two payload formats
+// exist, distinguished by the first uint32 of the payload:
 //
-// Format (little-endian):
+//   - legacy (first uint32 = k, 1..20): the sites and one bit-packed
+//     permutation per point at ⌈lg k!⌉ bits each — the naive encoding.
+//     Written by every version before the table format; still decoded.
+//   - table (first uint32 = permTableTag): the paper's §4 table encoding on
+//     disk. The distinct occurring permutations are stored once each
+//     (bit-packed Lehmer ranks) and every point stores only a table index
+//     of ⌈lg(#distinct)⌉ bits. Containers shrink by the Corollary 8 margin
+//     whenever distinct ≪ k!, and ReadIndex gets faster with them: it
+//     decodes #distinct permutations instead of n and scatters the IDs
+//     straight into the in-memory table encoding, no re-deduplication.
 //
-//	magic   [8]byte  "DPERMIDX"
-//	version uint32   (1)
-//	k       uint32   number of sites
-//	n       uint64   number of points
-//	dist    uint32   PermDistance
-//	sites   k × uint64   database IDs of the sites
-//	perms   ceil(n·⌈lg k!⌉ / 64) × uint64   packed Lehmer ranks
+// The database points themselves are never serialised — like the SISAP
+// library, the index file accompanies the data file.
+//
+// Table payload format (little-endian):
+//
+//	tag      uint32   permTableTag (distinguishes from legacy k ≤ 20)
+//	k        uint32   number of sites
+//	n        uint64   number of points
+//	dist     uint32   PermDistance
+//	sites    k × uint64   database IDs of the sites
+//	distinct uint32   number of distinct permutations (1 ≤ distinct ≤ n)
+//	table    ceil(distinct·⌈lg k!⌉ / 64) × uint64   packed Lehmer ranks
+//	ids      ceil(n·⌈lg distinct⌉ / 64) × uint64    packed table indexes
 const (
 	permIndexMagic   = "DPERMIDX"
 	permIndexVersion = 1
+	// permTableTag marks the table-encoded payload. Any value above 20 is
+	// unambiguous against the legacy payload, whose first uint32 is k; the
+	// spelled-out constant is "PTBL" read little-endian.
+	permTableTag = 0x4C425450
 )
 
-// WriteTo serialises the index in the standalone v1 format. It returns the
-// number of bytes written. The codec registry (codec.go) wraps the same
+// WriteTo serialises the index in the standalone v1 container. It returns
+// the number of bytes written. The codec registry (codec.go) wraps the same
 // payload in the v2 multi-index container; both read back via ReadPermIndex
 // / ReadIndex respectively.
 func (x *PermIndex) WriteTo(w io.Writer) (int64, error) {
@@ -55,8 +69,7 @@ func (x *PermIndex) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// encodePayload writes the header-less index body: k, n, the permutation
-// distance, the site IDs, and the bit-packed Lehmer ranks.
+// encodePayload writes the header-less table-format index body.
 func (x *PermIndex) encodePayload(w io.Writer) (int64, error) {
 	var written int64
 	// The packed encoding stores Lehmer ranks in a uint64, so the on-disk
@@ -72,33 +85,46 @@ func (x *PermIndex) encodePayload(w io.Writer) (int64, error) {
 		written += int64(binary.Size(v))
 		return nil
 	}
-	if err := put(uint32(x.K())); err != nil {
-		return written, err
-	}
-	if err := put(uint64(x.db.N())); err != nil {
-		return written, err
-	}
-	if err := put(uint32(x.dist)); err != nil {
-		return written, err
+	for _, v := range []interface{}{
+		uint32(permTableTag), uint32(x.K()), uint64(x.db.N()), uint32(x.dist),
+	} {
+		if err := put(v); err != nil {
+			return written, err
+		}
 	}
 	for _, id := range x.siteIDs {
 		if err := put(uint64(id)); err != nil {
 			return written, err
 		}
 	}
-	// Re-pack the stored inverse permutations as forward-permutation
-	// Lehmer ranks.
-	packed := perm.NewPackedArray(x.K())
-	for _, inv := range x.invPerms {
-		packed.Append(inv.Inverse())
+	distinct := x.table.rows
+	if err := put(uint32(distinct)); err != nil {
+		return written, err
 	}
-	words := packWords(packed)
-	for _, w64 := range words {
+	// The distinct-permutation table, as forward-permutation Lehmer ranks.
+	packed := perm.NewPackedArray(x.K())
+	for r := 0; r < distinct; r++ {
+		packed.Append(x.table.invAt(r).Inverse())
+	}
+	for _, w64 := range packWords(packed) {
+		if err := put(w64); err != nil {
+			return written, err
+		}
+	}
+	// The per-point table indexes at ⌈lg distinct⌉ bits each.
+	idWidth := tableIDBits(distinct)
+	for _, w64 := range packUint32s(x.tableIDs, idWidth) {
 		if err := put(w64); err != nil {
 			return written, err
 		}
 	}
 	return written, nil
+}
+
+// tableIDBits returns ⌈lg distinct⌉, the per-point index width of the table
+// encoding (0 when a single permutation covers the whole database).
+func tableIDBits(distinct int) uint {
+	return uint(bits.Len(uint(distinct - 1)))
 }
 
 // packWords re-encodes a PackedArray's payload deterministically. It exists
@@ -113,16 +139,43 @@ func packWords(a *perm.PackedArray) []uint64 {
 	totalBits := uint64(a.Len()) * w
 	words := make([]uint64, (totalBits+63)/64)
 	for i := 0; i < a.Len(); i++ {
-		r := a.Rank64At(i)
-		bitPos := uint64(i) * w
-		word := bitPos / 64
-		off := bitPos % 64
-		words[word] |= r << off
-		if off+w > 64 {
-			words[word+1] |= r >> (64 - off)
-		}
+		putBits(words, uint64(i)*w, w, a.Rank64At(i))
 	}
 	return words
+}
+
+// packUint32s packs vals at width bits each into LSB-first little-endian
+// words, the same layout packWords uses.
+func packUint32s(vals []uint32, width uint) []uint64 {
+	if width == 0 {
+		return nil
+	}
+	w := uint64(width)
+	totalBits := uint64(len(vals)) * w
+	words := make([]uint64, (totalBits+63)/64)
+	for i, v := range vals {
+		putBits(words, uint64(i)*w, w, uint64(v))
+	}
+	return words
+}
+
+func putBits(words []uint64, bitPos, width, v uint64) {
+	word := bitPos / 64
+	off := bitPos % 64
+	words[word] |= v << off
+	if off+width > 64 {
+		words[word+1] |= v >> (64 - off)
+	}
+}
+
+func getBits(words []uint64, bitPos, width uint64) uint64 {
+	word := bitPos / 64
+	off := bitPos % 64
+	v := words[word] >> off
+	if off+width > 64 {
+		v |= words[word+1] << (64 - off)
+	}
+	return v & (uint64(1)<<width - 1)
 }
 
 // ReadPermIndex deserialises an index against db (which must be the same
@@ -147,83 +200,160 @@ func ReadPermIndex(r io.Reader, db *DB) (*PermIndex, error) {
 	return decodePermPayload(br, db)
 }
 
-// decodePermPayload reads the header-less index body written by
-// encodePayload and reconstructs the index against db.
+// decodePermPayload reads a header-less index body — table format or
+// legacy, self-described by the first uint32 — and reconstructs the index
+// against db.
 func decodePermPayload(br io.Reader, db *DB) (*PermIndex, error) {
-	var k, dist uint32
-	var n uint64
-	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+	var first uint32
+	if err := binary.Read(br, binary.LittleEndian, &first); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+	if first == permTableTag {
+		return decodeTablePayload(br, db)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &dist); err != nil {
-		return nil, err
+	return decodeLegacyPayload(br, db, first)
+}
+
+// readPermHeader reads the n/dist/sites fields shared by both payload
+// formats (k has already been consumed and validated).
+func readPermHeader(br io.Reader, db *DB, k uint32) (dist uint32, n uint64, siteIDs []int, err error) {
+	if err = binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return
 	}
-	if k == 0 || k > 20 {
-		return nil, fmt.Errorf("sisap: k=%d out of range", k)
+	if err = binary.Read(br, binary.LittleEndian, &dist); err != nil {
+		return
 	}
 	if int(n) != db.N() {
-		return nil, fmt.Errorf("sisap: index has %d points, database has %d", n, db.N())
+		err = fmt.Errorf("sisap: index has %d points, database has %d", n, db.N())
+		return
 	}
-	siteIDs := make([]int, k)
+	siteIDs = make([]int, k)
 	for i := range siteIDs {
 		var id uint64
-		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
-			return nil, err
+		if err = binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return
 		}
 		if id >= n {
-			return nil, fmt.Errorf("sisap: site ID %d out of range", id)
+			err = fmt.Errorf("sisap: site ID %d out of range", id)
+			return
 		}
 		siteIDs[i] = int(id)
 	}
-	width := uint64(perm.NewPackedArray(int(k)).BitsPerElement())
-	nWords := (n*width + 63) / 64
-	words := make([]uint64, nWords)
+	return
+}
+
+// readWords reads the packed bit vector covering count elements of the
+// given width.
+func readWords(br io.Reader, count, width uint64) ([]uint64, error) {
+	words := make([]uint64, (count*width+63)/64)
 	for i := range words {
 		if err := binary.Read(br, binary.LittleEndian, &words[i]); err != nil {
 			return nil, err
 		}
 	}
+	return words, nil
+}
 
-	x := &PermIndex{
-		db:      db,
-		siteIDs: siteIDs,
-		dist:    PermDistance(dist),
+// decodeTablePayload reads the table-encoded body: the distinct
+// permutations are decoded once each into a rankTable and the per-point
+// table IDs are scattered — O(distinct·k + n) instead of the legacy
+// O(n·k) decode.
+func decodeTablePayload(br io.Reader, db *DB) (*PermIndex, error) {
+	var k uint32
+	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+		return nil, err
 	}
-	// Rebuild the permuter (sites only — the stored per-point permutations
-	// are what makes reloading cheaper than reindexing).
-	sitePts := make([]metric.Point, k)
-	for i, id := range siteIDs {
-		sitePts[i] = db.Points[id]
+	if k == 0 || k > 20 {
+		return nil, fmt.Errorf("sisap: k=%d out of range", k)
 	}
-	x.permuter = core.NewPermuter(db.Metric, sitePts)
+	dist, n, siteIDs, err := readPermHeader(br, db, k)
+	if err != nil {
+		return nil, err
+	}
+	var distinct uint32
+	if err := binary.Read(br, binary.LittleEndian, &distinct); err != nil {
+		return nil, err
+	}
+	if distinct == 0 || uint64(distinct) > n {
+		return nil, fmt.Errorf("sisap: distinct count %d out of range 1..%d", distinct, n)
+	}
+	permWidth := uint64(perm.NewPackedArray(int(k)).BitsPerElement())
+	permWords, err := readWords(br, uint64(distinct), permWidth)
+	if err != nil {
+		return nil, err
+	}
+	table := newRankTable(int(k))
 	maxRank := rankLimit(int(k))
-	x.invPerms = make([]perm.Permutation, n)
-	seen := make(map[uint64]bool)
-	mask := uint64(1)<<width - 1
+	seen := make(map[uint64]bool, distinct)
+	for r := uint64(0); r < uint64(distinct); r++ {
+		var rank uint64
+		if permWidth > 0 {
+			rank = getBits(permWords, r*permWidth, permWidth)
+		}
+		if rank >= maxRank {
+			return nil, fmt.Errorf("sisap: corrupt permutation rank %d in table row %d", rank, r)
+		}
+		if seen[rank] {
+			return nil, fmt.Errorf("sisap: duplicate permutation in table row %d", r)
+		}
+		seen[rank] = true
+		table.appendInverseOf(perm.Unrank64(int(k), rank))
+	}
+	idWidth := uint64(tableIDBits(int(distinct)))
+	idWords, err := readWords(br, n, idWidth)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint32, n)
+	for i := uint64(0); i < n; i++ {
+		var id uint64
+		if idWidth > 0 {
+			id = getBits(idWords, i*idWidth, idWidth)
+		}
+		if id >= uint64(distinct) {
+			return nil, fmt.Errorf("sisap: table index %d out of range at point %d", id, i)
+		}
+		ids[i] = uint32(id)
+	}
+	return newPermIndexFromTable(db, siteIDs, PermDistance(dist), table, ids), nil
+}
+
+// decodeLegacyPayload reads the pre-table body (one packed permutation per
+// point), deduplicating into the in-memory table encoding as it goes. k has
+// already been read as the format discriminant.
+func decodeLegacyPayload(br io.Reader, db *DB, k uint32) (*PermIndex, error) {
+	if k == 0 || k > 20 {
+		return nil, fmt.Errorf("sisap: k=%d out of range", k)
+	}
+	dist, n, siteIDs, err := readPermHeader(br, db, k)
+	if err != nil {
+		return nil, err
+	}
+	width := uint64(perm.NewPackedArray(int(k)).BitsPerElement())
+	words, err := readWords(br, n, width)
+	if err != nil {
+		return nil, err
+	}
+	maxRank := rankLimit(int(k))
+	table := newRankTable(int(k))
+	ids := make([]uint32, n)
+	rowOf := make(map[uint64]uint32)
 	for i := uint64(0); i < n; i++ {
 		var rank uint64
 		if width > 0 {
-			bitPos := i * width
-			word := bitPos / 64
-			off := bitPos % 64
-			rank = words[word] >> off
-			if off+width > 64 {
-				rank |= words[word+1] << (64 - off)
-			}
-			rank &= mask
+			rank = getBits(words, i*width, width)
 		}
 		if rank >= maxRank {
 			return nil, fmt.Errorf("sisap: corrupt permutation rank %d at point %d", rank, i)
 		}
-		p := perm.Unrank64(int(k), rank)
-		seen[rank] = true
-		x.invPerms[i] = p.Inverse()
+		id, ok := rowOf[rank]
+		if !ok {
+			id = uint32(table.appendInverseOf(perm.Unrank64(int(k), rank)))
+			rowOf[rank] = id
+		}
+		ids[i] = id
 	}
-	x.distinct = len(seen)
-	return x, nil
+	return newPermIndexFromTable(db, siteIDs, PermDistance(dist), table, ids), nil
 }
 
 func rankLimit(k int) uint64 {

@@ -2,12 +2,14 @@ package sisap
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"distperm/internal/dataset"
 	"distperm/internal/metric"
+	"distperm/internal/perm"
 )
 
 func TestPermIndexSerializationRoundTrip(t *testing.T) {
@@ -34,8 +36,8 @@ func TestPermIndexSerializationRoundTrip(t *testing.T) {
 		if got.DistinctPermutations() != idx.DistinctPermutations() {
 			t.Errorf("k=%d: distinct %d != %d", k, got.DistinctPermutations(), idx.DistinctPermutations())
 		}
-		for i := range idx.invPerms {
-			if !got.invPerms[i].Equal(idx.invPerms[i]) {
+		for i := 0; i < db.N(); i++ {
+			if !got.invPermAt(i).Equal(idx.invPermAt(i)) {
 				t.Fatalf("k=%d: permutation %d differs after round trip", k, i)
 			}
 		}
@@ -52,17 +54,77 @@ func TestPermIndexSerializationRoundTrip(t *testing.T) {
 }
 
 func TestPermIndexSerializationCompactness(t *testing.T) {
-	// The file must be close to n·⌈lg k!⌉ bits plus a small header —
-	// the paper's storage figure on disk, not just on paper.
+	// The naive encoding costs n·⌈lg k!⌉ bits; the table encoding must come
+	// in under that whenever distinct ≪ k! — the paper's Corollary 8 margin,
+	// on disk and not just on paper.
 	db, rng := testDB(111, 10_000, 2, metric.L2{})
 	idx := NewPermIndex(db, rng.Perm(db.N())[:8], Footrule)
 	var buf bytes.Buffer
 	if _, err := idx.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	payload := 10_000 * 16 / 8 // n × ⌈lg 8!⌉ bits = 16 bits/point
-	if buf.Len() > payload+256 {
-		t.Errorf("file is %d bytes; payload bound %d + header", buf.Len(), payload)
+	naivePayload := 10_000 * 16 / 8 // n × ⌈lg 8!⌉ bits = 16 bits/point
+	if buf.Len() > naivePayload+256 {
+		t.Errorf("file is %d bytes; naive payload bound %d + header", buf.Len(), naivePayload)
+	}
+	// In 2-d Euclidean with k=8 the distinct count is far below n, so the
+	// table-encoded container must be strictly smaller than the naive
+	// payload alone — ⌈lg distinct⌉ < ⌈lg 8!⌉ bits per point.
+	if buf.Len() >= naivePayload {
+		t.Errorf("table-encoded file (%d bytes) should beat the naive payload (%d bytes); distinct = %d",
+			buf.Len(), naivePayload, idx.DistinctPermutations())
+	}
+}
+
+// encodeLegacyPayload reproduces the pre-table on-disk body (k, n, dist,
+// sites, one ⌈lg k!⌉-bit packed permutation per point) so the decoder's
+// backward compatibility stays covered now that WriteTo emits the table
+// format.
+func encodeLegacyPayload(t *testing.T, w *bytes.Buffer, x *PermIndex) {
+	t.Helper()
+	put := func(v interface{}) {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(uint32(x.K()))
+	put(uint64(x.db.N()))
+	put(uint32(x.dist))
+	for _, id := range x.siteIDs {
+		put(uint64(id))
+	}
+	packed := perm.NewPackedArray(x.K())
+	for i := 0; i < x.db.N(); i++ {
+		packed.Append(x.invPermAt(i).Inverse())
+	}
+	for _, w64 := range packWords(packed) {
+		put(w64)
+	}
+}
+
+func TestReadPermIndexAcceptsLegacyPayload(t *testing.T) {
+	db, rng := testDB(115, 250, 3, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:6], Footrule)
+	var buf bytes.Buffer
+	buf.WriteString(permIndexMagic)
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(permIndexVersion)); err != nil {
+		t.Fatal(err)
+	}
+	encodeLegacyPayload(t, &buf, idx)
+	got, err := ReadPermIndex(&buf, db)
+	if err != nil {
+		t.Fatalf("legacy payload: %v", err)
+	}
+	if got.DistinctPermutations() != idx.DistinctPermutations() {
+		t.Errorf("legacy distinct %d != %d", got.DistinctPermutations(), idx.DistinctPermutations())
+	}
+	q := dataset.UniformVectors(rng, 1, 3)[0]
+	a, _ := idx.ScanOrder(q)
+	b, _ := got.ScanOrder(q)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("legacy scan order diverges at %d", i)
+		}
 	}
 }
 
@@ -96,10 +158,17 @@ func TestReadPermIndexRejectsCorruption(t *testing.T) {
 	if _, err := ReadPermIndex(bytes.NewReader(vbad), db); err == nil {
 		t.Error("bad version should error")
 	}
+	// Unknown payload discriminant (neither legacy k ≤ 20 nor the table
+	// tag).
+	dbad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(dbad[12:], 999)
+	if _, err := ReadPermIndex(bytes.NewReader(dbad), db); err == nil {
+		t.Error("unknown payload discriminant should error")
+	}
 }
 
 func TestReadPermIndexRejectsBadRank(t *testing.T) {
-	// Hand-craft a file whose packed rank exceeds k!−1.
+	// Hand-craft a file whose packed table rank exceeds k!−1.
 	db, rng := testDB(113, 4, 2, metric.L2{})
 	idx := NewPermIndex(db, rng.Perm(4)[:3], Footrule) // k=3: 3 bits/perm, ranks 0..5
 	var buf bytes.Buffer
@@ -107,10 +176,40 @@ func TestReadPermIndexRejectsBadRank(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	// The perms words start after 8+4+4+8+4 + 3*8 = 52 bytes; set the
+	// The table words start after 8+4 (magic+version) + 4 (tag) + 4 (k) +
+	// 8 (n) + 4 (dist) + 3*8 (sites) + 4 (distinct) = 60 bytes; set the
 	// first packed rank to 7 (0b111 > 5).
-	raw[52] |= 0b111
+	raw[60] |= 0b111
 	if _, err := ReadPermIndex(bytes.NewReader(raw), db); err == nil {
 		t.Error("out-of-range rank should error")
+	}
+}
+
+func TestReadPermIndexRejectsBadTableID(t *testing.T) {
+	// A per-point table index pointing past the table must be rejected.
+	db, rng := testDB(114, 40, 2, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:4], Footrule)
+	distinct := idx.DistinctPermutations()
+	if distinct < 2 || distinct&(distinct-1) == 0 {
+		// Need a non-power-of-two table so an out-of-range ID is encodable
+		// in ⌈lg distinct⌉ bits.
+		t.Skipf("distinct = %d not suitable for the corruption", distinct)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// ids words start after 60 bytes of header/sites/distinct (k=4: 4*8
+	// sites... recompute: 8+4+4+4+8+4+32+4 = 68) plus the table words.
+	permBits := perm.NewPackedArray(4).BitsPerElement()
+	tableWords := (distinct*permBits + 63) / 64
+	idsOff := 68 + 8*tableWords
+	// Force the first id's bits all-ones: with a non-power-of-two table
+	// size, the all-ones pattern of width ⌈lg distinct⌉ is ≥ distinct.
+	width := int(tableIDBits(distinct))
+	raw[idsOff] |= byte(1<<width - 1)
+	if _, err := ReadPermIndex(bytes.NewReader(raw), db); err == nil {
+		t.Error("out-of-range table index should error")
 	}
 }

@@ -59,6 +59,11 @@ type (
 	Stats = sisap.Stats
 	// PermIndex is the distance-permutation index, exposed concretely for
 	// its extra surface (KNNBudget, DistinctPermutations, storage splits).
+	// Its query path runs the paper's table encoding live: permutation
+	// distances are computed once per *distinct* stored permutation and the
+	// candidates are ordered by an integer counting sort, so queries get
+	// cheaper exactly where the paper's counting results say the index gets
+	// smaller (DistinctPermutations ≪ n).
 	PermIndex = sisap.PermIndex
 	// PermDistance selects the candidate-ordering permutation distance.
 	PermDistance = sisap.PermDistance

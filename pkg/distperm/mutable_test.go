@@ -588,3 +588,63 @@ func TestWrapMutable(t *testing.T) {
 		t.Fatalf("id %d not stable across fold: %v", gid, outs[0])
 	}
 }
+
+// TestMutableRebuildKeepsTableEncoding: the background fold rebuilds the
+// distperm base with NewPermIndex, so over clustered data (the paper's
+// distinct ≪ n regime) the folded base must carry a small
+// distinct-permutation table, answers must stay equivalent to a
+// from-scratch rebuild, and the table encoding must survive the snapshot
+// container round trip.
+func TestMutableRebuildKeepsTableEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	pts := dataset.ClusteredVectors(rng, 1_000, 3, 8, 0.03)
+	db, err := distperm.NewDB(distperm.L2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := distperm.NewMutableEngine(db, distperm.MutableConfig{
+		Spec: distperm.Spec{Index: "distperm", K: 6, Seed: 55}, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer me.Close()
+	model := newMutModel(pts)
+	for _, p := range dataset.ClusteredVectors(rng, 64, 3, 8, 0.03) {
+		gid, err := me.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model.insert(gid, p)
+	}
+	if err := me.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	probes := dataset.UniformVectors(rng, 6, 3)
+	checkEquivalence(t, "post-fold", me, model, probes, 4, 0.5)
+
+	snap, err := me.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := snap.Base().(*distperm.PermIndex)
+	if !ok {
+		t.Fatalf("folded base is %T, want *PermIndex", snap.Base())
+	}
+	if d := base.DistinctPermutations(); d >= snap.BaseN()/4 {
+		t.Fatalf("clustered rebuild realised %d distinct permutations of %d base points; not the distinct ≪ n regime", d, snap.BaseN())
+	}
+	var buf bytes.Buffer
+	if _, err := distperm.WriteIndex(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := distperm.ReadIndex(bytes.NewReader(buf.Bytes()), snap.DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbase := back.(*distperm.MutableIndex).Base().(*distperm.PermIndex)
+	if lbase.DistinctPermutations() != base.DistinctPermutations() {
+		t.Fatalf("distinct %d != %d after snapshot round trip",
+			lbase.DistinctPermutations(), base.DistinctPermutations())
+	}
+}

@@ -518,6 +518,29 @@ func BenchmarkKNNBudget(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedKernel measures the batch-native query path at the index
+// level — single goroutine, so the batch win is pure kernel amortisation
+// (cache-tiled table walk, 4-query register blocking), not worker
+// parallelism. batch=1 pays the same table walk per query as the scalar
+// path; batch=64 streams each 32 KiB tile of rank rows once per block of
+// queries. ns/op is per batch; queries/s is the comparable per-query rate.
+func BenchmarkBatchedKernel(b *testing.B) {
+	for _, data := range []string{"uniform", "clustered"} {
+		for _, batch := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("data=%s/batch=%d", data, batch), func(b *testing.B) {
+				idx, queries := scanOrderDB(b, data == "clustered")
+				qs := queries[:batch]
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					idx.KNNBudgetBatch(qs, 1, 1_000)
+				}
+				b.ReportMetric(float64(b.N*batch)/time.Since(start).Seconds(), "queries/s")
+			})
+		}
+	}
+}
+
 // BenchmarkPermIndexBuild measures sharded index construction (k·n metric
 // evaluations spread across NumCPU workers).
 func BenchmarkPermIndexBuild(b *testing.B) {

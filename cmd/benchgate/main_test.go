@@ -150,10 +150,12 @@ func TestReportTable(t *testing.T) {
 		"BenchmarkRetired":{"ns_per_op":50,"runs":3}}}`)
 	b := write("BENCH_b.json", `{"sha":"bbbbbbbbbbbbbbbb","seed":true,"benchmarks":{
 		"BenchmarkX":{"ns_per_op":1100,"runs":3},
-		"BenchmarkNew":{"ns_per_op":200,"runs":3}}}`)
+		"BenchmarkNew":{"ns_per_op":200,"runs":3},
+		"BenchmarkBatchedKernel/data=uniform/batch=64":{"ns_per_op":16000000,"runs":3}}}`)
 	c := write("BENCH_c.json", `{"benchmarks":{
 		"BenchmarkX":{"ns_per_op":880,"runs":3},
-		"BenchmarkNew":{"ns_per_op":200,"runs":3}}}`)
+		"BenchmarkNew":{"ns_per_op":200,"runs":3},
+		"BenchmarkBatchedKernel/data=uniform/batch=64":{"ns_per_op":12000000,"runs":3}}}`)
 
 	var sink strings.Builder
 	if err := run(false, "", "", "", false, "", "", 0.25, []string{a, b, c}, &sink); err != nil {
@@ -168,6 +170,9 @@ func TestReportTable(t *testing.T) {
 		"| BenchmarkX | 1000 ns/op | 1100 ns/op (+10.0%) | 880 ns/op (-20.0%) |",
 		"| BenchmarkRetired | 50 ns/op | — | — |",
 		"| BenchmarkNew | — | 200 ns/op | 200 ns/op (+0.0%) |",
+		// Sub-benchmark paths (slashes, key=value components) flow through
+		// the drift cells untouched.
+		"| BenchmarkBatchedKernel/data=uniform/batch=64 | — | 1.6e+07 ns/op | 1.2e+07 ns/op (-25.0%) |",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("report missing %q:\n%s", want, got)

@@ -1,0 +1,171 @@
+package sisap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+)
+
+// The tests in this file pin the batch query path to the scalar one: every
+// batch method must be byte-identical — orderings, tie-breaks, budget
+// cutoffs, and Stats — to issuing its queries one at a time (and the scalar
+// path is itself pinned to the naive reference by permindex_equiv_test.go).
+
+var batchSizes = []int{1, 3, 17, 256}
+
+// interface conformance: the distance-permutation index is the family's
+// batch-native member.
+var _ BatchIndex = (*PermIndex)(nil)
+
+func batchQueries(rng *rand.Rand, n, d int) []metric.Point {
+	return dataset.UniformVectors(rng, n, d)
+}
+
+func TestScanOrderBatchMatchesScalar(t *testing.T) {
+	for _, dist := range allPermDistances {
+		rng := rand.New(rand.NewSource(501))
+		db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 600, 3))
+		idx := NewPermIndex(db, rng.Perm(db.N())[:8], dist)
+		for _, batch := range batchSizes {
+			qs := batchQueries(rng, batch, 3)
+			got, stats := idx.ScanOrderBatch(qs)
+			if len(got) != batch || len(stats) != batch {
+				t.Fatalf("%s batch %d: %d orders, %d stats", dist, batch, len(got), len(stats))
+			}
+			for i, q := range qs {
+				want, wantStats := idx.ScanOrder(q)
+				if stats[i] != wantStats {
+					t.Fatalf("%s batch %d query %d: stats %+v != %+v", dist, batch, i, stats[i], wantStats)
+				}
+				assertSameOrder(t, fmt.Sprintf("%s batch %d query %d", dist, batch, i), got[i], want)
+			}
+		}
+	}
+}
+
+func TestScanOrderBatchMatchesScalarClustered(t *testing.T) {
+	// The distinct ≪ n regime, where tiles cover the whole table in a few
+	// rows and the scatter dominates — tie traffic between identical
+	// permutations must still break identically.
+	for _, dist := range allPermDistances {
+		rng := rand.New(rand.NewSource(503))
+		db := NewDB(metric.L2{}, dataset.ClusteredVectors(rng, 2_000, 4, 12, 0.02))
+		idx := NewPermIndex(db, rng.Perm(db.N())[:6], dist)
+		qs := batchQueries(rng, 17, 4)
+		got, _ := idx.ScanOrderBatch(qs)
+		for i, q := range qs {
+			want, _ := idx.ScanOrder(q)
+			assertSameOrder(t, fmt.Sprintf("%s clustered query %d", dist, i), got[i], want)
+		}
+	}
+}
+
+func TestScanOrderBatchWideRanks(t *testing.T) {
+	// k > 256 exercises the uint16 rank rows and, for rho, the sparse-key
+	// comparison-sort fallback inside the per-query ordering.
+	for _, dist := range allPermDistances {
+		rng := rand.New(rand.NewSource(505))
+		db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 400, 4))
+		idx := NewPermIndex(db, rng.Perm(db.N())[:300], dist)
+		if idx.table.r16 == nil {
+			t.Fatalf("%s: k=300 should use uint16 rank rows", dist)
+		}
+		qs := batchQueries(rng, 5, 4)
+		got, _ := idx.ScanOrderBatch(qs)
+		for i, q := range qs {
+			want, _ := idx.ScanOrder(q)
+			assertSameOrder(t, fmt.Sprintf("%s wide query %d", dist, i), got[i], want)
+		}
+	}
+}
+
+func TestScanOrderBatchBeyondChunk(t *testing.T) {
+	// Batches wider than the kernel-pass chunk must split into passes with
+	// no seam: force a tiny chunk by hand and compare against the scalar
+	// path across the pass boundary.
+	rng := rand.New(rand.NewSource(507))
+	db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 300, 3))
+	idx := NewPermIndex(db, rng.Perm(db.N())[:7], Footrule)
+	b := idx.batchBuffers()
+	if b.chunk != batchChunkMax {
+		t.Fatalf("small table should get the max chunk, got %d", b.chunk)
+	}
+	b.chunk = 5 // forces ceil(13/5) = 3 kernel passes below
+	qs := batchQueries(rng, 13, 3)
+	got, _ := idx.ScanOrderBatch(qs)
+	for i, q := range qs {
+		want, _ := idx.ScanOrder(q)
+		assertSameOrder(t, fmt.Sprintf("chunked query %d", i), got[i], want)
+	}
+}
+
+func TestKNNBudgetBatchMatchesScalar(t *testing.T) {
+	for _, dist := range allPermDistances {
+		rng := rand.New(rand.NewSource(509))
+		db := NewDB(metric.L2{}, dataset.ClusteredVectors(rng, 1_000, 3, 8, 0.05))
+		idx := NewPermIndex(db, rng.Perm(db.N())[:7], dist)
+		for _, batch := range batchSizes {
+			qs := batchQueries(rng, batch, 3)
+			for _, budget := range []int{1, 37, 1_000, 5_000} {
+				got, stats := idx.KNNBudgetBatch(qs, 3, budget)
+				for i, q := range qs {
+					want, wantStats := idx.KNNBudget(q, 3, budget)
+					if stats[i] != wantStats {
+						t.Fatalf("%s batch %d budget %d query %d: stats %+v != %+v",
+							dist, batch, budget, i, stats[i], wantStats)
+					}
+					sameResults(t, fmt.Sprintf("%s batch %d budget %d query %d", dist, batch, budget, i), got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(511))
+	db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 500, 4))
+	idx := NewPermIndex(db, rng.Perm(db.N())[:9], Footrule)
+	qs := batchQueries(rng, 17, 4)
+	got, stats := idx.KNNBatch(qs, 5)
+	for i, q := range qs {
+		want, wantStats := idx.KNN(q, 5)
+		if stats[i] != wantStats {
+			t.Fatalf("query %d: stats %+v != %+v", i, stats[i], wantStats)
+		}
+		sameResults(t, fmt.Sprintf("query %d", i), got[i], want)
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(513))
+	db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 100, 3))
+	idx := NewPermIndex(db, rng.Perm(db.N())[:5], Footrule)
+	if orders, stats := idx.ScanOrderBatch(nil); len(orders) != 0 || len(stats) != 0 {
+		t.Errorf("empty ScanOrderBatch: %d orders, %d stats", len(orders), len(stats))
+	}
+	if results, stats := idx.KNNBatch([]metric.Point{}, 2); len(results) != 0 || len(stats) != 0 {
+		t.Errorf("empty KNNBatch: %d results, %d stats", len(results), len(stats))
+	}
+}
+
+func TestBatchReplicaIndependence(t *testing.T) {
+	// Replicas share the immutable table but own their batch scratch:
+	// interleaving batches on original and replica must equal isolated runs.
+	rng := rand.New(rand.NewSource(515))
+	db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 400, 3))
+	idx := NewPermIndex(db, rng.Perm(db.N())[:8], SpearmanRho)
+	rep := idx.Replica().(*PermIndex)
+	qs1 := batchQueries(rng, 9, 3)
+	qs2 := batchQueries(rng, 9, 3)
+	got1, _ := idx.ScanOrderBatch(qs1)
+	got2, _ := rep.ScanOrderBatch(qs2)
+	for i := range qs1 {
+		want1 := idx.referenceScanOrder(qs1[i])
+		want2 := idx.referenceScanOrder(qs2[i])
+		assertSameOrder(t, fmt.Sprintf("original %d", i), got1[i], want1)
+		assertSameOrder(t, fmt.Sprintf("replica %d", i), got2[i], want2)
+	}
+}

@@ -153,8 +153,12 @@ func footruleKeys[T uint8 | uint16](k int, qinv []int32, rows []T, out []int64) 
 // row inversion. Rank vectors have no repeated values, so every pair is
 // cleanly concordant or discordant. The O(k²) pair scan beats the
 // allocating O(k log k) merge sort at the k this index runs at, and runs
-// once per distinct row rather than once per point.
+// once per distinct row rather than once per point. seq is k-length scratch
+// owned by the per-replica permScratch (sized once per index, not per call).
 func kendallKeys[T uint8 | uint16](k int, qfwd []int32, rows []T, seq []int32, out []int64) int64 {
+	// The three-index recap pins len(seq) to k, like row below, so the
+	// relabel loop's seq[s] store needs no per-iteration bounds check.
+	seq = seq[:k:k]
 	var maxKey int64
 	for r := range out {
 		row := rows[r*k : (r+1)*k : (r+1)*k]

@@ -1,0 +1,413 @@
+package sisap
+
+// Batch-native variants of the rank-table distance kernels. The scalar
+// kernels in ranktable.go stream the whole distinct×k rank matrix once per
+// query; at serving batch sizes that re-streams the same rows B times, and
+// the memory traffic — not the integer arithmetic — dominates the query
+// path. The kernels here push the batch boundary into the table walk:
+//
+//   - Cache tiling. The row stream is cut into tiles sized so one tile's
+//     ranks (tile × k × 1-or-2 bytes) fit comfortably in L1
+//     (batchTileBytes). Every query of the block is evaluated against the
+//     tile before the walk advances, so each tile is fetched from memory
+//     once per block instead of once per query.
+//   - Query-block register blocking. Within a tile, the footrule and rho
+//     kernels process four queries per pass over a row: one load of the
+//     stored rank feeds four accumulators, quartering the per-query
+//     load/decode overhead of the inner loop (the GEMM register-blocking
+//     trick, at integer-kernel scale). A remainder loop covers blocks that
+//     are not a multiple of four.
+//   - Kendall relabels each tile once per query (seq[i] = qfwd[tile[i]], a
+//     flat pass over the hot tile) and then inversion-counts the relabelled
+//     rows; the O(k²) pair scan is unchanged, so the tile fetch is the only
+//     traffic that amortises — which is the right trade, because for
+//     Kendall the pair scan, not the fetch, dominates.
+//   - SWAR query lanes (footrule, uint8 tables, k ≤ 128). The batch
+//     dimension itself becomes the vector width: eight queries' ranks for
+//     one site pack into one machine word, and the byte-parallel
+//     absolute-difference below evaluates one stored rank against all eight
+//     at once — roughly two bit-ops per query×site where the scalar kernel
+//     pays a load, subtract, branchy abs, and add each. This is the win a
+//     single query fundamentally cannot have: with one query there are no
+//     lanes to fill.
+//
+// Every kernel computes exactly the integer keys its scalar twin computes —
+// the SWAR lanes produce the same Σ|qinv−rank| integers — so batch answers
+// are byte-identical to the per-query path, tie-breaks included.
+
+// batchTileBytes is the rank-data budget of one batch tile. 32 KiB keeps a
+// tile resident in any contemporary L1d alongside the query block's rank
+// vectors and key-matrix write cursors.
+const batchTileBytes = 32 << 10
+
+// batchTileRows returns the row-tile height of the batch kernels: as many
+// rows as fit the tile budget, at least one, at most the whole table.
+func (t *rankTable) batchTileRows() int {
+	elem := 1
+	if t.k > 256 {
+		elem = 2
+	}
+	rows := batchTileBytes / (t.k * elem)
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > t.rows && t.rows > 0 {
+		rows = t.rows
+	}
+	return rows
+}
+
+// distanceKeysBatch is the batch form of distanceKeys: it fills outs[q][r]
+// with the permutation distance between query q and table row r, for every
+// query of the block, and maxKeys[q] with query q's maximum key. qinvs and
+// qfwds hold each query's inverse (site → rank) and forward (rank → site)
+// vectors; seq is the Kendall tile-relabel buffer (batchTileRows()·k long).
+// The kernel — distance × rank width — is selected once per block.
+func (t *rankTable) distanceKeysBatch(dist PermDistance, qinvs, qfwds [][]int32, seq []int32, outs [][]int64, maxKeys []int64) {
+	for i := range maxKeys {
+		maxKeys[i] = 0
+	}
+	if len(outs) == 0 || t.rows == 0 {
+		return
+	}
+	tile := t.batchTileRows()
+	switch {
+	case dist == Footrule && t.k <= 256:
+		footruleKeysBatch8(t.k, tile, qinvs, t.r8, outs, maxKeys)
+	case dist == Footrule:
+		footruleKeysBatch(t.k, tile, qinvs, t.r16, outs, maxKeys)
+	case dist == KendallTau && t.k <= 256:
+		kendallKeysBatch(t.k, tile, qfwds, t.r8, seq, outs, maxKeys)
+	case dist == KendallTau:
+		kendallKeysBatch(t.k, tile, qfwds, t.r16, seq, outs, maxKeys)
+	case dist == SpearmanRho && t.k <= 256:
+		rhoSqKeysBatch(t.k, tile, qinvs, t.r8, outs, maxKeys)
+	case dist == SpearmanRho:
+		rhoSqKeysBatch(t.k, tile, qinvs, t.r16, outs, maxKeys)
+	default:
+		panic("sisap: unknown permutation distance")
+	}
+}
+
+// swarGroup is the SWAR query-lane width: eight byte lanes per uint64.
+const swarGroup = 8
+
+// SWAR byte-lane constants.
+const (
+	swarH  uint64 = 0x8080808080808080 // byte-lane high bits
+	swarNH uint64 = 0x7f7f7f7f7f7f7f7f // ^swarH: byte-lane low sevens
+	swarL1 uint64 = 0x0101010101010101 // byte-lane ones
+	swarLo uint64 = 0x00ff00ff00ff00ff // even byte lanes, for 16-bit widening
+)
+
+// footruleKeysBatch8 is the uint8-table footrule entry point: eight queries
+// run per machine word through the byte-parallel kernel below; the remainder
+// (and any k outside [2,128], where ranks no longer fit seven bits) runs the
+// generic blocked kernel over the same tiles.
+//
+// Lane algebra, per byte, with a = query rank, b = stored rank, both ≤ 127:
+//
+//	t  = a + (128 − b)            // in [1,255]: no carries between lanes
+//	ge = 0xff where t ≥ 128       // i.e. a ≥ b: the high bit of t
+//	|a−b| = (t − 128)  on ge lanes  = t XOR 0x80
+//	      = (128 − t)  on lt lanes  = (t XOR 0x7f) + 1  (t ≤ 127 there)
+//
+// Lane sums accumulate in byte lanes and widen to 16-bit lanes every
+// flushEvery sites (a single flush at row end for k ≤ 22, since the footrule
+// row total ⌊k²/2⌋ still fits a byte there).
+func footruleKeysBatch8(k, tileRows int, qinvs [][]int32, rows []uint8, outs [][]int64, maxKeys []int64) {
+	if k < 2 || k > 128 {
+		footruleKeysBatch(k, tileRows, qinvs, rows, outs, maxKeys)
+		return
+	}
+	nq := len(qinvs)
+	groups := nq / 8
+	// Pack the query block column-major, eight queries per word: byte lane l
+	// of qpk[g*k+s] holds query 8g+l's rank of site s.
+	qpk := make([]uint64, groups*k)
+	for g := 0; g < groups; g++ {
+		for l := 0; l < 8; l++ {
+			qi := qinvs[g*8+l][:k]
+			w := qpk[g*k : g*k+k : g*k+k]
+			sh := 8 * l
+			for s, rank := range qi {
+				w[s] |= uint64(uint8(rank)) << sh
+			}
+		}
+	}
+	flushEvery := 255 / (k - 1)
+	nRows := len(outs[0])
+	for base := 0; base < nRows; base += tileRows {
+		end := base + tileRows
+		if end > nRows {
+			end = nRows
+		}
+		for g := 0; g < groups; g++ {
+			qg := qpk[g*k : g*k+k : g*k+k]
+			o0, o1, o2, o3 := outs[g*8], outs[g*8+1], outs[g*8+2], outs[g*8+3]
+			o4, o5, o6, o7 := outs[g*8+4], outs[g*8+5], outs[g*8+6], outs[g*8+7]
+			mk := maxKeys[g*8 : g*8+8 : g*8+8]
+			for r := base; r < end; r++ {
+				row := rows[r*k : r*k+k : r*k+k]
+				var accB, lo, hi uint64
+				left := flushEvery
+				for s, rank := range row {
+					b := uint64(rank) * swarL1
+					t := qg[s] + (swarH - b)
+					m := t & swarH
+					ge := (m - m>>7) | m
+					lt := ^ge
+					accB += ((t ^ swarH) & ge) | (((t ^ swarNH) & lt) + (lt & swarL1))
+					left--
+					if left == 0 {
+						lo += accB & swarLo
+						hi += (accB >> 8) & swarLo
+						accB = 0
+						left = flushEvery
+					}
+				}
+				lo += accB & swarLo
+				hi += (accB >> 8) & swarLo
+				s0, s1 := int64(lo&0xffff), int64(hi&0xffff)
+				s2, s3 := int64((lo>>16)&0xffff), int64((hi>>16)&0xffff)
+				s4, s5 := int64((lo>>32)&0xffff), int64((hi>>32)&0xffff)
+				s6, s7 := int64(lo>>48), int64(hi>>48)
+				o0[r], o1[r], o2[r], o3[r] = s0, s1, s2, s3
+				o4[r], o5[r], o6[r], o7[r] = s4, s5, s6, s7
+				if s0 > mk[0] {
+					mk[0] = s0
+				}
+				if s1 > mk[1] {
+					mk[1] = s1
+				}
+				if s2 > mk[2] {
+					mk[2] = s2
+				}
+				if s3 > mk[3] {
+					mk[3] = s3
+				}
+				if s4 > mk[4] {
+					mk[4] = s4
+				}
+				if s5 > mk[5] {
+					mk[5] = s5
+				}
+				if s6 > mk[6] {
+					mk[6] = s6
+				}
+				if s7 > mk[7] {
+					mk[7] = s7
+				}
+			}
+		}
+		// Remainder queries run the plain scalar loop over the same tile.
+		for q := groups * 8; q < nq; q++ {
+			qi := qinvs[q][:k]
+			o := outs[q]
+			m := maxKeys[q]
+			for r := base; r < end; r++ {
+				row := rows[r*k : r*k+k : r*k+k]
+				var sum int64
+				for s, rank := range row {
+					d := int64(qi[s]) - int64(rank)
+					if d < 0 {
+						d = -d
+					}
+					sum += d
+				}
+				o[r] = sum
+				if sum > m {
+					m = sum
+				}
+			}
+			maxKeys[q] = m
+		}
+	}
+}
+
+// footruleKeysBatch is the tiled, query-blocked footrule kernel:
+// outs[q][r] = Σ_s |qinvs[q][s] − row_r[s]|.
+func footruleKeysBatch[T uint8 | uint16](k, tileRows int, qinvs [][]int32, rows []T, outs [][]int64, maxKeys []int64) {
+	nRows := len(outs[0])
+	for base := 0; base < nRows; base += tileRows {
+		end := base + tileRows
+		if end > nRows {
+			end = nRows
+		}
+		q := 0
+		for ; q+4 <= len(qinvs); q += 4 {
+			q0, q1, q2, q3 := qinvs[q][:k], qinvs[q+1][:k], qinvs[q+2][:k], qinvs[q+3][:k]
+			o0, o1, o2, o3 := outs[q], outs[q+1], outs[q+2], outs[q+3]
+			m0, m1, m2, m3 := maxKeys[q], maxKeys[q+1], maxKeys[q+2], maxKeys[q+3]
+			for r := base; r < end; r++ {
+				row := rows[r*k : r*k+k : r*k+k]
+				var s0, s1, s2, s3 int64
+				for s, rank := range row {
+					v := int64(rank)
+					d0 := int64(q0[s]) - v
+					if d0 < 0 {
+						d0 = -d0
+					}
+					s0 += d0
+					d1 := int64(q1[s]) - v
+					if d1 < 0 {
+						d1 = -d1
+					}
+					s1 += d1
+					d2 := int64(q2[s]) - v
+					if d2 < 0 {
+						d2 = -d2
+					}
+					s2 += d2
+					d3 := int64(q3[s]) - v
+					if d3 < 0 {
+						d3 = -d3
+					}
+					s3 += d3
+				}
+				o0[r], o1[r], o2[r], o3[r] = s0, s1, s2, s3
+				if s0 > m0 {
+					m0 = s0
+				}
+				if s1 > m1 {
+					m1 = s1
+				}
+				if s2 > m2 {
+					m2 = s2
+				}
+				if s3 > m3 {
+					m3 = s3
+				}
+			}
+			maxKeys[q], maxKeys[q+1], maxKeys[q+2], maxKeys[q+3] = m0, m1, m2, m3
+		}
+		for ; q < len(qinvs); q++ {
+			qi := qinvs[q][:k]
+			o := outs[q]
+			m := maxKeys[q]
+			for r := base; r < end; r++ {
+				row := rows[r*k : r*k+k : r*k+k]
+				var sum int64
+				for s, rank := range row {
+					d := int64(qi[s]) - int64(rank)
+					if d < 0 {
+						d = -d
+					}
+					sum += d
+				}
+				o[r] = sum
+				if sum > m {
+					m = sum
+				}
+			}
+			maxKeys[q] = m
+		}
+	}
+}
+
+// rhoSqKeysBatch is the tiled, query-blocked Spearman rho kernel:
+// outs[q][r] = Σ_s (qinvs[q][s] − row_r[s])².
+func rhoSqKeysBatch[T uint8 | uint16](k, tileRows int, qinvs [][]int32, rows []T, outs [][]int64, maxKeys []int64) {
+	nRows := len(outs[0])
+	for base := 0; base < nRows; base += tileRows {
+		end := base + tileRows
+		if end > nRows {
+			end = nRows
+		}
+		q := 0
+		for ; q+4 <= len(qinvs); q += 4 {
+			q0, q1, q2, q3 := qinvs[q][:k], qinvs[q+1][:k], qinvs[q+2][:k], qinvs[q+3][:k]
+			o0, o1, o2, o3 := outs[q], outs[q+1], outs[q+2], outs[q+3]
+			m0, m1, m2, m3 := maxKeys[q], maxKeys[q+1], maxKeys[q+2], maxKeys[q+3]
+			for r := base; r < end; r++ {
+				row := rows[r*k : r*k+k : r*k+k]
+				var s0, s1, s2, s3 int64
+				for s, rank := range row {
+					v := int64(rank)
+					d0 := int64(q0[s]) - v
+					s0 += d0 * d0
+					d1 := int64(q1[s]) - v
+					s1 += d1 * d1
+					d2 := int64(q2[s]) - v
+					s2 += d2 * d2
+					d3 := int64(q3[s]) - v
+					s3 += d3 * d3
+				}
+				o0[r], o1[r], o2[r], o3[r] = s0, s1, s2, s3
+				if s0 > m0 {
+					m0 = s0
+				}
+				if s1 > m1 {
+					m1 = s1
+				}
+				if s2 > m2 {
+					m2 = s2
+				}
+				if s3 > m3 {
+					m3 = s3
+				}
+			}
+			maxKeys[q], maxKeys[q+1], maxKeys[q+2], maxKeys[q+3] = m0, m1, m2, m3
+		}
+		for ; q < len(qinvs); q++ {
+			qi := qinvs[q][:k]
+			o := outs[q]
+			m := maxKeys[q]
+			for r := base; r < end; r++ {
+				row := rows[r*k : r*k+k : r*k+k]
+				var sum int64
+				for s, rank := range row {
+					d := int64(qi[s]) - int64(rank)
+					sum += d * d
+				}
+				o[r] = sum
+				if sum > m {
+					m = sum
+				}
+			}
+			maxKeys[q] = m
+		}
+	}
+}
+
+// kendallKeysBatch is the tiled Kendall kernel: each query relabels the
+// whole tile once (a flat pass keeping the tile hot) and inversion-counts
+// the relabelled rows, exactly as kendallKeys does row by row. seq must be
+// at least tileRows·k long.
+func kendallKeysBatch[T uint8 | uint16](k, tileRows int, qfwds [][]int32, rows []T, seq []int32, outs [][]int64, maxKeys []int64) {
+	nRows := len(outs[0])
+	for base := 0; base < nRows; base += tileRows {
+		end := base + tileRows
+		if end > nRows {
+			end = nRows
+		}
+		n := end - base
+		tile := rows[base*k : end*k : end*k]
+		for q := range qfwds {
+			qf := qfwds[q][:k]
+			sq := seq[: n*k : n*k]
+			for i, rank := range tile {
+				sq[i] = qf[rank]
+			}
+			o := outs[q]
+			m := maxKeys[q]
+			for r := 0; r < n; r++ {
+				rowSeq := sq[r*k : r*k+k : r*k+k]
+				var inv int64
+				for i := 1; i < k; i++ {
+					v := rowSeq[i]
+					for j := 0; j < i; j++ {
+						if rowSeq[j] > v {
+							inv++
+						}
+					}
+				}
+				o[base+r] = inv
+				if inv > m {
+					m = inv
+				}
+			}
+			maxKeys[q] = m
+		}
+	}
+}

@@ -77,6 +77,22 @@ type Index interface {
 	IndexBits() int64
 }
 
+// BatchIndex is the batch-native query capability: an index whose kernels
+// evaluate a whole block of queries per pass over the index data, instead
+// of re-walking it once per query. Answers must be identical — results,
+// tie-breaks, and per-query Stats — to calling KNN once per query; the
+// batch boundary buys memory-traffic amortisation, never a different
+// answer. Engines detect this interface on their worker replicas and hand
+// down contiguous sub-batches instead of single-query jobs. A BatchIndex
+// whose scalar path is non-reentrant (Replicable) has a non-reentrant batch
+// path too: one goroutine per replica, as usual.
+type BatchIndex interface {
+	Index
+	// KNNBatch answers one kNN query per element of qs, with per-query
+	// results and cost — identical to KNN(qs[i], k) for every i.
+	KNNBatch(qs []metric.Point, k int) ([][]Result, []Stats)
+}
+
 // Replicable is implemented by indexes whose query path mutates per-index
 // scratch state and which can therefore not be shared across goroutines.
 // Replica returns an independent view over the same immutable built

@@ -72,6 +72,10 @@ type (
 	// kind. MutableEngine produces one via Snapshot and resumes one via
 	// NewMutableEngineFrom; a plain Engine can serve it read-only.
 	MutableIndex = sisap.MutableIndex
+	// BatchIndex is the batch-native query capability: KNNBatch answers a
+	// block of queries per pass over the index data, identically to per-query
+	// KNN. Engine detects it and hands workers contiguous sub-batches.
+	BatchIndex = sisap.BatchIndex
 )
 
 // Candidate-ordering permutation distances for PermIndex.

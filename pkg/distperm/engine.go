@@ -27,6 +27,11 @@ type Engine struct {
 	idx     Index
 	workers int
 	jobs    chan job
+	// batchOK records whether the index is batch-native (sisap.BatchIndex).
+	// When it is, KNNBatch hands each worker a contiguous sub-batch so the
+	// index's batched kernels amortise the table walk across queries; when it
+	// is not, batches degrade to the per-query jobs below.
+	batchOK bool
 
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
@@ -40,6 +45,7 @@ type Engine struct {
 	inflight sync.WaitGroup
 	queries  int64
 	evals    int64
+	batched  int64 // queries served through the sub-batch fast path
 	// lat is a bounded ring of the most recent per-query latencies
 	// (latSamples entries), so a long-lived engine's memory stays flat;
 	// latPos is the overwrite cursor once the ring is full.
@@ -56,7 +62,18 @@ type job struct {
 	r   float64 // k == 0: range with this radius
 	out *[]Result
 	wg  *sync.WaitGroup
+
+	// Sub-batch form (batch-native indexes): when qs is non-nil the job is a
+	// contiguous slice of one KNNBatch call, outs aliases the caller's result
+	// slots for exactly these queries, and wg counts jobs, not queries.
+	qs   []Point
+	outs [][]Result
 }
+
+// engineChunkCap bounds the queries a single sub-batch job carries. Beyond
+// it the kernels' amortisation has flattened out (the scratch chunk inside
+// the index is no larger) while bigger jobs only worsen load balance.
+const engineChunkCap = 64
 
 // NewEngine starts a worker pool of the given size (≤ 0 means
 // runtime.NumCPU()) over idx, which must have been built on db.
@@ -67,11 +84,13 @@ func NewEngine(db *DB, idx Index, workers int) (*Engine, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	_, batchOK := idx.(sisap.BatchIndex)
 	e := &Engine{
 		db:      db,
 		idx:     idx,
 		workers: workers,
 		jobs:    make(chan job, 4*workers),
+		batchOK: batchOK,
 	}
 	for i := 0; i < workers; i++ {
 		replica := sisap.QueryReplica(idx)
@@ -90,6 +109,10 @@ func (e *Engine) Index() Index { return e.idx }
 func (e *Engine) worker(idx Index) {
 	defer e.workerWG.Done()
 	for j := range e.jobs {
+		if j.qs != nil {
+			e.serveBatch(idx, j)
+			continue
+		}
 		start := time.Now()
 		var rs []Result
 		var st Stats
@@ -104,15 +127,56 @@ func (e *Engine) worker(idx Index) {
 		e.mu.Lock()
 		e.queries++
 		e.evals += int64(st.DistanceEvals)
-		if len(e.lat) < latSamples {
-			e.lat = append(e.lat, elapsed)
-		} else {
-			e.lat[e.latPos] = elapsed
-			e.latPos = (e.latPos + 1) % latSamples
-		}
+		e.recordLatencyLocked(elapsed)
 		e.mu.Unlock()
 
 		j.wg.Done()
+	}
+}
+
+// serveBatch answers one sub-batch job on the worker's replica. Stats stay
+// per-query: each query contributes its own DistanceEvals, and the job's
+// wall time is attributed evenly across its queries in the latency window
+// (queries inside one kernel pass have no individual wall times).
+func (e *Engine) serveBatch(idx Index, j job) {
+	start := time.Now()
+	var rs [][]Result
+	var sts []Stats
+	if b, ok := idx.(sisap.BatchIndex); ok {
+		rs, sts = b.KNNBatch(j.qs, j.k)
+	} else {
+		// The engine's index was batch-native but this worker's replica is
+		// not (a custom Replicable could downgrade); serve the sub-batch
+		// query by query with identical answers.
+		rs = make([][]Result, len(j.qs))
+		sts = make([]Stats, len(j.qs))
+		for i, q := range j.qs {
+			rs[i], sts[i] = idx.KNN(q, j.k)
+		}
+	}
+	perQuery := time.Since(start) / time.Duration(len(j.qs))
+	copy(j.outs, rs)
+
+	e.mu.Lock()
+	e.queries += int64(len(j.qs))
+	e.batched += int64(len(j.qs))
+	for _, st := range sts {
+		e.evals += int64(st.DistanceEvals)
+	}
+	for range j.qs {
+		e.recordLatencyLocked(perQuery)
+	}
+	e.mu.Unlock()
+
+	j.wg.Done()
+}
+
+func (e *Engine) recordLatencyLocked(d time.Duration) {
+	if len(e.lat) < latSamples {
+		e.lat = append(e.lat, d)
+	} else {
+		e.lat[e.latPos] = d
+		e.latPos = (e.latPos + 1) % latSamples
 	}
 }
 
@@ -122,6 +186,9 @@ func (e *Engine) worker(idx Index) {
 func (e *Engine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 	if k < 1 || k > e.db.N() {
 		return nil, fmt.Errorf("distperm: k=%d %w 1..%d", k, ErrOutOfRange, e.db.N())
+	}
+	if e.batchOK && len(qs) > 1 {
+		return e.submitBatch(qs, k)
 	}
 	return e.submit(qs, func(i int, out *[]Result, wg *sync.WaitGroup) job {
 		return job{q: qs[i], k: k, out: out, wg: wg}
@@ -163,6 +230,38 @@ func (e *Engine) submit(qs []Point, mk func(i int, out *[]Result, wg *sync.WaitG
 	return outs, nil
 }
 
+// submitBatch fans a kNN batch out as contiguous sub-batches instead of
+// per-query jobs, so each worker's batch kernels amortise one table walk
+// across its whole chunk. The chunk size spreads the batch across the full
+// pool (⌈B/workers⌉) and is capped at engineChunkCap — per-query cost is
+// homogeneous here, so equal-size contiguous chunks load-balance.
+func (e *Engine) submitBatch(qs []Point, k int) ([][]Result, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("distperm: engine is closed")
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	chunk := (len(qs) + e.workers - 1) / e.workers
+	if chunk > engineChunkCap {
+		chunk = engineChunkCap
+	}
+	outs := make([][]Result, len(qs))
+	var wg sync.WaitGroup
+	for base := 0; base < len(qs); base += chunk {
+		end := base + chunk
+		if end > len(qs) {
+			end = len(qs)
+		}
+		wg.Add(1)
+		e.jobs <- job{qs: qs[base:end], k: k, outs: outs[base:end], wg: &wg}
+	}
+	wg.Wait()
+	return outs, nil
+}
+
 // Close shuts the pool down after in-flight queries finish. It is
 // idempotent; batches submitted after Close return an error.
 func (e *Engine) Close() {
@@ -184,6 +283,10 @@ func (e *Engine) Close() {
 type EngineStats struct {
 	// Queries is the number of queries answered.
 	Queries int64
+	// BatchedQueries is how many of those were served through the sub-batch
+	// fast path (batch-native index kernels); 0 means every query ran the
+	// per-query path.
+	BatchedQueries int64
 	// DistanceEvals is the total metric evaluations spent.
 	DistanceEvals int64
 	// MeanEvals is DistanceEvals / Queries.
@@ -196,7 +299,7 @@ type EngineStats struct {
 // Stats returns a snapshot of the engine-level counters.
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
-	s := EngineStats{Queries: e.queries, DistanceEvals: e.evals}
+	s := EngineStats{Queries: e.queries, BatchedQueries: e.batched, DistanceEvals: e.evals}
 	lat := append([]time.Duration(nil), e.lat...)
 	e.mu.Unlock()
 	if s.Queries > 0 {
@@ -214,15 +317,15 @@ func (e *Engine) Stats() EngineStats {
 // latency ring (unsorted) in one lock acquisition — the sharded layer sums
 // the counters and merges the per-shard windows before taking percentiles,
 // skipping the per-shard sorts Stats would do.
-func (e *Engine) counters() (queries, evals int64, window []time.Duration) {
+func (e *Engine) counters() (queries, evals, batched int64, window []time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.queries, e.evals, append([]time.Duration(nil), e.lat...)
+	return e.queries, e.evals, e.batched, append([]time.Duration(nil), e.lat...)
 }
 
 // latencyWindow copies the engine's bounded latency ring, unsorted.
 func (e *Engine) latencyWindow() []time.Duration {
-	_, _, window := e.counters()
+	_, _, _, window := e.counters()
 	return window
 }
 

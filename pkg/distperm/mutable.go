@@ -156,14 +156,14 @@ type MutableEngine struct {
 
 	// Cross-epoch accounting: closed epochs fold their final counters here,
 	// so Stats survives rebuilds; deltaEvals counts the gather-time scans.
-	statsMu              sync.Mutex
-	accQueries, accEvals int64
-	deltaEvals           atomic.Int64
-	inserts, deletes     atomic.Int64
-	rebuilds             atomic.Int64
-	rebuildFailures      atomic.Int64
-	lastRebuildNanos     atomic.Int64
-	lastRebuildErr       atomic.Pointer[string]
+	statsMu                          sync.Mutex
+	accQueries, accEvals, accBatched int64
+	deltaEvals                       atomic.Int64
+	inserts, deletes                 atomic.Int64
+	rebuilds                         atomic.Int64
+	rebuildFailures                  atomic.Int64
+	lastRebuildNanos                 atomic.Int64
+	lastRebuildErr                   atomic.Pointer[string]
 }
 
 // MutationStats is a snapshot of the write path, reported alongside
@@ -691,6 +691,7 @@ func (m *MutableEngine) rebuildOnce(force bool) error {
 		m.statsMu.Lock()
 		m.accQueries += st.Queries
 		m.accEvals += st.DistanceEvals
+		m.accBatched += st.BatchedQueries
 		m.statsMu.Unlock()
 		oldEp.backend.Close()
 	}()
@@ -707,6 +708,7 @@ func (m *MutableEngine) Stats() EngineStats {
 	m.statsMu.Lock()
 	st.Queries += m.accQueries
 	st.DistanceEvals += m.accEvals
+	st.BatchedQueries += m.accBatched
 	m.statsMu.Unlock()
 	st.DistanceEvals += m.deltaEvals.Load()
 	if st.Queries > 0 {

@@ -331,9 +331,10 @@ func (s *ShardedEngine) Stats() EngineStats {
 	var agg EngineStats
 	var lat []time.Duration
 	for _, e := range s.engines {
-		queries, evals, window := e.counters()
+		queries, evals, batched, window := e.counters()
 		agg.Queries += queries
 		agg.DistanceEvals += evals
+		agg.BatchedQueries += batched
 		lat = append(lat, window...)
 	}
 	if agg.Queries > 0 {

@@ -97,13 +97,16 @@ type IndexInfo struct {
 // percentiles in both nanoseconds (for machines) and formatted durations
 // (for humans reading curl output).
 type EngineStatsWire struct {
-	Queries       int64   `json:"queries"`
-	DistanceEvals int64   `json:"distance_evals"`
-	MeanEvals     float64 `json:"mean_evals"`
-	P50Nanos      int64   `json:"p50_ns"`
-	P99Nanos      int64   `json:"p99_ns"`
-	P50           string  `json:"p50"`
-	P99           string  `json:"p99"`
+	Queries int64 `json:"queries"`
+	// BatchedQueries counts queries served through the engine's sub-batch
+	// fast path (batch-native index kernels).
+	BatchedQueries int64   `json:"batched_queries"`
+	DistanceEvals  int64   `json:"distance_evals"`
+	MeanEvals      float64 `json:"mean_evals"`
+	P50Nanos       int64   `json:"p50_ns"`
+	P99Nanos       int64   `json:"p99_ns"`
+	P50            string  `json:"p50"`
+	P99            string  `json:"p99"`
 }
 
 // ServerCounters is the server-level half of GET /v1/stats: HTTP traffic,
@@ -229,12 +232,13 @@ func mutationWire(ms distperm.MutationStats) *MutationStatsWire {
 // statsWire converts an engine snapshot to the wire shape.
 func statsWire(st distperm.EngineStats) EngineStatsWire {
 	return EngineStatsWire{
-		Queries:       st.Queries,
-		DistanceEvals: st.DistanceEvals,
-		MeanEvals:     st.MeanEvals,
-		P50Nanos:      st.P50.Nanoseconds(),
-		P99Nanos:      st.P99.Nanoseconds(),
-		P50:           st.P50.String(),
-		P99:           st.P99.String(),
+		Queries:        st.Queries,
+		BatchedQueries: st.BatchedQueries,
+		DistanceEvals:  st.DistanceEvals,
+		MeanEvals:      st.MeanEvals,
+		P50Nanos:       st.P50.Nanoseconds(),
+		P99Nanos:       st.P99.Nanoseconds(),
+		P50:            st.P50.String(),
+		P99:            st.P99.String(),
 	}
 }

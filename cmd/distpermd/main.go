@@ -3,9 +3,19 @@
 // plus an index — built on startup or read from a DPERMIDX container of any
 // codec kind, including "sharded" — and serves JSON kNN/range traffic on a
 // worker-pool engine behind a result cache and a micro-batching coalescer
-// (pkg/dpserver). Shutdown on SIGINT/SIGTERM is graceful: in-flight
-// requests drain and pending coalescer batches flush before the engine
-// closes.
+// (pkg/dpserver). The listen socket binds before any loading starts and
+// every endpoint (health checks included) answers 503 {"status":"loading"}
+// until the store is ready — the explicit not-ready → ready transition
+// restart orchestration keys on. Shutdown on SIGINT/SIGTERM is graceful:
+// in-flight requests drain and pending coalescer batches flush before the
+// engine closes and any mapped container is unmapped.
+//
+// With -freeze it writes the frozen container form of a distance-permutation
+// index — position-independent, checksummed, mmap-ready sections — and
+// exits. A daemon restarted with -mmap -load over such a container maps it
+// read-only in O(1) instead of stream-decoding it; when the container
+// embeds its points (named metric over plain vectors) the daemon needs no
+// dataset flags at all.
 //
 // With -loadgen it is the matching load driver instead: it fires
 // configurable QPS/concurrency at a running daemon through the Go client
@@ -24,6 +34,8 @@
 //	distpermd -gen uniform -n 20000 -d 6 -shards 4 -partition hash -addr :7411
 //	distpermd -gen uniform -n 20000 -d 6 -rebuild-threshold 4096 -addr :7411
 //	distpermd -file points.txt -load index.dpermidx -addr :7411
+//	distpermd -gen uniform -n 20000 -d 6 -index distperm -k 12 -freeze index.frozen
+//	distpermd -mmap -load index.frozen -addr :7411
 //	distpermd -loadgen -target http://localhost:7411 -gen uniform -n 1000 -d 6 \
 //	    -knn 3 -qps 500 -concurrency 16 -duration 10s
 //
@@ -33,6 +45,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -66,6 +80,8 @@ func main() {
 		index     = flag.String("index", "distperm", "index kind to build: "+strings.Join(distperm.Kinds(), ", "))
 		k         = flag.Int("k", 8, "pivots/sites for the built index")
 		load      = flag.String("load", "", "read a DPERMIDX container (any codec kind, including sharded and mutable) instead of building")
+		mmapFlag  = flag.Bool("mmap", false, "map -load as a frozen container read-only (O(1) open) instead of stream-decoding; dataset flags are only consulted when the container embeds no points")
+		freeze    = flag.String("freeze", "", "write the built/loaded distperm index as a frozen (mmap-ready) container to this path and exit")
 		shards    = flag.Int("shards", 1, "partition the database across this many scatter-gather shards")
 		partition = flag.String("partition", "roundrobin", "shard placement strategy: "+strings.Join(distperm.Partitioners(), ", "))
 		workers   = flag.Int("workers", 0, "worker goroutines per engine pool (0 = NumCPU)")
@@ -91,23 +107,38 @@ func main() {
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
-	ds, err := dataset.Load(rng, *gen, *file, *n, *d)
-	if err == nil && *mname != "" {
-		var m metric.Metric
-		if m, err = metric.ByName(*mname); err == nil {
-			// e.g. -metric edit over a vector dataset: refuse at startup,
-			// not as a panic in a query worker on the first request.
-			if err = metric.Probe(m, ds.Points[0]); err == nil {
-				ds.Metric = m
+	// Dataset loading is deferred behind a memoised closure: the serve path
+	// binds its socket before touching the dataset, and a -mmap restart over
+	// a self-contained container never loads one at all.
+	var (
+		dsOnce sync.Once
+		dsVal  *dataset.Dataset
+		dsErr  error
+	)
+	loadDS := func() (*dataset.Dataset, error) {
+		dsOnce.Do(func() {
+			dsVal, dsErr = dataset.Load(rng, *gen, *file, *n, *d)
+			if dsErr == nil && *mname != "" {
+				var m metric.Metric
+				if m, dsErr = metric.ByName(*mname); dsErr == nil {
+					// e.g. -metric edit over a vector dataset: refuse at
+					// startup, not as a panic in a query worker on the first
+					// request.
+					if dsErr = metric.Probe(m, dsVal.Points[0]); dsErr == nil {
+						dsVal.Metric = m
+					}
+				}
 			}
-		}
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		})
+		return dsVal, dsErr
 	}
 
 	if *loadgen {
+		ds, err := loadDS()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		cfg := client.LoadConfig{
 			Target:      *target,
 			Queries:     ds.Sample(rng, 1024),
@@ -126,32 +157,99 @@ func main() {
 		return
 	}
 
-	srv, err := buildServer(ds, rng, daemonConfig{
-		Index: *index, K: *k, Load: *load,
+	cfg := daemonConfig{
+		Index: *index, K: *k, Load: *load, Mmap: *mmapFlag,
 		Shards: *shards, Partition: *partition, Workers: *workers,
 		RebuildThreshold: *rebuild,
 		Serving:          dpserver.Config{BatchMax: *batchMax, BatchWait: *batchWait, CacheSize: *cacheSize},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
 	}
+
+	if *freeze != "" {
+		if err := runFreeze(os.Stdout, *freeze, loadDS, rng, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	// Bind before loading anything: a restarting daemon exposes its socket
+	// in O(1) and the gate answers 503 until the store is ready.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	info := srv.Info()
-	fmt.Printf("distpermd: serving %s (n=%d metric=%s index=%s %d bits, %d shards × %d workers) on %s\n",
-		ds.Name, info.N, info.Metric, info.Kind, info.Bits, info.Shards, info.Workers/info.Shards, ln.Addr())
-
+	gate := dpserver.NewGate()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := srv.Serve(ctx, ln); err != nil {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gate.Serve(ctx, ln) }()
+	fmt.Printf("distpermd: listening on %s, loading store\n", ln.Addr())
+
+	srv, src, cleanup, err := buildServer(loadDS, rng, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		stop()
+		<-serveErr
+		os.Exit(2)
+	}
+	gate.SetReady(srv)
+	info := srv.Info()
+	fmt.Printf("distpermd: serving %s (n=%d metric=%s index=%s %d bits, %d shards × %d workers) on %s\n",
+		src, info.N, info.Metric, info.Kind, info.Bits, info.Shards, info.Workers/info.Shards, ln.Addr())
+
+	err = <-serveErr
+	cleanup() // after the drain: no handler can still touch mapped memory
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Println("distpermd: drained and closed cleanly")
+}
+
+// runFreeze writes the frozen container form of the configured index: build
+// (or load) it, then emit the mmap-ready sectioned layout and exit.
+func runFreeze(w io.Writer, out string, loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg daemonConfig) error {
+	ds, err := loadDS()
+	if err != nil {
+		return err
+	}
+	db, err := distperm.NewDB(ds.Metric, ds.Points)
+	if err != nil {
+		return err
+	}
+	var idx distperm.Index
+	if cfg.Load != "" {
+		f, err := os.Open(cfg.Load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if idx, err = distperm.ReadIndex(f, db); err != nil {
+			return fmt.Errorf("loading %s: %w", cfg.Load, err)
+		}
+	} else if idx, err = distperm.Build(db,
+		distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}); err != nil {
+		return err
+	}
+	px, ok := idx.(*distperm.PermIndex)
+	if !ok {
+		return fmt.Errorf("only the distance-permutation index has a frozen form; got %q", idx.Name())
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	nb, err := distperm.WriteFrozenIndex(f, px)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "distpermd: froze %s over %s (n=%d k=%d) to %s, %d bytes\n",
+		idx.Name(), ds.Name, db.N(), px.K(), out, nb)
+	return nil
 }
 
 // daemonConfig collects the index/serving parameters of one daemon run.
@@ -159,6 +257,7 @@ type daemonConfig struct {
 	Index            string
 	K                int
 	Load             string
+	Mmap             bool
 	Shards           int
 	Partition        string
 	Workers          int
@@ -166,51 +265,105 @@ type daemonConfig struct {
 	Serving          dpserver.Config
 }
 
-// buildServer assembles the serving stack: database from the dataset, index
-// loaded from a container or built through the registries, engine and HTTP
+// buildServer assembles the serving stack: database from the dataset (or
+// from the mapped container itself), index loaded from a container — mapped
+// read-only under -mmap — or built through the registries, engine and HTTP
 // layers from pkg/dpserver. A rebuild threshold turns the stack mutable:
 // the index (built or loaded, including a saved mutable container) is
-// wrapped in a MutableEngine and the write endpoints go live.
-func buildServer(ds *dataset.Dataset, rng *rand.Rand, cfg daemonConfig) (*dpserver.Server, error) {
-	db, err := distperm.NewDB(ds.Metric, ds.Points)
-	if err != nil {
-		return nil, err
+// wrapped in a MutableEngine and the write endpoints go live; a mapped base
+// is then released as soon as the first rebuild swaps it out, via
+// MutableConfig.BaseRelease. The returned cleanup runs after the serve
+// drain and releases whatever mapping is still held.
+func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg daemonConfig) (*dpserver.Server, string, func(), error) {
+	cleanup := func() {}
+	var (
+		db    *distperm.DB
+		idx   distperm.Index
+		store *distperm.Store
+		src   string
+	)
+	if cfg.Mmap {
+		if cfg.Load == "" {
+			return nil, "", nil, fmt.Errorf("-mmap needs -load <container>")
+		}
+		var err error
+		store, err = distperm.Load(cfg.Load, distperm.LoadOptions{Mmap: true})
+		src = cfg.Load + " (mapped, self-contained)"
+		if errors.Is(err, distperm.ErrNeedDB) {
+			// The container embeds no points: map it against the dataset.
+			ds, derr := loadDS()
+			if derr != nil {
+				return nil, "", nil, derr
+			}
+			if db, derr = distperm.NewDB(ds.Metric, ds.Points); derr != nil {
+				return nil, "", nil, derr
+			}
+			store, err = distperm.Load(cfg.Load, distperm.LoadOptions{Mmap: true, DB: db})
+			src = ds.Name + " (index mapped)"
+		}
+		if err != nil {
+			return nil, "", nil, err
+		}
+		cleanup = func() { store.Close() }
+		db, idx = store.DB, store.Index
+	} else {
+		ds, err := loadDS()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		src = ds.Name
+		if db, err = distperm.NewDB(ds.Metric, ds.Points); err != nil {
+			return nil, "", nil, err
+		}
 	}
 	var p distperm.Partitioner
 	if cfg.Shards > 1 || cfg.RebuildThreshold > 0 {
+		var err error
 		if p, err = distperm.PartitionerByName(cfg.Partition); err != nil {
-			return nil, err
+			return nil, "", nil, err
 		}
 	}
-	var idx distperm.Index
+	var err error
 	switch {
+	case idx != nil: // mapped above
 	case cfg.Load != "":
 		f, err := os.Open(cfg.Load)
 		if err != nil {
-			return nil, err
+			return nil, "", nil, err
 		}
 		defer f.Close()
 		if idx, err = distperm.ReadIndex(f, db); err != nil {
-			return nil, fmt.Errorf("loading %s: %w", cfg.Load, err)
+			return nil, "", nil, fmt.Errorf("loading %s: %w", cfg.Load, err)
 		}
 	case cfg.Shards > 1:
 		if idx, err = distperm.BuildSharded(db,
 			distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}, cfg.Shards, p); err != nil {
-			return nil, err
+			return nil, "", nil, err
 		}
 	default:
 		if idx, err = distperm.Build(db,
 			distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}); err != nil {
-			return nil, err
+			return nil, "", nil, err
 		}
 	}
 	if cfg.RebuildThreshold <= 0 {
-		return dpserver.NewFromIndex(db, idx, cfg.Workers, cfg.Serving)
+		srv, err := dpserver.NewFromIndex(db, idx, cfg.Workers, cfg.Serving)
+		if err != nil {
+			cleanup()
+			return nil, "", nil, err
+		}
+		return srv, src, cleanup, nil
 	}
 	mcfg := distperm.MutableConfig{
 		Spec:             distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()},
 		Workers:          cfg.Workers,
 		RebuildThreshold: cfg.RebuildThreshold,
+	}
+	if store != nil {
+		// Rebuilds copy the live set onto the heap, so the mapped base is
+		// unreachable once the first swap drains: release the mapping then
+		// instead of holding it for the daemon's lifetime.
+		mcfg.BaseRelease = func() { store.Close() }
 	}
 	if cfg.Load != "" {
 		// Rebuilds of a loaded store keep the loaded shape (kind and
@@ -240,9 +393,15 @@ func buildServer(ds *dataset.Dataset, rng *rand.Rand, cfg daemonConfig) (*dpserv
 		me, err = distperm.WrapMutable(db, idx, mcfg)
 	}
 	if err != nil {
-		return nil, err
+		cleanup()
+		return nil, "", nil, err
 	}
-	return dpserver.NewFromMutable(me, cfg.Serving)
+	srv, err := dpserver.NewFromMutable(me, cfg.Serving)
+	if err != nil {
+		me.Close()
+		return nil, "", nil, err
+	}
+	return srv, src, cleanup, nil
 }
 
 // inferSpec derives a rebuild Spec from a loaded index: its kind and, for

@@ -26,16 +26,18 @@ func TestBuildServerModes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv, err := buildServer(ds, rng, daemonConfig{Index: "distperm", K: 6})
+	dsf := func() (*dataset.Dataset, error) { return ds, nil }
+	srv, _, cleanup, err := buildServer(dsf, rng, daemonConfig{Index: "distperm", K: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cleanup()
 	if info := srv.Info(); info.Kind != "distperm" || info.Shards != 1 {
 		t.Errorf("built server info %+v", info)
 	}
 	srv.Close()
 
-	srv, err = buildServer(ds, rng, daemonConfig{Index: "distperm", K: 6, Shards: 3, Partition: "hash"})
+	srv, _, _, err = buildServer(dsf, rng, daemonConfig{Index: "distperm", K: 6, Shards: 3, Partition: "hash"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestBuildServerModes(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	srv, err = buildServer(ds, rng, daemonConfig{Load: path})
+	srv, _, _, err = buildServer(dsf, rng, daemonConfig{Load: path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestBuildServerModes(t *testing.T) {
 	srv.Close()
 
 	// A rebuild threshold turns any of the sources mutable.
-	srv, err = buildServer(ds, rng, daemonConfig{
+	srv, _, _, err = buildServer(dsf, rng, daemonConfig{
 		Index: "distperm", K: 6, Shards: 2, Partition: "roundrobin", RebuildThreshold: 128,
 	})
 	if err != nil {
@@ -82,7 +84,7 @@ func TestBuildServerModes(t *testing.T) {
 		t.Errorf("mutable sharded server info %+v", info)
 	}
 	srv.Close()
-	srv, err = buildServer(ds, rng, daemonConfig{Load: path, Partition: "roundrobin", RebuildThreshold: 64})
+	srv, _, _, err = buildServer(dsf, rng, daemonConfig{Load: path, Partition: "roundrobin", RebuildThreshold: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestBuildServerModes(t *testing.T) {
 	mf.Close()
 	// The resumed database is base + delta: the snapshot's own point set.
 	mds := &dataset.Dataset{Name: "resumed", Metric: snap.DB().Metric, Points: snap.DB().Points}
-	srv, err = buildServer(mds, rng, daemonConfig{Load: mpath, Partition: "roundrobin", RebuildThreshold: 32})
+	srv, _, _, err = buildServer(func() (*dataset.Dataset, error) { return mds, nil }, rng, daemonConfig{Load: mpath, Partition: "roundrobin", RebuildThreshold: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestBuildServerModes(t *testing.T) {
 		{Index: "distperm", K: 6, RebuildThreshold: 16, Partition: "modulo"},
 		{Load: filepath.Join(t.TempDir(), "missing.dpermidx")},
 	} {
-		if _, err := buildServer(ds, rng, cfg); err == nil {
+		if _, _, _, err := buildServer(dsf, rng, cfg); err == nil {
 			t.Errorf("config %+v should error", cfg)
 		}
 	}
@@ -150,13 +152,14 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(ds, rng, daemonConfig{
+	srv, _, cleanup, err := buildServer(func() (*dataset.Dataset, error) { return ds, nil }, rng, daemonConfig{
 		Index: "distperm", K: 6, Workers: 2,
 		Serving: dpserver.Config{BatchMax: 8, BatchWait: time.Millisecond, CacheSize: 32},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cleanup()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -198,4 +201,84 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err := <-served; err != nil {
 		t.Fatalf("Serve returned %v, want clean shutdown", err)
 	}
+}
+
+// TestFreezeThenMmapServe is the daemon-level restart story: freeze a built
+// index to a container, then bring up a server over it with -mmap and no
+// dataset at all — the self-contained O(1) open — and check it answers
+// exactly like the original build. The mutable variant must come up too,
+// with the mapped base released to BaseRelease semantics.
+func TestFreezeThenMmapServe(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds, err := dataset.Load(rng, "uniform", "", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.frozen")
+	var out strings.Builder
+	if err := runFreeze(&out, path, func() (*dataset.Dataset, error) { return ds, nil },
+		rand.New(rand.NewSource(9)), daemonConfig{Index: "distperm", K: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "froze distperm") {
+		t.Errorf("freeze report: %s", out.String())
+	}
+
+	// Reference answers from a heap build with the same seed.
+	refSrv, _, refClean, err := buildServer(func() (*dataset.Dataset, error) { return ds, nil },
+		rand.New(rand.NewSource(9)), daemonConfig{Index: "distperm", K: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refClean()
+	defer refSrv.Close()
+
+	noDS := func() (*dataset.Dataset, error) {
+		t.Error("self-contained mmap serve loaded the dataset")
+		return nil, os.ErrNotExist
+	}
+	srv, src, cleanup, err := buildServer(noDS, rng, daemonConfig{Load: path, Mmap: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "mapped") {
+		t.Errorf("source label %q", src)
+	}
+	if info := srv.Info(); info.Kind != "distperm" || info.N != 500 {
+		t.Errorf("mapped server info %+v", info)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	c := client.New("http://" + ln.Addr().String())
+	for i := 0; i < 20; i++ {
+		got, err := c.KNN(context.Background(), ds.Points[i*7], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].ID != i*7 || got[0].Distance != 0 {
+			t.Fatalf("mapped self-query %d answered %v", i*7, got)
+		}
+	}
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	cleanup() // munmap after drain, as main does
+
+	// The mutable wrap over the same mapped container.
+	msrv, _, mcleanup, err := buildServer(noDS, rng,
+		daemonConfig{Load: path, Mmap: true, Workers: 2, Partition: "roundrobin", RebuildThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := msrv.Info(); !info.Mutable || info.Base != "distperm" {
+		t.Errorf("mutable mapped server info %+v", info)
+	}
+	msrv.Close()
+	mcleanup()
 }

@@ -1,0 +1,361 @@
+package sisap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distperm/internal/dataset"
+	"distperm/internal/metric"
+
+	"math/rand"
+)
+
+// writeFrozenFile freezes idx into a temp container file and returns its
+// path.
+func writeFrozenFile(t testing.TB, idx *PermIndex) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "frozen.dpidx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFrozen(f, idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mappedCopy round-trips idx through a frozen container into an
+// OpenMapped view (zero-copy where the platform supports it), closing the
+// mapping when the test ends.
+func mappedCopy(t testing.TB, idx *PermIndex, db *DB) *PermIndex {
+	t.Helper()
+	m, err := OpenMapped(writeFrozenFile(t, idx), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := m.Close(); err != nil {
+			t.Errorf("closing mapping: %v", err)
+		}
+	})
+	return m.Index()
+}
+
+type permBackend struct {
+	name string
+	idx  *PermIndex
+}
+
+// permBackends returns the index over both storage backends: as built
+// (heap-owned growable store) and round-tripped through a frozen
+// container opened by OpenMapped (read-only views into the mapping). The
+// oracle tests run over both, pinning every kernel to byte-identical
+// behaviour regardless of where the table bytes live.
+func permBackends(t testing.TB, idx *PermIndex, db *DB) []permBackend {
+	return []permBackend{{"heap", idx}, {"mmap", mappedCopy(t, idx, db)}}
+}
+
+func TestFrozenStreamRoundTrip(t *testing.T) {
+	// A frozen container must also decode through the ordinary stream path
+	// (ReadIndex), yielding the same index a compact container would.
+	for _, k := range []int{1, 6, 12} {
+		db, rng := testDB(710, 300, 3, metric.L2{})
+		for _, dist := range allPermDistances {
+			idx := NewPermIndex(db, rng.Perm(db.N())[:k], dist)
+			var buf bytes.Buffer
+			n, err := WriteFrozen(&buf, idx)
+			if err != nil {
+				t.Fatalf("k=%d %s: %v", k, dist, err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("k=%d %s: reported %d bytes, wrote %d", k, dist, n, buf.Len())
+			}
+			loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()), db)
+			if err != nil {
+				t.Fatalf("k=%d %s: stream decode: %v", k, dist, err)
+			}
+			got := loaded.(*PermIndex)
+			if got.DistinctPermutations() != idx.DistinctPermutations() {
+				t.Fatalf("k=%d %s: distinct %d != %d", k, dist, got.DistinctPermutations(), idx.DistinctPermutations())
+			}
+			q := dataset.UniformVectors(rng, 1, 3)[0]
+			a, _ := idx.ScanOrder(q)
+			b, _ := got.ScanOrder(q)
+			assertSameOrder(t, dist.String(), b, a)
+		}
+	}
+}
+
+func TestFrozenMappedRoundTrip(t *testing.T) {
+	db, rng := testDB(711, 400, 3, metric.L2{})
+	for _, dist := range allPermDistances {
+		idx := NewPermIndex(db, rng.Perm(db.N())[:8], dist)
+		got := mappedCopy(t, idx, db)
+		if got.DistinctPermutations() != idx.DistinctPermutations() {
+			t.Fatalf("%s: distinct %d != %d", dist, got.DistinctPermutations(), idx.DistinctPermutations())
+		}
+		for qi := 0; qi < 10; qi++ {
+			q := dataset.UniformVectors(rng, 1, 3)[0]
+			a, _ := idx.ScanOrder(q)
+			b, _ := got.ScanOrder(q)
+			assertSameOrder(t, dist.String(), b, a)
+		}
+	}
+}
+
+func TestFrozenWideRanksRoundTrip(t *testing.T) {
+	// k > 256 exercises the uint16 rank store — and is exactly what the
+	// compact bit-packed form (k ≤ 20) cannot represent at all.
+	db, rng := testDB(712, 400, 4, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:300], KendallTau)
+	if _, err := WriteIndex(&bytes.Buffer{}, idx); err == nil {
+		t.Fatal("compact form unexpectedly accepts k=300")
+	}
+	var buf bytes.Buffer
+	if _, err := WriteFrozen(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadIndex(bytes.NewReader(buf.Bytes()), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := mappedCopy(t, idx, db)
+	if !mapped.table.wide() || mapped.table.r16.data == nil {
+		t.Fatal("mapped k=300 index should use the uint16 store")
+	}
+	q := dataset.UniformVectors(rng, 1, 4)[0]
+	want, _ := idx.ScanOrder(q)
+	a, _ := streamed.(*PermIndex).ScanOrder(q)
+	b, _ := mapped.ScanOrder(q)
+	assertSameOrder(t, "stream", a, want)
+	assertSameOrder(t, "mapped", b, want)
+}
+
+func TestFrozenSelfContained(t *testing.T) {
+	// L2 over equal-dimension vectors is self-describing, so the container
+	// embeds the points and opens without a database.
+	db, rng := testDB(713, 250, 3, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:6], Footrule)
+	m, err := OpenMapped(writeFrozenFile(t, idx), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if mmapSupported && hostLittleEndian && !m.Zero() {
+		t.Error("expected a zero-copy mapping on this platform")
+	}
+	if m.DB().N() != db.N() {
+		t.Fatalf("embedded database has %d points, want %d", m.DB().N(), db.N())
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := dataset.UniformVectors(rng, 1, 3)[0]
+		want, _ := idx.KNN(q, 5)
+		got, _ := m.Index().KNN(q, 5)
+		sameResults(t, "self-contained knn", got, want)
+	}
+}
+
+func TestFrozenNeedDB(t *testing.T) {
+	// An LP metric with fractional P has no ByName spelling, so the
+	// container cannot embed a reconstructible database: opening without
+	// one must fail with ErrNeedDB, and succeed with it.
+	rng := rand.New(rand.NewSource(714))
+	db := NewDB(metric.LP{P: 2.5}, dataset.UniformVectors(rng, 120, 3))
+	idx := NewPermIndex(db, rng.Perm(db.N())[:5], Footrule)
+	path := writeFrozenFile(t, idx)
+	if _, err := OpenMapped(path, nil); !errors.Is(err, ErrNeedDB) {
+		t.Fatalf("open without db: %v, want ErrNeedDB", err)
+	}
+	m, err := OpenMapped(path, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	q := dataset.UniformVectors(rng, 1, 3)[0]
+	want, _ := idx.ScanOrder(q)
+	got, _ := m.Index().ScanOrder(q)
+	assertSameOrder(t, "lp metric", got, want)
+}
+
+func TestFrozenRejectsWrongDatabase(t *testing.T) {
+	db, rng := testDB(715, 80, 2, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:4], Footrule)
+	path := writeFrozenFile(t, idx)
+	other := NewDB(metric.L2{}, dataset.UniformVectors(rng, 10, 2))
+	if _, err := OpenMapped(path, other); err == nil {
+		t.Error("mapped open against a different-size database should error")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(bytes.NewReader(data), other); err == nil {
+		t.Error("stream decode against a different-size database should error")
+	}
+}
+
+func TestWriteIndexWithSelectsForm(t *testing.T) {
+	db, rng := testDB(716, 150, 3, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:6], Footrule)
+	var compact, frozen bytes.Buffer
+	if _, err := WriteIndexWith(&compact, idx, WriteOptions{Compact: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteIndexWith(&frozen, idx, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if _, err := WriteIndex(&direct, idx); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compact.Bytes(), direct.Bytes()) {
+		t.Error("Compact: true should emit exactly the WriteIndex wire form")
+	}
+	if tag := binary.LittleEndian.Uint32(frozen.Bytes()[frozenPrefixLen:]); tag != permFrozenTag {
+		t.Errorf("default WriteIndexWith form has payload tag %#x, want frozen", tag)
+	}
+	if frozen.Len() <= compact.Len() {
+		t.Logf("note: frozen (%d bytes) not larger than compact (%d bytes)", frozen.Len(), compact.Len())
+	}
+	for _, buf := range []*bytes.Buffer{&compact, &frozen} {
+		loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := dataset.UniformVectors(rng, 1, 3)[0]
+		a, _ := idx.ScanOrder(q)
+		b, _ := loaded.(*PermIndex).ScanOrder(q)
+		assertSameOrder(t, "form", b, a)
+	}
+}
+
+// refreezeCRC recomputes the stored CRC of section i from the (possibly
+// mutated) section bytes, so corruption tests can separate "checksum
+// catches it" from "bounds validation catches it".
+func refreezeCRC(data []byte, i int) {
+	le := binary.LittleEndian
+	base := frozenPrefixLen + 4 + 40 + 24*i
+	off := le.Uint64(data[base:])
+	length := le.Uint64(data[base+8:])
+	crc := crc32.Checksum(data[off:off+length], frozenCRC)
+	le.PutUint32(data[base+16:], crc)
+}
+
+func TestFrozenRejectsCorruptContainers(t *testing.T) {
+	db, rng := testDB(717, 200, 3, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:6], Footrule)
+	var buf bytes.Buffer
+	if _, err := WriteFrozen(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	if _, err := OpenMappedBytesForTest(pristine, db); err != nil {
+		t.Fatalf("pristine container should open: %v", err)
+	}
+
+	le := binary.LittleEndian
+	// Field offsets within the file: container prefix is 24 bytes, then
+	// tag@24, headerOff@28, k@36, dist@40, n@44, distinct@52, rankWidth@56,
+	// dims@60, metricLen@64, section descriptors @68+24i.
+	cases := []struct {
+		name       string
+		streamSkip bool // mutation invisible to the non-seeking stream decoder
+		mutate     func(d []byte) []byte
+	}{
+		{"truncated header", false, func(d []byte) []byte { return d[:100] }},
+		{"truncated section", false, func(d []byte) []byte { return d[:len(d)-7] }},
+		{"trailing garbage", true, func(d []byte) []byte { return append(d, 0xAB) }},
+		{"bad payload tag", false, func(d []byte) []byte {
+			le.PutUint32(d[24:], 0xFFFF_FFFF)
+			return d
+		}},
+		{"header offset lies", false, func(d []byte) []byte {
+			le.PutUint64(d[28:], 1024)
+			return d
+		}},
+		{"k zero", false, func(d []byte) []byte {
+			le.PutUint32(d[36:], 0)
+			return d
+		}},
+		{"unknown distance", false, func(d []byte) []byte {
+			le.PutUint32(d[40:], 9)
+			return d
+		}},
+		{"distinct zero", false, func(d []byte) []byte {
+			le.PutUint32(d[52:], 0)
+			return d
+		}},
+		{"distinct beyond n", false, func(d []byte) []byte {
+			le.PutUint32(d[52:], uint32(db.N()+1))
+			return d
+		}},
+		{"wrong rank width", false, func(d []byte) []byte {
+			le.PutUint32(d[56:], 2)
+			return d
+		}},
+		{"oversized metric name", false, func(d []byte) []byte {
+			le.PutUint32(d[64:], 2000)
+			return d
+		}},
+		{"sites offset out of bounds", false, func(d []byte) []byte {
+			le.PutUint64(d[68:], uint64(len(d))+(1<<20))
+			return d
+		}},
+		{"ranks length inflated", false, func(d []byte) []byte {
+			base := 68 + 24*frozenSecRanks
+			le.PutUint64(d[base+8:], le.Uint64(d[base+8:])+8)
+			return d
+		}},
+		{"ranks checksum mismatch", false, func(d []byte) []byte {
+			off := le.Uint64(d[68+24*frozenSecRanks:])
+			d[off] ^= 0xFF
+			return d
+		}},
+		{"rank out of range, checksum fixed", false, func(d []byte) []byte {
+			off := le.Uint64(d[68+24*frozenSecRanks:])
+			d[off] = 0xFF // k=6, rank 255 is out of range
+			refreezeCRC(d, frozenSecRanks)
+			return d
+		}},
+		{"row ID out of range, checksum fixed", false, func(d []byte) []byte {
+			off := le.Uint64(d[68+24*frozenSecIDs:])
+			le.PutUint32(d[off:], uint32(db.N())) // ≥ distinct for any table
+			refreezeCRC(d, frozenSecIDs)
+			return d
+		}},
+		{"site ID out of range, checksum fixed", false, func(d []byte) []byte {
+			off := le.Uint64(d[68+24*frozenSecSites:])
+			le.PutUint64(d[off:], uint64(db.N()))
+			refreezeCRC(d, frozenSecSites)
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		data := tc.mutate(append([]byte(nil), pristine...))
+		if _, err := OpenMappedBytesForTest(data, db); err == nil {
+			t.Errorf("%s: mapped open accepted the corruption", tc.name)
+		}
+		if tc.streamSkip {
+			continue
+		}
+		if _, err := ReadIndex(bytes.NewReader(data), db); err == nil {
+			t.Errorf("%s: stream decode accepted the corruption", tc.name)
+		}
+	}
+}
+
+// OpenMappedBytesForTest runs the mapped-open validation and construction
+// over an in-memory image, so corruption tests need no temp files.
+func OpenMappedBytesForTest(data []byte, db *DB) (*PermIndex, error) {
+	idx, _, err := openFrozenBytes(data, db, false)
+	return idx, err
+}

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package sisap
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether OpenMapped can hand out true zero-copy
+// views on this platform; where it cannot, the open path falls back to a
+// heap read of the file.
+const mmapSupported = false
+
+type mmapping struct {
+	data []byte
+}
+
+var errNoMmap = errors.New("sisap: memory mapping is not supported on this platform")
+
+func mapFile(*os.File, int64) (*mmapping, error) { return nil, errNoMmap }
+
+func (m *mmapping) unmap() error { return nil }

@@ -1,0 +1,46 @@
+//go:build unix
+
+package sisap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether OpenMapped can hand out true zero-copy
+// views on this platform; where it cannot, the open path falls back to a
+// heap read of the file.
+const mmapSupported = true
+
+// mmapping is one read-only, shared mapping of a container file. Shared
+// (not private) because the whole point is that every process serving the
+// same frozen store shares one page-cache copy.
+type mmapping struct {
+	data []byte
+}
+
+// mapFile maps size bytes of f read-only. The mapping outlives f — the
+// caller may close the file immediately.
+func mapFile(f *os.File, size int64) (*mmapping, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("sisap: cannot map %d-byte file", size)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("sisap: file of %d bytes exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("sisap: mmap: %w", err)
+	}
+	return &mmapping{data: data}, nil
+}
+
+func (m *mmapping) unmap() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

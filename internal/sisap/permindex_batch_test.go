@@ -13,6 +13,9 @@ import (
 // batch method must be byte-identical — orderings, tie-breaks, budget
 // cutoffs, and Stats — to issuing its queries one at a time (and the scalar
 // path is itself pinned to the naive reference by permindex_equiv_test.go).
+// Like the scalar oracles, every comparison runs over both storage backends
+// (permBackends): the tiled/SWAR kernels must behave identically over the
+// heap-built table and its frozen-container mmap view.
 
 var batchSizes = []int{1, 3, 17, 256}
 
@@ -29,18 +32,20 @@ func TestScanOrderBatchMatchesScalar(t *testing.T) {
 		rng := rand.New(rand.NewSource(501))
 		db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 600, 3))
 		idx := NewPermIndex(db, rng.Perm(db.N())[:8], dist)
-		for _, batch := range batchSizes {
-			qs := batchQueries(rng, batch, 3)
-			got, stats := idx.ScanOrderBatch(qs)
-			if len(got) != batch || len(stats) != batch {
-				t.Fatalf("%s batch %d: %d orders, %d stats", dist, batch, len(got), len(stats))
-			}
-			for i, q := range qs {
-				want, wantStats := idx.ScanOrder(q)
-				if stats[i] != wantStats {
-					t.Fatalf("%s batch %d query %d: stats %+v != %+v", dist, batch, i, stats[i], wantStats)
+		for _, be := range permBackends(t, idx, db) {
+			for _, batch := range batchSizes {
+				qs := batchQueries(rng, batch, 3)
+				got, stats := be.idx.ScanOrderBatch(qs)
+				if len(got) != batch || len(stats) != batch {
+					t.Fatalf("%s %s batch %d: %d orders, %d stats", dist, be.name, batch, len(got), len(stats))
 				}
-				assertSameOrder(t, fmt.Sprintf("%s batch %d query %d", dist, batch, i), got[i], want)
+				for i, q := range qs {
+					want, wantStats := be.idx.ScanOrder(q)
+					if stats[i] != wantStats {
+						t.Fatalf("%s %s batch %d query %d: stats %+v != %+v", dist, be.name, batch, i, stats[i], wantStats)
+					}
+					assertSameOrder(t, fmt.Sprintf("%s %s batch %d query %d", dist, be.name, batch, i), got[i], want)
+				}
 			}
 		}
 	}
@@ -54,11 +59,13 @@ func TestScanOrderBatchMatchesScalarClustered(t *testing.T) {
 		rng := rand.New(rand.NewSource(503))
 		db := NewDB(metric.L2{}, dataset.ClusteredVectors(rng, 2_000, 4, 12, 0.02))
 		idx := NewPermIndex(db, rng.Perm(db.N())[:6], dist)
-		qs := batchQueries(rng, 17, 4)
-		got, _ := idx.ScanOrderBatch(qs)
-		for i, q := range qs {
-			want, _ := idx.ScanOrder(q)
-			assertSameOrder(t, fmt.Sprintf("%s clustered query %d", dist, i), got[i], want)
+		for _, be := range permBackends(t, idx, db) {
+			qs := batchQueries(rng, 17, 4)
+			got, _ := be.idx.ScanOrderBatch(qs)
+			for i, q := range qs {
+				want, _ := be.idx.ScanOrder(q)
+				assertSameOrder(t, fmt.Sprintf("%s %s clustered query %d", dist, be.name, i), got[i], want)
+			}
 		}
 	}
 }
@@ -70,14 +77,16 @@ func TestScanOrderBatchWideRanks(t *testing.T) {
 		rng := rand.New(rand.NewSource(505))
 		db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 400, 4))
 		idx := NewPermIndex(db, rng.Perm(db.N())[:300], dist)
-		if idx.table.r16 == nil {
+		if idx.table.r16.data == nil {
 			t.Fatalf("%s: k=300 should use uint16 rank rows", dist)
 		}
-		qs := batchQueries(rng, 5, 4)
-		got, _ := idx.ScanOrderBatch(qs)
-		for i, q := range qs {
-			want, _ := idx.ScanOrder(q)
-			assertSameOrder(t, fmt.Sprintf("%s wide query %d", dist, i), got[i], want)
+		for _, be := range permBackends(t, idx, db) {
+			qs := batchQueries(rng, 5, 4)
+			got, _ := be.idx.ScanOrderBatch(qs)
+			for i, q := range qs {
+				want, _ := be.idx.ScanOrder(q)
+				assertSameOrder(t, fmt.Sprintf("%s %s wide query %d", dist, be.name, i), got[i], want)
+			}
 		}
 	}
 }
@@ -107,17 +116,19 @@ func TestKNNBudgetBatchMatchesScalar(t *testing.T) {
 		rng := rand.New(rand.NewSource(509))
 		db := NewDB(metric.L2{}, dataset.ClusteredVectors(rng, 1_000, 3, 8, 0.05))
 		idx := NewPermIndex(db, rng.Perm(db.N())[:7], dist)
-		for _, batch := range batchSizes {
-			qs := batchQueries(rng, batch, 3)
-			for _, budget := range []int{1, 37, 1_000, 5_000} {
-				got, stats := idx.KNNBudgetBatch(qs, 3, budget)
-				for i, q := range qs {
-					want, wantStats := idx.KNNBudget(q, 3, budget)
-					if stats[i] != wantStats {
-						t.Fatalf("%s batch %d budget %d query %d: stats %+v != %+v",
-							dist, batch, budget, i, stats[i], wantStats)
+		for _, be := range permBackends(t, idx, db) {
+			for _, batch := range batchSizes {
+				qs := batchQueries(rng, batch, 3)
+				for _, budget := range []int{1, 37, 1_000, 5_000} {
+					got, stats := be.idx.KNNBudgetBatch(qs, 3, budget)
+					for i, q := range qs {
+						want, wantStats := be.idx.KNNBudget(q, 3, budget)
+						if stats[i] != wantStats {
+							t.Fatalf("%s %s batch %d budget %d query %d: stats %+v != %+v",
+								dist, be.name, batch, budget, i, stats[i], wantStats)
+						}
+						sameResults(t, fmt.Sprintf("%s %s batch %d budget %d query %d", dist, be.name, batch, budget, i), got[i], want)
 					}
-					sameResults(t, fmt.Sprintf("%s batch %d budget %d query %d", dist, batch, budget, i), got[i], want)
 				}
 			}
 		}
@@ -128,14 +139,16 @@ func TestKNNBatchMatchesScalar(t *testing.T) {
 	rng := rand.New(rand.NewSource(511))
 	db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 500, 4))
 	idx := NewPermIndex(db, rng.Perm(db.N())[:9], Footrule)
-	qs := batchQueries(rng, 17, 4)
-	got, stats := idx.KNNBatch(qs, 5)
-	for i, q := range qs {
-		want, wantStats := idx.KNN(q, 5)
-		if stats[i] != wantStats {
-			t.Fatalf("query %d: stats %+v != %+v", i, stats[i], wantStats)
+	for _, be := range permBackends(t, idx, db) {
+		qs := batchQueries(rng, 17, 4)
+		got, stats := be.idx.KNNBatch(qs, 5)
+		for i, q := range qs {
+			want, wantStats := be.idx.KNN(q, 5)
+			if stats[i] != wantStats {
+				t.Fatalf("%s query %d: stats %+v != %+v", be.name, i, stats[i], wantStats)
+			}
+			sameResults(t, fmt.Sprintf("%s query %d", be.name, i), got[i], want)
 		}
-		sameResults(t, fmt.Sprintf("query %d", i), got[i], want)
 	}
 }
 

@@ -14,7 +14,10 @@ import (
 // query path: ScanOrder — distinct-permutation kernel evaluation plus
 // counting-sort candidate ordering — must be byte-identical, tie-breaking
 // included, to the retained naive reference (per-point permutation
-// distances, stable float64 argsort) for every permutation distance.
+// distances, stable float64 argsort) for every permutation distance. Each
+// oracle comparison runs over both storage backends (permBackends): the
+// heap-built table and its frozen-container mmap view must be
+// indistinguishable to every kernel.
 
 var allPermDistances = []PermDistance{Footrule, KendallTau, SpearmanRho}
 
@@ -35,21 +38,24 @@ func TestScanOrderMatchesReference(t *testing.T) {
 		{60, 2, 3},
 		{300, 3, 8},
 		{500, 5, 12},
-		{250, 2, 1}, // single site: every permutation identical
+		{250, 2, 1},   // single site: every permutation identical
+		{400, 4, 280}, // k > 256: the uint16 rank store, both backends
 	}
 	for ci, c := range cases {
 		for _, dist := range allPermDistances {
 			rng := rand.New(rand.NewSource(int64(400 + ci)))
 			db := NewDB(metric.L2{}, dataset.UniformVectors(rng, c.n, c.d))
 			idx := NewPermIndex(db, rng.Perm(c.n)[:c.k], dist)
-			for qi := 0; qi < 20; qi++ {
-				q := dataset.UniformVectors(rng, 1, c.d)[0]
-				got, stats := idx.ScanOrder(q)
-				if stats.DistanceEvals != c.k {
-					t.Fatalf("case %d %s: ScanOrder cost %d evals, want %d", ci, dist, stats.DistanceEvals, c.k)
+			for _, be := range permBackends(t, idx, db) {
+				for qi := 0; qi < 20; qi++ {
+					q := dataset.UniformVectors(rng, 1, c.d)[0]
+					got, stats := be.idx.ScanOrder(q)
+					if stats.DistanceEvals != c.k {
+						t.Fatalf("case %d %s %s: ScanOrder cost %d evals, want %d", ci, dist, be.name, stats.DistanceEvals, c.k)
+					}
+					label := fmt.Sprintf("case %d %s %s query %d", ci, dist, be.name, qi)
+					assertSameOrder(t, label, got, be.idx.referenceScanOrder(q))
 				}
-				label := fmt.Sprintf("case %d %s query %d", ci, dist, qi)
-				assertSameOrder(t, label, got, idx.referenceScanOrder(q))
 			}
 		}
 	}
@@ -67,10 +73,12 @@ func TestScanOrderMatchesReferenceClustered(t *testing.T) {
 		if d := idx.DistinctPermutations(); d >= db.N()/4 {
 			t.Fatalf("clustered workload realised %d distinct permutations of %d points; not the distinct ≪ n regime", d, db.N())
 		}
-		for qi := 0; qi < 15; qi++ {
-			q := dataset.ClusteredVectors(rng, 1, 4, 1, 0.5)[0]
-			got, _ := idx.ScanOrder(q)
-			assertSameOrder(t, fmt.Sprintf("%s query %d", dist, qi), got, idx.referenceScanOrder(q))
+		for _, be := range permBackends(t, idx, db) {
+			for qi := 0; qi < 15; qi++ {
+				q := dataset.ClusteredVectors(rng, 1, 4, 1, 0.5)[0]
+				got, _ := be.idx.ScanOrder(q)
+				assertSameOrder(t, fmt.Sprintf("%s %s query %d", dist, be.name, qi), got, be.idx.referenceScanOrder(q))
+			}
 		}
 	}
 }
@@ -86,10 +94,12 @@ func TestScanOrderCountingSortFallback(t *testing.T) {
 	if maxKey <= countingBucketLimit(db.N()) {
 		t.Fatalf("test premise broken: maxKey %d fits the bucket limit %d", maxKey, countingBucketLimit(db.N()))
 	}
-	for qi := 0; qi < 10; qi++ {
-		q := dataset.UniformVectors(rng, 1, 8)[0]
-		got, _ := idx.ScanOrder(q)
-		assertSameOrder(t, fmt.Sprintf("fallback query %d", qi), got, idx.referenceScanOrder(q))
+	for _, be := range permBackends(t, idx, db) {
+		for qi := 0; qi < 10; qi++ {
+			q := dataset.UniformVectors(rng, 1, 8)[0]
+			got, _ := be.idx.ScanOrder(q)
+			assertSameOrder(t, fmt.Sprintf("fallback %s query %d", be.name, qi), got, be.idx.referenceScanOrder(q))
+		}
 	}
 }
 
@@ -100,13 +110,15 @@ func TestKNNBudgetPartialOrderMatchesPrefix(t *testing.T) {
 	db := NewDB(metric.L2{}, dataset.ClusteredVectors(rng, 1_000, 3, 8, 0.05))
 	for _, dist := range allPermDistances {
 		idx := NewPermIndex(db, rng.Perm(db.N())[:7], dist)
-		for qi := 0; qi < 8; qi++ {
-			q := dataset.UniformVectors(rng, 1, 3)[0]
-			full, _ := idx.ScanOrder(q)
-			for _, budget := range []int{0, 1, 7, 100, 999, 1_000} {
-				partial := make([]int, budget)
-				idx.scanOrderInto(q, partial)
-				assertSameOrder(t, fmt.Sprintf("%s budget %d", dist, budget), partial, full[:budget])
+		for _, be := range permBackends(t, idx, db) {
+			for qi := 0; qi < 8; qi++ {
+				q := dataset.UniformVectors(rng, 1, 3)[0]
+				full, _ := be.idx.ScanOrder(q)
+				for _, budget := range []int{0, 1, 7, 100, 999, 1_000} {
+					partial := make([]int, budget)
+					be.idx.scanOrderInto(q, partial)
+					assertSameOrder(t, fmt.Sprintf("%s %s budget %d", dist, be.name, budget), partial, full[:budget])
+				}
 			}
 		}
 	}

@@ -28,15 +28,57 @@ import (
 //     KNNBudget. Stability plus ascending-index placement reproduces the
 //     argsort tie-break (ties by lower index) exactly.
 
+// rankStore is the backing store of one rank width: a read-only view over
+// either a heap-owned growable buffer or a section of a mapped frozen
+// container. The kernels consume plain []T slices of it, so they are
+// backend-agnostic; only the build paths append, and appending to a frozen
+// view is a programming error (the container bytes are not ours to grow).
+type rankStore[T uint8 | uint16] struct {
+	data   []T
+	frozen bool
+}
+
+// row returns row r of a k-wide matrix as a capacity-pinned slice.
+func (s *rankStore[T]) row(k, r int) []T {
+	return s.data[r*k : (r+1)*k : (r+1)*k]
+}
+
+// appendInverseOf appends the inverse of the forward permutation p (site →
+// rank) as one new k-wide row.
+func (s *rankStore[T]) appendInverseOf(k int, p perm.Permutation) {
+	s.checkMutable()
+	n := len(s.data)
+	s.data = append(s.data, make([]T, k)...)
+	row := s.data[n : n+k : n+k]
+	for rank, site := range p {
+		row[site] = T(rank)
+	}
+}
+
+// appendRow appends a copy of row (one k-wide row of another store).
+func (s *rankStore[T]) appendRow(row []T) {
+	s.checkMutable()
+	s.data = append(s.data, row...)
+}
+
+func (s *rankStore[T]) checkMutable() {
+	if s.frozen {
+		panic("sisap: append to a frozen rank store")
+	}
+}
+
 // rankTable stores the distinct inverse distance permutations of an index
 // as a flat rows×k row-major matrix: row r, column s holds the rank of site
 // s in the r-th distinct permutation's closeness order. Rows are immutable
-// once built and shared between replicas.
+// once built and shared between replicas. The backing store is heap-owned
+// for built and stream-decoded tables, or a zero-copy view into a mapped
+// frozen container (newFrozenRankTable); every kernel runs unchanged over
+// both.
 type rankTable struct {
 	k    int
 	rows int
-	r8   []uint8  // backing store when k ≤ 256 (ranks fit a byte)
-	r16  []uint16 // backing store when k > 256
+	r8   rankStore[uint8]  // backing store when k ≤ 256 (ranks fit a byte)
+	r16  rankStore[uint16] // backing store when k > 256
 }
 
 func newRankTable(k int) *rankTable {
@@ -48,23 +90,29 @@ func newRankTable(k int) *rankTable {
 	return &rankTable{k: k}
 }
 
+// newFrozenRankTable wraps an already-materialised rank matrix — typically
+// views into a mapped container — without copying. Exactly one of r8/r16 is
+// non-nil, matching wide().
+func newFrozenRankTable(k, rows int, r8 []uint8, r16 []uint16) *rankTable {
+	t := newRankTable(k)
+	t.rows = rows
+	t.r8 = rankStore[uint8]{data: r8, frozen: true}
+	t.r16 = rankStore[uint16]{data: r16, frozen: true}
+	return t
+}
+
+// wide reports whether ranks need uint16 storage (the r16 store).
+func (t *rankTable) wide() bool { return t.k > 256 }
+
 // appendInverseOf appends the inverse of the forward permutation p (site →
 // rank) as a new row and returns its row ID.
 func (t *rankTable) appendInverseOf(p perm.Permutation) int {
 	r := t.rows
 	t.rows++
-	if t.k <= 256 {
-		row := make([]uint8, t.k)
-		for rank, site := range p {
-			row[site] = uint8(rank)
-		}
-		t.r8 = append(t.r8, row...)
+	if t.wide() {
+		t.r16.appendInverseOf(t.k, p)
 	} else {
-		row := make([]uint16, t.k)
-		for rank, site := range p {
-			row[site] = uint16(rank)
-		}
-		t.r16 = append(t.r16, row...)
+		t.r8.appendInverseOf(t.k, p)
 	}
 	return r
 }
@@ -72,10 +120,10 @@ func (t *rankTable) appendInverseOf(p perm.Permutation) int {
 // appendRowFrom copies row r of src (same k) as a new row of t.
 func (t *rankTable) appendRowFrom(src *rankTable, r int) {
 	t.rows++
-	if t.k <= 256 {
-		t.r8 = append(t.r8, src.r8[r*t.k:(r+1)*t.k]...)
+	if t.wide() {
+		t.r16.appendRow(src.r16.row(t.k, r))
 	} else {
-		t.r16 = append(t.r16, src.r16[r*t.k:(r+1)*t.k]...)
+		t.r8.appendRow(src.r8.row(t.k, r))
 	}
 }
 
@@ -84,16 +132,18 @@ func (t *rankTable) appendRowFrom(src *rankTable, r int) {
 // reference implementations.
 func (t *rankTable) invAt(r int) perm.Permutation {
 	out := make(perm.Permutation, t.k)
-	if t.k <= 256 {
-		for s, rank := range t.r8[r*t.k : (r+1)*t.k] {
-			out[s] = int(rank)
-		}
+	if t.wide() {
+		fillInverse(t.r16.row(t.k, r), out)
 	} else {
-		for s, rank := range t.r16[r*t.k : (r+1)*t.k] {
-			out[s] = int(rank)
-		}
+		fillInverse(t.r8.row(t.k, r), out)
 	}
 	return out
+}
+
+func fillInverse[T uint8 | uint16](row []T, out perm.Permutation) {
+	for s, rank := range row {
+		out[s] = int(rank)
+	}
 }
 
 // distanceKeys computes the permutation distance between the query's
@@ -105,18 +155,18 @@ func (t *rankTable) invAt(r int) perm.Permutation {
 // once per query, instead of per element.
 func (t *rankTable) distanceKeys(dist PermDistance, qinv, qfwd, seq []int32, out []int64) int64 {
 	switch {
-	case dist == Footrule && t.k <= 256:
-		return footruleKeys(t.k, qinv, t.r8, out)
+	case dist == Footrule && !t.wide():
+		return footruleKeys(t.k, qinv, t.r8.data, out)
 	case dist == Footrule:
-		return footruleKeys(t.k, qinv, t.r16, out)
-	case dist == KendallTau && t.k <= 256:
-		return kendallKeys(t.k, qfwd, t.r8, seq, out)
+		return footruleKeys(t.k, qinv, t.r16.data, out)
+	case dist == KendallTau && !t.wide():
+		return kendallKeys(t.k, qfwd, t.r8.data, seq, out)
 	case dist == KendallTau:
-		return kendallKeys(t.k, qfwd, t.r16, seq, out)
-	case dist == SpearmanRho && t.k <= 256:
-		return rhoSqKeys(t.k, qinv, t.r8, out)
+		return kendallKeys(t.k, qfwd, t.r16.data, seq, out)
+	case dist == SpearmanRho && !t.wide():
+		return rhoSqKeys(t.k, qinv, t.r8.data, out)
 	case dist == SpearmanRho:
-		return rhoSqKeys(t.k, qinv, t.r16, out)
+		return rhoSqKeys(t.k, qinv, t.r16.data, out)
 	default:
 		panic("sisap: unknown permutation distance")
 	}

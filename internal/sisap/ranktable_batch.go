@@ -72,18 +72,18 @@ func (t *rankTable) distanceKeysBatch(dist PermDistance, qinvs, qfwds [][]int32,
 	}
 	tile := t.batchTileRows()
 	switch {
-	case dist == Footrule && t.k <= 256:
-		footruleKeysBatch8(t.k, tile, qinvs, t.r8, outs, maxKeys)
+	case dist == Footrule && !t.wide():
+		footruleKeysBatch8(t.k, tile, qinvs, t.r8.data, outs, maxKeys)
 	case dist == Footrule:
-		footruleKeysBatch(t.k, tile, qinvs, t.r16, outs, maxKeys)
-	case dist == KendallTau && t.k <= 256:
-		kendallKeysBatch(t.k, tile, qfwds, t.r8, seq, outs, maxKeys)
+		footruleKeysBatch(t.k, tile, qinvs, t.r16.data, outs, maxKeys)
+	case dist == KendallTau && !t.wide():
+		kendallKeysBatch(t.k, tile, qfwds, t.r8.data, seq, outs, maxKeys)
 	case dist == KendallTau:
-		kendallKeysBatch(t.k, tile, qfwds, t.r16, seq, outs, maxKeys)
-	case dist == SpearmanRho && t.k <= 256:
-		rhoSqKeysBatch(t.k, tile, qinvs, t.r8, outs, maxKeys)
+		kendallKeysBatch(t.k, tile, qfwds, t.r16.data, seq, outs, maxKeys)
+	case dist == SpearmanRho && !t.wide():
+		rhoSqKeysBatch(t.k, tile, qinvs, t.r8.data, outs, maxKeys)
 	case dist == SpearmanRho:
-		rhoSqKeysBatch(t.k, tile, qinvs, t.r16, outs, maxKeys)
+		rhoSqKeysBatch(t.k, tile, qinvs, t.r16.data, outs, maxKeys)
 	default:
 		panic("sisap: unknown permutation distance")
 	}

@@ -10,7 +10,7 @@ import (
 	"distperm/internal/perm"
 )
 
-// Serialization of the distance-permutation index. Two payload formats
+// Serialization of the distance-permutation index. Three payload formats
 // exist, distinguished by the first uint32 of the payload:
 //
 //   - legacy (first uint32 = k, 1..20): the sites and one bit-packed
@@ -23,6 +23,11 @@ import (
 //     whenever distinct ≪ k!, and ReadIndex gets faster with them: it
 //     decodes #distinct permutations instead of n and scatters the IDs
 //     straight into the in-memory table encoding, no re-deduplication.
+//     This bit-packed form stays the compact wire format WriteIndex emits.
+//   - frozen (first uint32 = permFrozenTag, frozen.go): the table encoding
+//     laid out raw in 64-byte-aligned checksummed sections so OpenMapped
+//     can serve the file zero-copy out of the page cache; ReadIndex also
+//     stream-decodes it here for compatibility. Written by WriteFrozen.
 //
 // The database points themselves are never serialised — like the SISAP
 // library, the index file accompanies the data file.
@@ -208,8 +213,11 @@ func decodePermPayload(br io.Reader, db *DB) (*PermIndex, error) {
 	if err := binary.Read(br, binary.LittleEndian, &first); err != nil {
 		return nil, err
 	}
-	if first == permTableTag {
+	switch first {
+	case permTableTag:
 		return decodeTablePayload(br, db)
+	case permFrozenTag:
+		return decodeFrozenStream(br, db)
 	}
 	return decodeLegacyPayload(br, db, first)
 }
@@ -243,8 +251,16 @@ func readPermHeader(br io.Reader, db *DB, k uint32) (dist uint32, n uint64, site
 }
 
 // readWords reads the packed bit vector covering count elements of the
-// given width.
+// given width. The callers derive count and width from db-validated
+// header fields; the explicit bounds here keep a corrupt header that
+// slips past them an error rather than an overflowed allocation.
 func readWords(br io.Reader, count, width uint64) ([]uint64, error) {
+	if width > 64 {
+		return nil, fmt.Errorf("sisap: packed element width %d out of range", width)
+	}
+	if width != 0 && count > (1<<40)/width {
+		return nil, fmt.Errorf("sisap: packed section of %d×%d-bit elements out of range", count, width)
+	}
 	words := make([]uint64, (count*width+63)/64)
 	for i := range words {
 		if err := binary.Read(br, binary.LittleEndian, &words[i]); err != nil {

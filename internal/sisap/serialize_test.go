@@ -80,7 +80,7 @@ func TestPermIndexSerializationCompactness(t *testing.T) {
 // sites, one ⌈lg k!⌉-bit packed permutation per point) so the decoder's
 // backward compatibility stays covered now that WriteTo emits the table
 // format.
-func encodeLegacyPayload(t *testing.T, w *bytes.Buffer, x *PermIndex) {
+func encodeLegacyPayload(t testing.TB, w *bytes.Buffer, x *PermIndex) {
 	t.Helper()
 	put := func(v interface{}) {
 		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
@@ -165,6 +165,48 @@ func TestReadPermIndexRejectsCorruption(t *testing.T) {
 	if _, err := ReadPermIndex(bytes.NewReader(dbad), db); err == nil {
 		t.Error("unknown payload discriminant should error")
 	}
+}
+
+// FuzzReadIndex drives the container decoder — v1, v2-compact, legacy,
+// and frozen payloads all dispatch from ReadIndex — with arbitrary bytes.
+// Any input may fail to decode; none may panic or over-allocate.
+func FuzzReadIndex(f *testing.F) {
+	rng := rand.New(rand.NewSource(601))
+	db := NewDB(metric.L2{}, dataset.UniformVectors(rng, 50, 3))
+	idx := NewPermIndex(db, rng.Perm(db.N())[:5], Footrule)
+	var compact bytes.Buffer
+	if _, err := WriteIndex(&compact, idx); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(compact.Bytes())
+	var frozen bytes.Buffer
+	if _, err := WriteFrozen(&frozen, idx); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frozen.Bytes())
+	f.Add(frozen.Bytes()[:90])
+	var v1 bytes.Buffer
+	if _, err := idx.WriteTo(&v1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	var legacy bytes.Buffer
+	legacy.WriteString(permIndexMagic)
+	if err := binary.Write(&legacy, binary.LittleEndian, uint32(permIndexVersion)); err != nil {
+		f.Fatal(err)
+	}
+	encodeLegacyPayload(f, &legacy, idx)
+	f.Add(legacy.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadIndex(bytes.NewReader(data), db)
+		if err == nil && got == nil {
+			t.Fatal("nil index with nil error")
+		}
+		// The mapped-open validation must be equally crash-free.
+		if _, err := OpenMappedBytesForTest(data, db); err != nil {
+			_ = err
+		}
+	})
 }
 
 func TestReadPermIndexRejectsBadRank(t *testing.T) {

@@ -44,6 +44,14 @@ type MutableConfig struct {
 	Shards int
 	// Partitioner places points when Shards > 1 (required then).
 	Partitioner Partitioner
+	// BaseRelease, if set, runs once the initially wrapped base index is
+	// no longer reachable by any query: after the first rebuild's RCU swap
+	// drains its last in-flight reader, or at Close if no rebuild replaced
+	// it. It is the release point for storage backing the base — a Store
+	// opened with Mmap keeps its frozen base mapped while the delta lives
+	// on heap, and this hook is where the mapping is unmapped. Rebuilt
+	// bases are heap-owned and need no hook.
+	BaseRelease func()
 }
 
 // mutBackend is the engine surface a snapshot serves base queries on;
@@ -58,10 +66,24 @@ type mutBackend interface {
 
 // epoch ties one base engine to the set of in-flight queries using it, so a
 // superseded engine closes only after its last reader finishes — the grace
-// period of the RCU-style snapshot swap.
+// period of the RCU-style snapshot swap. release, when set, frees storage
+// backing the epoch's base index (e.g. a frozen-container mapping) and runs
+// exactly once, after the backend has closed.
 type epoch struct {
-	backend  mutBackend
-	inflight sync.WaitGroup
+	backend     mutBackend
+	inflight    sync.WaitGroup
+	release     func()
+	releaseOnce sync.Once
+}
+
+// close shuts the epoch's backend and runs its release hook. Safe to call
+// more than once as long as the backend's Close is idempotent (both engine
+// kinds are); the release hook still runs at most once.
+func (e *epoch) close() {
+	e.backend.Close()
+	if e.release != nil {
+		e.releaseOnce.Do(e.release)
+	}
 }
 
 // deltaPoint is one inserted, not-yet-indexed point.
@@ -298,7 +320,7 @@ func newMutable(baseDB *DB, baseIdx Index, gids, tombs []int, delta []deltaPoint
 		delta[i].shard = m.routeShard(delta[i].gid, delta[i].p)
 	}
 	m.cur = &mutSnapshot{
-		ep:      &epoch{backend: backend},
+		ep:      &epoch{backend: backend, release: cfg.BaseRelease},
 		baseDB:  baseDB,
 		baseIdx: baseIdx,
 		gids:    gids,
@@ -693,7 +715,7 @@ func (m *MutableEngine) rebuildOnce(force bool) error {
 		m.accEvals += st.DistanceEvals
 		m.accBatched += st.BatchedQueries
 		m.statsMu.Unlock()
-		oldEp.backend.Close()
+		oldEp.close()
 	}()
 	m.maybeKick(next)
 	return nil
@@ -796,5 +818,5 @@ func (m *MutableEngine) Close() {
 	m.rebuilder.Wait()
 	m.reapers.Wait()
 	ep.inflight.Wait()
-	ep.backend.Close()
+	ep.close()
 }

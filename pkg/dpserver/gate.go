@@ -1,0 +1,78 @@
+package dpserver
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Gate is the bind-first front of a daemon: it owns the listening socket
+// from before the index exists, so a restarting process exposes its port
+// immediately — orchestrators see a live socket, not connection refused —
+// and answers every request 503 Service Unavailable until SetReady hands it
+// a Server. /healthz is deliberately gated too: a not-ready daemon reports
+// {"status":"loading"} with a 503, the explicit not-ready → ready transition
+// load balancers key on. Once ready the Gate is a transparent proxy to the
+// Server, readiness checked with one atomic load per request.
+type Gate struct {
+	srv atomic.Pointer[Server]
+}
+
+// NewGate returns a Gate with no Server: every request answers 503 until
+// SetReady.
+func NewGate() *Gate { return &Gate{} }
+
+// SetReady publishes s: requests from this point on reach the Server.
+// Requests already in flight finish with the loading answer. SetReady after
+// the Gate's Serve has shut down is harmless — the Gate still takes
+// ownership, and Serve's caller closes the Server through it.
+func (g *Gate) SetReady(s *Server) { g.srv.Store(s) }
+
+// Ready reports whether a Server has been published.
+func (g *Gate) Ready() bool { return g.srv.Load() != nil }
+
+// Server returns the published Server, nil before SetReady.
+func (g *Gate) Server() *Server { return g.srv.Load() }
+
+// ServeHTTP implements http.Handler: 503 {"status":"loading"} before
+// SetReady, the Server afterwards.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s := g.srv.Load(); s != nil {
+		s.ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, `{"status":"loading"}`)
+}
+
+// Serve answers HTTP on ln until ctx is cancelled, then shuts down like
+// Server.Serve: stop accepting, drain in-flight handlers, and close the
+// published Server (flush the coalescer, close the engine) if one was set.
+// Storage released by the caller after Serve returns — e.g. unmapping a
+// frozen container — is therefore unreachable by any handler.
+func (g *Gate) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: g}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	closeSrv := func() {
+		if s := g.srv.Load(); s != nil {
+			s.Close()
+		}
+	}
+	select {
+	case err := <-errc:
+		closeSrv()
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err := hs.Shutdown(sctx) // in-flight handlers finish before this returns
+	closeSrv()
+	return err
+}

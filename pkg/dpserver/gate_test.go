@@ -1,0 +1,144 @@
+package dpserver_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"distperm/internal/dataset"
+	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
+)
+
+// gateServer builds a small Server for publishing through a Gate.
+func gateServer(t *testing.T) *dpserver.Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, 200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := distperm.Build(db, distperm.Spec{Index: "distperm", K: 6, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dpserver.NewFromIndex(db, idx, 2, dpserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestGateNotReadyThenReady pins the daemon's readiness contract: the bound
+// socket answers from the start, every endpoint — health checks included —
+// says 503 {"status":"loading"} until the store is published, and flips to
+// real answers the moment it is.
+func TestGateNotReadyThenReady(t *testing.T) {
+	gate := dpserver.NewGate()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- gate.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, strings.TrimSpace(string(body))
+	}
+
+	// Socket is up, store is not: 503 everywhere, including /healthz.
+	if gate.Ready() {
+		t.Fatal("gate ready before SetReady")
+	}
+	for _, path := range []string{"/healthz", "/v1/index"} {
+		code, body := get(path)
+		if code != http.StatusServiceUnavailable || body != `{"status":"loading"}` {
+			t.Fatalf("not-ready GET %s = %d %q, want 503 loading", path, code, body)
+		}
+	}
+	resp, err := http.Post(base+"/v1/knn", "application/json",
+		strings.NewReader(`{"query":[0.5,0.5,0.5],"k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready kNN = %d, want 503", resp.StatusCode)
+	}
+
+	srv := gateServer(t)
+	gate.SetReady(srv)
+	if !gate.Ready() || gate.Server() != srv {
+		t.Fatal("gate did not publish the server")
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || body != `{"status":"ok"}` {
+		t.Fatalf("ready /healthz = %d %q, want 200 ok", code, body)
+	}
+	resp, err = http.Post(base+"/v1/knn", "application/json",
+		strings.NewReader(`{"query":[0.5,0.5,0.5],"k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(qr.Results) != 2 {
+		t.Fatalf("ready kNN = %d (%v), %d results, want 200 with 2", resp.StatusCode, err, len(qr.Results))
+	}
+
+	// Graceful drain closes the published server.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Serve did not drain")
+	}
+}
+
+// TestGateServeClosesWithoutReady: a daemon killed while still loading must
+// drain cleanly even though no server was ever published.
+func TestGateServeClosesWithoutReady(t *testing.T) {
+	gate := dpserver.NewGate()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- gate.Serve(ctx, ln) }()
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+}

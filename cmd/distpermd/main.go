@@ -270,17 +270,21 @@ type daemonConfig struct {
 // read-only under -mmap — or built through the registries, engine and HTTP
 // layers from pkg/dpserver. A rebuild threshold turns the stack mutable:
 // the index (built or loaded, including a saved mutable container) is
-// wrapped in a MutableEngine and the write endpoints go live; a mapped base
-// is then released as soon as the first rebuild swaps it out, via
-// MutableConfig.BaseRelease. The returned cleanup runs after the serve
-// drain and releases whatever mapping is still held.
+// wrapped in a MutableEngine and the write endpoints go live; an index
+// mapped against an external dataset is then released as soon as the first
+// rebuild swaps it out, via MutableConfig.BaseRelease, while a
+// self-contained container — whose point vectors are views into the
+// mapping that rebuilds carry forward — stays mapped for the daemon's
+// lifetime. The returned cleanup runs after the serve drain and releases
+// whatever mapping is still held.
 func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg daemonConfig) (*dpserver.Server, string, func(), error) {
 	cleanup := func() {}
 	var (
-		db    *distperm.DB
-		idx   distperm.Index
-		store *distperm.Store
-		src   string
+		db     *distperm.DB
+		idx    distperm.Index
+		store  *distperm.Store
+		src    string
+		heapDB bool // db lives on the heap, not inside store's mapping
 	)
 	if cfg.Mmap {
 		if cfg.Load == "" {
@@ -300,6 +304,7 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 			}
 			store, err = distperm.Load(cfg.Load, distperm.LoadOptions{Mmap: true, DB: db})
 			src = ds.Name + " (index mapped)"
+			heapDB = true
 		}
 		if err != nil {
 			return nil, "", nil, err
@@ -359,10 +364,15 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 		Workers:          cfg.Workers,
 		RebuildThreshold: cfg.RebuildThreshold,
 	}
-	if store != nil {
-		// Rebuilds copy the live set onto the heap, so the mapped base is
-		// unreachable once the first swap drains: release the mapping then
-		// instead of holding it for the daemon's lifetime.
+	if store != nil && heapDB {
+		// Rebuilds re-index the live Points but keep the Point values
+		// themselves. Over an external heap database that leaves nothing
+		// referencing the mapped index once the first swap drains, so the
+		// mapping can be released then. A self-contained container is
+		// different: its Points are vector views into the mapping, the
+		// rebuilt base still reads them, and releasing early would turn
+		// every post-rebuild query into a fault — so it stays mapped until
+		// the final cleanup.
 		mcfg.BaseRelease = func() { store.Close() }
 	}
 	if cfg.Load != "" {

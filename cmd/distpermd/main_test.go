@@ -270,7 +270,12 @@ func TestFreezeThenMmapServe(t *testing.T) {
 	}
 	cleanup() // munmap after drain, as main does
 
-	// The mutable wrap over the same mapped container.
+	// The mutable wrap over the same mapped container. The container is
+	// self-contained, so its point vectors are views into the mapping and
+	// rebuilds carry those views forward into the new base: the mapping
+	// must stay live across the fold. Insert past the threshold, wait for
+	// the background rebuild, and re-query the original points — releasing
+	// the mapping on rebuild would make these reads fault.
 	msrv, _, mcleanup, err := buildServer(noDS, rng,
 		daemonConfig{Load: path, Mmap: true, Workers: 2, Partition: "roundrobin", RebuildThreshold: 64})
 	if err != nil {
@@ -279,6 +284,44 @@ func TestFreezeThenMmapServe(t *testing.T) {
 	if info := msrv.Info(); !info.Mutable || info.Base != "distperm" {
 		t.Errorf("mutable mapped server info %+v", info)
 	}
-	msrv.Close()
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mctx, mcancel := context.WithCancel(context.Background())
+	mserved := make(chan error, 1)
+	go func() { mserved <- msrv.Serve(mctx, mln) }()
+	mc := client.New("http://" + mln.Addr().String())
+	extra := dataset.UniformVectors(rand.New(rand.NewSource(11)), 70, 3)
+	if _, err := mc.InsertBatch(context.Background(), extra); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st, err := mc.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Mutation != nil && st.Mutation.Rebuilds >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background rebuild did not fold the inserts")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		got, err := mc.KNN(context.Background(), ds.Points[i*7], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].ID != i*7 || got[0].Distance != 0 {
+			t.Fatalf("post-rebuild mapped self-query %d answered %v", i*7, got)
+		}
+	}
+	mcancel()
+	if err := <-mserved; err != nil {
+		t.Fatalf("mutable Serve: %v", err)
+	}
 	mcleanup()
 }

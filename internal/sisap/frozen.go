@@ -515,6 +515,38 @@ func buildFrozenIndex(h *frozenHeader, metricName string, secs *[frozenNumSecs][
 	return newPermIndexFromTable(db, siteIDs, h.dist, table, ids), db, nil
 }
 
+// readFrozenSection reads exactly length section bytes, growing the buffer
+// in bounded chunks as data actually arrives. The header's field bounds cap
+// most sections, but a corrupt points section can legitimately claim
+// n×dims×8 bytes — far more than any real file holds — and a single
+// make([]byte, length) up front would be an attacker-priced allocation.
+// Chunked growth keeps memory proportional to the bytes the file really
+// contains: a short file fails with io.ErrUnexpectedEOF after at most one
+// chunk of slack.
+func readFrozenSection(br io.Reader, length uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if length <= chunk {
+		b := make([]byte, length)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	b := make([]byte, 0, chunk)
+	for uint64(len(b)) < length {
+		n := length - uint64(len(b))
+		if n > chunk {
+			n = chunk
+		}
+		grown := append(b, make([]byte, n)...)
+		if _, err := io.ReadFull(br, grown[len(b):]); err != nil {
+			return nil, err
+		}
+		b = grown
+	}
+	return b, nil
+}
+
 // decodeFrozenStream reads a frozen payload sequentially — the
 // compatibility path ReadIndex uses, materialising a heap-backed index;
 // OpenMapped is the zero-copy path. The tag has already been consumed.
@@ -548,8 +580,8 @@ func decodeFrozenStream(br io.Reader, db *DB) (*PermIndex, error) {
 				return nil, fmt.Errorf("sisap: reading frozen %s section padding: %w", frozenSectionName[i], err)
 			}
 		}
-		b := make([]byte, s.length)
-		if _, err := io.ReadFull(br, b); err != nil {
+		b, err := readFrozenSection(br, s.length)
+		if err != nil {
 			return nil, fmt.Errorf("sisap: reading frozen %s section: %w", frozenSectionName[i], err)
 		}
 		secs[i] = b

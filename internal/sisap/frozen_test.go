@@ -338,6 +338,18 @@ func TestFrozenRejectsCorruptContainers(t *testing.T) {
 			refreezeCRC(d, frozenSecSites)
 			return d
 		}},
+		// A header whose fields pass every individual bound but whose
+		// dims inflates the points section to n×65536×8 ≈ 100GB. The
+		// mapped path rejects it as shorter than described; the stream
+		// path must fail on the short read without first attempting a
+		// 100GB allocation (readFrozenSection grows in bounded chunks).
+		{"points section claims 100GB", false, func(d []byte) []byte {
+			le.PutUint32(d[60:], frozenMaxDims)
+			base := 68 + 24*frozenSecPoints
+			n := le.Uint64(d[44:])
+			le.PutUint64(d[base+8:], n*frozenMaxDims*8)
+			return d
+		}},
 	}
 	for _, tc := range cases {
 		data := tc.mutate(append([]byte(nil), pristine...))

@@ -21,26 +21,52 @@ type Gate struct {
 	srv atomic.Pointer[Server]
 }
 
+// gateClosed marks a Gate whose Serve has already shut down: a sentinel
+// distinct from both nil (loading) and any published Server, so the
+// SetReady/shutdown handoff has no window in which a Server is published
+// but never closed.
+var gateClosed = new(Server)
+
 // NewGate returns a Gate with no Server: every request answers 503 until
 // SetReady.
 func NewGate() *Gate { return &Gate{} }
 
 // SetReady publishes s: requests from this point on reach the Server.
 // Requests already in flight finish with the loading answer. SetReady after
-// the Gate's Serve has shut down is harmless — the Gate still takes
-// ownership, and Serve's caller closes the Server through it.
-func (g *Gate) SetReady(s *Server) { g.srv.Store(s) }
+// the Gate's Serve has shut down is harmless — the Gate closes the Server
+// immediately instead of publishing it, so a load racing a shutdown never
+// leaks engine workers past Serve's return.
+func (g *Gate) SetReady(s *Server) {
+	for {
+		old := g.srv.Load()
+		if old == gateClosed {
+			s.Close()
+			return
+		}
+		if g.srv.CompareAndSwap(old, s) {
+			return
+		}
+	}
+}
 
 // Ready reports whether a Server has been published.
-func (g *Gate) Ready() bool { return g.srv.Load() != nil }
+func (g *Gate) Ready() bool { return g.server() != nil }
 
 // Server returns the published Server, nil before SetReady.
-func (g *Gate) Server() *Server { return g.srv.Load() }
+func (g *Gate) Server() *Server { return g.server() }
+
+// server returns the published Server, folding the closed sentinel to nil.
+func (g *Gate) server() *Server {
+	if s := g.srv.Load(); s != gateClosed {
+		return s
+	}
+	return nil
+}
 
 // ServeHTTP implements http.Handler: 503 {"status":"loading"} before
 // SetReady, the Server afterwards.
 func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s := g.srv.Load(); s != nil {
+	if s := g.server(); s != nil {
 		s.ServeHTTP(w, r)
 		return
 	}
@@ -59,8 +85,11 @@ func (g *Gate) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: g}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	// Swapping in the closed sentinel (rather than loading once) makes the
+	// shutdown race-free against a concurrent SetReady: whichever side's
+	// atomic wins, exactly one of them closes the Server.
 	closeSrv := func() {
-		if s := g.srv.Load(); s != nil {
+		if s := g.srv.Swap(gateClosed); s != nil && s != gateClosed {
 			s.Close()
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -113,6 +114,47 @@ func TestGateNotReadyThenReady(t *testing.T) {
 		}
 	case <-time.After(20 * time.Second):
 		t.Fatal("Serve did not drain")
+	}
+}
+
+// TestGateSetReadyAfterShutdown: a store load that finishes after the
+// daemon has drained must not leak a running Server. SetReady on a
+// shut-down gate closes the Server instead of publishing it, so the
+// caller's post-Serve cleanup (e.g. unmapping the store) never races
+// live engine workers.
+func TestGateSetReadyAfterShutdown(t *testing.T) {
+	gate := dpserver.NewGate()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- gate.Serve(ctx, ln) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+
+	srv := gateServer(t)
+	gate.SetReady(srv)
+	if gate.Ready() || gate.Server() != nil {
+		t.Fatal("shut-down gate published a server")
+	}
+	// The gate closed the Server on publish: its coalescer and engine
+	// reject work, so a request served directly against it fails instead
+	// of reaching live workers.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/knn",
+		strings.NewReader(`{"query":[0.5,0.5,0.5],"k":2}`))
+	srv.ServeHTTP(rec, req)
+	if rec.Code == http.StatusOK {
+		t.Fatalf("closed server still answered kNN with %d", rec.Code)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"distperm/internal/voronoi"
 	"distperm/pkg/distperm"
 	"distperm/pkg/dpserver"
+	"distperm/pkg/obs"
 )
 
 func benchCfg() experiments.Config { return experiments.TestScale() }
@@ -517,6 +518,36 @@ func BenchmarkKNNBudget(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				idx.KNNBudget(queries[i&63], 1, 1_000)
 			}
+		})
+	}
+}
+
+// BenchmarkInstrumentedKNN prices the observability layer on the hottest
+// serving shape: an 8-query budgeted batch with one latency-histogram
+// Observe per query, exactly what the engine's worker loop adds per job.
+// mode=noop drives a nil histogram (instrumentation compiled in, metrics
+// disabled) and mode=observed a registered one; the gate in CI holds their
+// gap, i.e. the cost of live instrumentation, under the bench threshold.
+func BenchmarkInstrumentedKNN(b *testing.B) {
+	for _, mode := range []string{"noop", "observed"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			idx, queries := scanOrderDB(b, false)
+			qs := queries[:8]
+			var h *obs.Histogram
+			if mode == "observed" {
+				h = obs.NewRegistry().Histogram("bench_knn_seconds", "bench", obs.DefLatencyBuckets, nil)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				qStart := time.Now()
+				idx.KNNBudgetBatch(qs, 1, 1_000)
+				sec := time.Since(qStart).Seconds() / float64(len(qs))
+				for range qs {
+					h.Observe(sec)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(qs))/time.Since(start).Seconds(), "queries/s")
 		})
 	}
 }

@@ -3,10 +3,13 @@
 // plus an index — built on startup or read from a DPERMIDX container of any
 // codec kind, including "sharded" — and serves JSON kNN/range traffic on a
 // worker-pool engine behind a result cache and a micro-batching coalescer
-// (pkg/dpserver). The listen socket binds before any loading starts and
-// every endpoint (health checks included) answers 503 {"status":"loading"}
-// until the store is ready — the explicit not-ready → ready transition
-// restart orchestration keys on. Shutdown on SIGINT/SIGTERM is graceful:
+// (pkg/dpserver). The listen socket binds before any loading starts;
+// /healthz answers 200 (alive) from that moment, while /readyz and every
+// other endpoint answer 503 {"status":"loading"} until the store is ready
+// — the explicit not-ready → ready transition restart orchestration keys
+// on. GET /metrics serves Prometheus text exposition, and -ops-addr adds a
+// private listener with /metrics, the health probes, and net/http/pprof.
+// Shutdown on SIGINT/SIGTERM is graceful:
 // in-flight requests drain and pending coalescer batches flush before the
 // engine closes and any mapped container is unmapped.
 //
@@ -49,10 +52,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -64,6 +71,7 @@ import (
 	"distperm/pkg/distperm"
 	"distperm/pkg/dpserver"
 	"distperm/pkg/dpserver/client"
+	"distperm/pkg/obs"
 )
 
 func main() {
@@ -93,6 +101,10 @@ func main() {
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "coalescer: flush a pending batch after this window")
 		cacheSize = flag.Int("cache", 4096, "result cache entries (0 disables)")
 
+		opsAddr  = flag.String("ops-addr", "", "optional private ops listener: /metrics, /healthz, /readyz, and net/http/pprof under /debug/pprof/ (empty disables)")
+		slowQ    = flag.Duration("slow-query", 0, "log queries slower than this as one-line JSON records (0 disables)")
+		slowQLog = flag.String("slow-query-log", "", "slow-query log file (empty = stderr)")
+
 		// Load driver.
 		loadgen     = flag.Bool("loadgen", false, "drive load at a running daemon instead of serving")
 		target      = flag.String("target", "http://localhost:7411", "loadgen: server base URL")
@@ -103,6 +115,7 @@ func main() {
 		duration    = flag.Duration("duration", 5*time.Second, "loadgen: run length")
 		reqBatch    = flag.Int("batch", 1, "loadgen: queries per request (1 = single-query form, exercising the coalescer)")
 		writeRatio  = flag.Float64("write-ratio", 0, "loadgen: fraction of requests that mutate (insert/delete) instead of query; needs a -rebuild-threshold server")
+		scrape      = flag.Bool("scrape", true, "loadgen: scrape the server's /metrics after the run and print the client-vs-server latency comparison")
 	)
 	flag.Parse()
 
@@ -150,18 +163,31 @@ func main() {
 			Batch:       *reqBatch,
 			WriteRatio:  *writeRatio,
 		}
-		if err := runLoadgen(os.Stdout, cfg); err != nil {
+		if err := runLoadgen(os.Stdout, cfg, *scrape); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		return
 	}
 
+	serving := dpserver.Config{
+		BatchMax: *batchMax, BatchWait: *batchWait, CacheSize: *cacheSize,
+		SlowQuery: *slowQ,
+	}
+	if *slowQLog != "" {
+		f, err := os.OpenFile(*slowQLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		serving.SlowQueryLog = f
+	}
 	cfg := daemonConfig{
 		Index: *index, K: *k, Load: *load, Mmap: *mmapFlag,
 		Shards: *shards, Partition: *partition, Workers: *workers,
 		RebuildThreshold: *rebuild,
-		Serving:          dpserver.Config{BatchMax: *batchMax, BatchWait: *batchWait, CacheSize: *cacheSize},
+		Serving:          serving,
 	}
 
 	if *freeze != "" {
@@ -185,6 +211,17 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- gate.Serve(ctx, ln) }()
 	fmt.Printf("distpermd: listening on %s, loading store\n", ln.Addr())
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			stop()
+			<-serveErr
+			os.Exit(2)
+		}
+		go serveOps(ctx, opsLn, gate)
+		fmt.Printf("distpermd: ops listener (metrics, pprof) on %s\n", opsLn.Addr())
+	}
 
 	srv, src, cleanup, err := buildServer(loadDS, rng, cfg)
 	if err != nil {
@@ -205,6 +242,54 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("distpermd: drained and closed cleanly")
+}
+
+// serveOps answers the daemon's private operations surface on ln until ctx
+// is cancelled: /metrics (the published Server's registry; 503 while the
+// store loads), /healthz and /readyz (same liveness/readiness split as the
+// serving port), and net/http/pprof under /debug/pprof/. Kept off the
+// serving listener so profiling endpoints are never exposed to query
+// traffic by accident.
+func serveOps(ctx context.Context, ln net.Listener, gate *dpserver.Gate) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s := gate.Server(); s != nil {
+			s.Registry().ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"loading"}`)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if gate.Ready() {
+			fmt.Fprintln(w, `{"status":"ready"}`)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"loading"}`)
+	})
+	hs := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(sctx)
 }
 
 // runFreeze writes the frozen container form of the configured index: build
@@ -444,8 +529,11 @@ func shardedBase(idx distperm.Index) *distperm.ShardedIndex {
 	return sx
 }
 
-// runLoadgen drives RunLoad and prints the report.
-func runLoadgen(w io.Writer, cfg client.LoadConfig) error {
+// runLoadgen drives RunLoad and prints the report: overall and
+// per-endpoint client-side percentiles and, with scrape, the server's own
+// /metrics view of the same traffic next to them — the wire-vs-engine
+// latency split in one table.
+func runLoadgen(w io.Writer, cfg client.LoadConfig, scrape bool) error {
 	mode := fmt.Sprintf("%d-NN", cfg.K)
 	if cfg.K == 0 {
 		mode = fmt.Sprintf("range r=%g", cfg.Radius)
@@ -456,11 +544,45 @@ func runLoadgen(w io.Writer, cfg client.LoadConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "sent %d requests (%d queries, %d errors) in %v: %.0f queries/s, latency p50 %v p99 %v\n",
+	fmt.Fprintf(w, "sent %d requests (%d queries, %d errors) in %v: %.0f queries/s, latency p50 %v p95 %v p99 %v\n",
 		report.Requests, report.Queries, report.Errors, report.Elapsed.Round(time.Millisecond),
-		report.QueriesPerSecond, report.P50, report.P99)
+		report.QueriesPerSecond, report.P50, report.P95, report.P99)
 	if report.Inserts > 0 || report.Deletes > 0 {
 		fmt.Fprintf(w, "mutations: %d inserts, %d deletes\n", report.Inserts, report.Deletes)
+	}
+	endpoints := make([]string, 0, len(report.PerEndpoint))
+	for ep := range report.PerEndpoint {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		s := report.PerEndpoint[ep]
+		fmt.Fprintf(w, "  client %-7s %7d reqs  p50 %-10v p95 %-10v p99 %v\n",
+			ep, s.Count, s.P50, s.P95, s.P99)
+	}
+	if !scrape {
+		return nil
+	}
+	// The run's context has expired; the scrape gets its own deadline.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fams, err := client.New(cfg.Target).Metrics(sctx)
+	if err != nil {
+		fmt.Fprintf(w, "  (server /metrics scrape failed: %v)\n", err)
+		return nil
+	}
+	secs := func(v float64) time.Duration { return time.Duration(math.Round(v * 1e9)) }
+	for _, ep := range endpoints {
+		snap, ok := fams["dpserver_request_duration_seconds"].HistogramSnapshot(obs.Labels{"endpoint": ep})
+		if !ok || snap.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  server %-7s %7d reqs  p50 %-10v p95 %-10v p99 %v\n",
+			ep, snap.Count, secs(snap.Quantile(0.50)), secs(snap.Quantile(0.95)), secs(snap.Quantile(0.99)))
+	}
+	if snap, ok := fams["distperm_engine_query_duration_seconds"].HistogramSnapshot(nil); ok && snap.Count > 0 {
+		fmt.Fprintf(w, "  engine  query   %7d qs    p50 %-10v p95 %-10v p99 %v\n",
+			snap.Count, secs(snap.Quantile(0.50)), secs(snap.Quantile(0.95)), secs(snap.Quantile(0.99)))
 	}
 	return nil
 }

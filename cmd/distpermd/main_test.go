@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"distperm/pkg/distperm"
 	"distperm/pkg/dpserver"
 	"distperm/pkg/dpserver/client"
+	"distperm/pkg/obs"
 )
 
 // TestBuildServerModes covers the three index sources: built through the
@@ -181,6 +184,10 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Errorf("self-query answer %v", rs)
 	}
 
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
 	var out strings.Builder
 	if err := runLoadgen(&out, client.LoadConfig{
 		Target:      base,
@@ -188,10 +195,13 @@ func TestDaemonEndToEnd(t *testing.T) {
 		K:           2,
 		Concurrency: 4,
 		Duration:    100 * time.Millisecond,
-	}); err != nil {
+	}, true); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"loadgen: 2-NN", "queries/s", "p50", "p99", " 0 errors"} {
+	// The scrape-on report carries both halves of the comparison: client-
+	// side per-endpoint percentiles and the server's /metrics view.
+	for _, want := range []string{"loadgen: 2-NN", "queries/s", "p50", "p95", "p99", " 0 errors",
+		"client knn", "server knn", "engine"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("loadgen report missing %q:\n%s", want, out.String())
 		}
@@ -324,4 +334,84 @@ func TestFreezeThenMmapServe(t *testing.T) {
 		t.Fatalf("mutable Serve: %v", err)
 	}
 	mcleanup()
+}
+
+// TestServeOps covers the private ops listener: health/readiness mirror
+// the gate's state, /metrics answers 503 while loading and valid
+// exposition once the store is published, and the pprof index is mounted.
+func TestServeOps(t *testing.T) {
+	gate := dpserver.NewGate()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveOps(ctx, ln, gate) }()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Loading: alive, not ready, no metrics yet.
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("loading /healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("loading /readyz = %d, want 503", code)
+	}
+	if code, _ := get("/metrics"); code != http.StatusServiceUnavailable {
+		t.Errorf("loading /metrics = %d, want 503", code)
+	}
+
+	// Publish a server: readiness flips and /metrics serves the registry.
+	rng := rand.New(rand.NewSource(21))
+	ds, err := dataset.Load(rng, "uniform", "", 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, cleanup, err := buildServer(func() (*dataset.Dataset, error) { return ds, nil }, rng,
+		daemonConfig{Index: "distperm", K: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	gate.SetReady(srv)
+	defer srv.Close()
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("ready /readyz = %d %q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("ready /metrics = %d", code)
+	}
+	fams, err := obs.ParsePrometheus(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ops /metrics not valid exposition: %v", err)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "distperm_engine_workers" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ops /metrics missing distperm_engine_workers")
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Errorf("pprof cmdline = %d %q", code, body)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serveOps: %v", err)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 	"unsafe"
 
 	"distperm/internal/metric"
@@ -214,6 +215,7 @@ func (h *frozenHeader) verifySections(secs *[frozenNumSecs][]byte) error {
 	le := binary.LittleEndian
 	for i, b := range secs {
 		if got := crc32.Checksum(b, frozenCRC); got != h.sec[i].crc {
+			mmapCksumFail.Add(1)
 			return fmt.Errorf("sisap: frozen %s section checksum mismatch (%08x, want %08x)", frozenSectionName[i], got, h.sec[i].crc)
 		}
 	}
@@ -625,7 +627,14 @@ func (m *Mapped) Close() error {
 	if m.m == nil {
 		return nil
 	}
-	return m.m.unmap()
+	// unmap nils the data slice, so capture the size first; idempotence
+	// of the gauge update rides on unmap's own idempotence.
+	released := int64(len(m.m.data))
+	err := m.m.unmap()
+	if released > 0 {
+		mmapBytes.Add(-released)
+	}
+	return err
 }
 
 // OpenMapped opens a frozen container produced by WriteFrozen without
@@ -636,6 +645,7 @@ func (m *Mapped) Close() error {
 // database the index was built on. On platforms without mmap support the
 // same validation runs over a heap read of the file.
 func OpenMapped(path string, db *DB) (*Mapped, error) {
+	start := time.Now()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -665,6 +675,12 @@ func OpenMapped(path string, db *DB) (*Mapped, error) {
 		}
 		return nil, fmt.Errorf("sisap: open %s: %w", path, err)
 	}
+	mmapOpens.Add(1)
+	if m != nil {
+		mmapZeroCopy.Add(1)
+		mmapBytes.Add(int64(len(m.data)))
+	}
+	mmapOpenLat.Observe(time.Since(start).Seconds())
 	return &Mapped{m: m, idx: idx, db: fdb}, nil
 }
 

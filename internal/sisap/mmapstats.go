@@ -1,0 +1,41 @@
+package sisap
+
+import (
+	"sync/atomic"
+
+	"distperm/pkg/obs"
+)
+
+// MmapStats is a snapshot of the frozen-container open path: how many
+// containers were opened, how many of those opens were true zero-copy
+// mappings, how long opens took, how many bytes are currently mapped,
+// and how many section-checksum verifications have failed (a non-zero
+// value means a corrupt or tampered container was rejected). The
+// counters are process-wide because mappings are: the point of MAP_SHARED
+// is that every store in the process shares the page cache.
+type MmapStats struct {
+	Opens            uint64
+	ZeroCopyOpens    uint64
+	ChecksumFailures uint64
+	MappedBytes      int64
+	OpenLatency      obs.HistogramSnapshot
+}
+
+var (
+	mmapOpens     atomic.Uint64
+	mmapZeroCopy  atomic.Uint64
+	mmapCksumFail atomic.Uint64
+	mmapBytes     atomic.Int64
+	mmapOpenLat   = obs.NewHistogram(obs.DefLatencyBuckets)
+)
+
+// ReadMmapStats snapshots the process-wide open-path counters.
+func ReadMmapStats() MmapStats {
+	return MmapStats{
+		Opens:            mmapOpens.Load(),
+		ZeroCopyOpens:    mmapZeroCopy.Load(),
+		ChecksumFailures: mmapCksumFail.Load(),
+		MappedBytes:      mmapBytes.Load(),
+		OpenLatency:      mmapOpenLat.Snapshot(),
+	}
+}

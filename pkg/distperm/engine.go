@@ -4,11 +4,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distperm/internal/sisap"
+	"distperm/pkg/obs"
 )
 
 // Engine is a concurrent query engine over one built index: a pool of
@@ -46,15 +47,15 @@ type Engine struct {
 	queries  int64
 	evals    int64
 	batched  int64 // queries served through the sub-batch fast path
-	// lat is a bounded ring of the most recent per-query latencies
-	// (latSamples entries), so a long-lived engine's memory stays flat;
-	// latPos is the overwrite cursor once the ring is full.
-	lat    []time.Duration
-	latPos int
+	// lat holds every per-query latency in a fixed-bucket histogram
+	// (obs.DefLatencyBuckets): constant memory regardless of lifetime,
+	// lock-free to observe, mergeable across shards and epochs, and the
+	// one source Stats percentiles and /metrics exposition both read.
+	lat *obs.Histogram
+	// busy counts workers currently serving a job — the pool-utilization
+	// gauge (0..workers).
+	busy atomic.Int64
 }
-
-// latSamples bounds the latency window Stats computes percentiles over.
-const latSamples = 1 << 14
 
 type job struct {
 	q   Point
@@ -91,6 +92,7 @@ func NewEngine(db *DB, idx Index, workers int) (*Engine, error) {
 		workers: workers,
 		jobs:    make(chan job, 4*workers),
 		batchOK: batchOK,
+		lat:     obs.NewHistogram(obs.DefLatencyBuckets),
 	}
 	for i := 0; i < workers; i++ {
 		replica := sisap.QueryReplica(idx)
@@ -109,8 +111,10 @@ func (e *Engine) Index() Index { return e.idx }
 func (e *Engine) worker(idx Index) {
 	defer e.workerWG.Done()
 	for j := range e.jobs {
+		e.busy.Add(1)
 		if j.qs != nil {
 			e.serveBatch(idx, j)
+			e.busy.Add(-1)
 			continue
 		}
 		start := time.Now()
@@ -127,8 +131,9 @@ func (e *Engine) worker(idx Index) {
 		e.mu.Lock()
 		e.queries++
 		e.evals += int64(st.DistanceEvals)
-		e.recordLatencyLocked(elapsed)
 		e.mu.Unlock()
+		e.lat.Observe(elapsed.Seconds())
+		e.busy.Add(-1)
 
 		j.wg.Done()
 	}
@@ -163,21 +168,13 @@ func (e *Engine) serveBatch(idx Index, j job) {
 	for _, st := range sts {
 		e.evals += int64(st.DistanceEvals)
 	}
-	for range j.qs {
-		e.recordLatencyLocked(perQuery)
-	}
 	e.mu.Unlock()
+	sec := perQuery.Seconds()
+	for range j.qs {
+		e.lat.Observe(sec)
+	}
 
 	j.wg.Done()
-}
-
-func (e *Engine) recordLatencyLocked(d time.Duration) {
-	if len(e.lat) < latSamples {
-		e.lat = append(e.lat, d)
-	} else {
-		e.lat[e.latPos] = d
-		e.latPos = (e.latPos + 1) % latSamples
-	}
 }
 
 // KNNBatch answers one kNN query per point of qs, fanned out across the
@@ -291,43 +288,52 @@ type EngineStats struct {
 	DistanceEvals int64
 	// MeanEvals is DistanceEvals / Queries.
 	MeanEvals float64
-	// P50 and P99 are per-query latency percentiles over the most recent
-	// queries (a bounded window of 16384 samples).
+	// P50 and P99 are per-query latency percentiles read from the engine's
+	// latency histogram: nearest-rank quantiles resolved to the histogram's
+	// bucket edges (obs.DefLatencyBuckets, 2× steps from 1µs), covering
+	// every query the engine has ever answered.
 	P50, P99 time.Duration
+}
+
+// histQuantile reads the q-quantile from a latency histogram snapshot as
+// a Duration — the nearest-rank bucket edge, see
+// obs.HistogramSnapshot.Quantile.
+func histQuantile(s obs.HistogramSnapshot, q float64) time.Duration {
+	return time.Duration(math.Round(s.Quantile(q) * 1e9))
 }
 
 // Stats returns a snapshot of the engine-level counters.
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	s := EngineStats{Queries: e.queries, BatchedQueries: e.batched, DistanceEvals: e.evals}
-	lat := append([]time.Duration(nil), e.lat...)
 	e.mu.Unlock()
 	if s.Queries > 0 {
 		s.MeanEvals = float64(s.DistanceEvals) / float64(s.Queries)
 	}
-	if len(lat) > 0 {
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		s.P50 = Percentile(lat, 0.50)
-		s.P99 = Percentile(lat, 0.99)
+	if snap := e.lat.Snapshot(); snap.Count > 0 {
+		s.P50 = histQuantile(snap, 0.50)
+		s.P99 = histQuantile(snap, 0.99)
 	}
 	return s
 }
 
-// counters snapshots the raw engine counters and a copy of the bounded
-// latency ring (unsorted) in one lock acquisition — the sharded layer sums
-// the counters and merges the per-shard windows before taking percentiles,
-// skipping the per-shard sorts Stats would do.
-func (e *Engine) counters() (queries, evals, batched int64, window []time.Duration) {
+// counters snapshots the raw engine counters and the latency histogram —
+// the sharded layer sums the counters and merges the per-shard histograms
+// before taking quantiles.
+func (e *Engine) counters() (queries, evals, batched int64, lat obs.HistogramSnapshot) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.queries, e.evals, e.batched, append([]time.Duration(nil), e.lat...)
+	queries, evals, batched = e.queries, e.evals, e.batched
+	e.mu.Unlock()
+	return queries, evals, batched, e.lat.Snapshot()
 }
 
-// latencyWindow copies the engine's bounded latency ring, unsorted.
-func (e *Engine) latencyWindow() []time.Duration {
-	_, _, _, window := e.counters()
-	return window
-}
+// LatencySnapshot returns the engine's per-query latency histogram — the
+// source /metrics exposes and Stats reads its percentiles from.
+func (e *Engine) LatencySnapshot() obs.HistogramSnapshot { return e.lat.Snapshot() }
+
+// BusyWorkers returns how many pool workers are serving a job right now,
+// in [0, Workers()] — the utilization gauge exposed on /metrics.
+func (e *Engine) BusyWorkers() int { return int(e.busy.Load()) }
 
 // Percentile reads the q-quantile from an ascending-sorted non-empty sample
 // by the nearest-rank method: the smallest value with at least q·n samples

@@ -7,6 +7,7 @@ import (
 
 	"distperm/internal/dataset"
 	"distperm/internal/sisap"
+	"distperm/pkg/obs"
 )
 
 // TestEngineMatchesLinearScan is the concurrency acceptance test: a
@@ -290,12 +291,13 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 }
 
-// TestEngineLatencyRingWraparound pushes more queries through the engine
-// than the latency window holds: the ring must stay bounded at latSamples,
-// the overwrite cursor must stay in range, and the percentiles must remain
-// sane over the wrapped window.
-func TestEngineLatencyRingWraparound(t *testing.T) {
-	const total = latSamples + 300
+// TestEngineLatencyHistogram pushes a large query volume through the
+// engine and checks the histogram bookkeeping: every query is counted
+// (Count == Queries, bucket sum == Count), quantiles stay ordered, and
+// the snapshot merges cleanly with another engine's — the property the
+// sharded and mutable aggregations rely on.
+func TestEngineLatencyHistogram(t *testing.T) {
+	const total = 20000
 	db, rng := testDB(t, 16, 16, 2)
 	idx := mustBuild(t, db, Spec{Index: "linear"})
 	e, err := NewEngine(db, idx, 4)
@@ -315,23 +317,34 @@ func TestEngineLatencyRingWraparound(t *testing.T) {
 		}
 		served += len(batch)
 	}
-	e.mu.Lock()
-	ringLen, pos := len(e.lat), e.latPos
-	e.mu.Unlock()
-	if ringLen != latSamples {
-		t.Errorf("latency ring holds %d samples, want exactly %d", ringLen, latSamples)
+	snap := e.LatencySnapshot()
+	if snap.Count != total {
+		t.Errorf("histogram count = %d, want %d", snap.Count, total)
 	}
-	if pos < 0 || pos >= latSamples {
-		t.Errorf("latPos = %d out of range 0..%d", pos, latSamples-1)
+	var cum uint64
+	for _, b := range snap.Buckets {
+		cum += b
+	}
+	if cum != snap.Count {
+		t.Errorf("bucket sum %d != count %d", cum, snap.Count)
+	}
+	if snap.Sum < 0 {
+		t.Errorf("negative latency sum %g", snap.Sum)
 	}
 	st := e.Stats()
 	if st.Queries != total {
 		t.Errorf("Queries = %d, want %d", st.Queries, total)
 	}
 	if st.P50 < 0 || st.P99 < st.P50 {
-		t.Errorf("implausible percentiles after wraparound: p50=%v p99=%v", st.P50, st.P99)
+		t.Errorf("implausible percentiles: p50=%v p99=%v", st.P50, st.P99)
 	}
-	if win := e.latencyWindow(); len(win) != latSamples {
-		t.Errorf("latencyWindow() returned %d samples, want %d", len(win), latSamples)
+	if e.BusyWorkers() != 0 {
+		t.Errorf("BusyWorkers = %d after quiesce, want 0", e.BusyWorkers())
+	}
+	var merged obs.HistogramSnapshot
+	merged.Merge(snap)
+	merged.Merge(e.LatencySnapshot())
+	if merged.Count != 2*total {
+		t.Errorf("merged count = %d, want %d", merged.Count, 2*total)
 	}
 }

@@ -105,3 +105,12 @@ func Load(path string, opts LoadOptions) (*Store, error) {
 	}
 	return &Store{DB: opts.DB, Index: idx}, nil
 }
+
+// MmapStats is a snapshot of the process-wide frozen-container open path:
+// opens (and how many were true zero-copy mappings), open latency, bytes
+// currently mapped, and rejected section-checksum verifications. The
+// serving layer exports these on /metrics.
+type MmapStats = sisap.MmapStats
+
+// ReadMmapStats snapshots the process-wide mmap/open counters.
+func ReadMmapStats() MmapStats { return sisap.ReadMmapStats() }

@@ -10,6 +10,7 @@ import (
 
 	"distperm/internal/metric"
 	"distperm/internal/sisap"
+	"distperm/pkg/obs"
 )
 
 // ErrOutOfRange tags request-parameter errors (k or radius outside the
@@ -60,6 +61,8 @@ type mutBackend interface {
 	KNNBatch(qs []Point, k int) ([][]Result, error)
 	RangeBatch(qs []Point, r float64) ([][]Result, error)
 	Stats() EngineStats
+	LatencySnapshot() obs.HistogramSnapshot
+	BusyWorkers() int
 	Workers() int
 	Close()
 }
@@ -180,6 +183,7 @@ type MutableEngine struct {
 	// so Stats survives rebuilds; deltaEvals counts the gather-time scans.
 	statsMu                          sync.Mutex
 	accQueries, accEvals, accBatched int64
+	accLat                           obs.HistogramSnapshot
 	deltaEvals                       atomic.Int64
 	inserts, deletes                 atomic.Int64
 	rebuilds                         atomic.Int64
@@ -710,10 +714,12 @@ func (m *MutableEngine) rebuildOnce(force bool) error {
 		defer m.reapers.Done()
 		oldEp.inflight.Wait()
 		st := oldEp.backend.Stats()
+		lat := oldEp.backend.LatencySnapshot()
 		m.statsMu.Lock()
 		m.accQueries += st.Queries
 		m.accEvals += st.DistanceEvals
 		m.accBatched += st.BatchedQueries
+		m.accLat.Merge(lat)
 		m.statsMu.Unlock()
 		oldEp.close()
 	}()
@@ -722,22 +728,43 @@ func (m *MutableEngine) rebuildOnce(force bool) error {
 }
 
 // Stats aggregates across every epoch the engine has served: query and
-// distance-evaluation counts accumulate over rebuilds, and the gather-time
-// delta scans are costed in. Latency percentiles cover the current epoch's
-// window.
+// distance-evaluation counts accumulate over rebuilds, the gather-time
+// delta scans are costed in, and the latency percentiles are read from the
+// cross-epoch merged histogram (closed epochs fold their histograms into
+// the accumulator, so no rebuild loses samples).
 func (m *MutableEngine) Stats() EngineStats {
-	st := m.snapshot().ep.backend.Stats()
+	backend := m.snapshot().ep.backend
+	st := backend.Stats()
+	lat := backend.LatencySnapshot()
 	m.statsMu.Lock()
 	st.Queries += m.accQueries
 	st.DistanceEvals += m.accEvals
 	st.BatchedQueries += m.accBatched
+	lat.Merge(m.accLat)
 	m.statsMu.Unlock()
 	st.DistanceEvals += m.deltaEvals.Load()
 	if st.Queries > 0 {
 		st.MeanEvals = float64(st.DistanceEvals) / float64(st.Queries)
 	}
+	if lat.Count > 0 {
+		st.P50 = histQuantile(lat, 0.50)
+		st.P99 = histQuantile(lat, 0.99)
+	}
 	return st
 }
+
+// LatencySnapshot merges the current epoch's latency histogram with the
+// accumulated histograms of every closed epoch.
+func (m *MutableEngine) LatencySnapshot() obs.HistogramSnapshot {
+	lat := m.snapshot().ep.backend.LatencySnapshot()
+	m.statsMu.Lock()
+	lat.Merge(m.accLat)
+	m.statsMu.Unlock()
+	return lat
+}
+
+// BusyWorkers returns the current base engine's busy-worker count.
+func (m *MutableEngine) BusyWorkers() int { return m.snapshot().ep.backend.BusyWorkers() }
 
 // MutationStats snapshots the write path.
 func (m *MutableEngine) MutationStats() MutationStats {

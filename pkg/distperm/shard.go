@@ -8,9 +8,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"distperm/internal/sisap"
+	"distperm/pkg/obs"
 )
 
 // ShardedIndex partitions one database across disjoint shards, one index per
@@ -326,26 +326,45 @@ func (s *ShardedEngine) ShardStats() []EngineStats {
 // Stats aggregates across shards: Queries and DistanceEvals sum (so
 // DistanceEvals is exactly the global cost of the sharded serving, the
 // paper's cost model composing additively), MeanEvals is per sub-query, and
-// the latency percentiles are computed over the merged per-shard windows.
+// the latency percentiles are read from the merged per-shard histograms.
 func (s *ShardedEngine) Stats() EngineStats {
 	var agg EngineStats
-	var lat []time.Duration
+	var lat obs.HistogramSnapshot
 	for _, e := range s.engines {
-		queries, evals, batched, window := e.counters()
+		queries, evals, batched, snap := e.counters()
 		agg.Queries += queries
 		agg.DistanceEvals += evals
 		agg.BatchedQueries += batched
-		lat = append(lat, window...)
+		lat.Merge(snap)
 	}
 	if agg.Queries > 0 {
 		agg.MeanEvals = float64(agg.DistanceEvals) / float64(agg.Queries)
 	}
-	if len(lat) > 0 {
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		agg.P50 = Percentile(lat, 0.50)
-		agg.P99 = Percentile(lat, 0.99)
+	if lat.Count > 0 {
+		agg.P50 = histQuantile(lat, 0.50)
+		agg.P99 = histQuantile(lat, 0.99)
 	}
 	return agg
+}
+
+// LatencySnapshot merges the per-shard latency histograms into one — every
+// sub-query the sharded engine has answered, in a single mergeable
+// snapshot.
+func (s *ShardedEngine) LatencySnapshot() obs.HistogramSnapshot {
+	var lat obs.HistogramSnapshot
+	for _, e := range s.engines {
+		lat.Merge(e.LatencySnapshot())
+	}
+	return lat
+}
+
+// BusyWorkers sums the busy-worker counts across shard pools.
+func (s *ShardedEngine) BusyWorkers() int {
+	total := 0
+	for _, e := range s.engines {
+		total += e.BusyWorkers()
+	}
+	return total
 }
 
 // Close shuts every shard pool down after in-flight queries finish. It is

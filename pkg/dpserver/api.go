@@ -127,10 +127,12 @@ type ServerCounters struct {
 	CoalescedBatches int64 `json:"coalesced_batches"`
 	CoalescedQueries int64 `json:"coalesced_queries"`
 	// CacheHits, CacheMisses, and CacheEntries report the result cache
-	// (all zero when the cache is disabled).
-	CacheHits    int64 `json:"cache_hits"`
-	CacheMisses  int64 `json:"cache_misses"`
-	CacheEntries int   `json:"cache_entries"`
+	// (all zero when the cache is disabled); CacheEvictions counts entries
+	// pushed out by capacity pressure.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	CacheEvictions int64 `json:"cache_evictions"`
 	// Inserts and Deletes count accepted write requests' mutations;
 	// CacheInvalidations counts the cache flushes they forced.
 	Inserts            int64 `json:"inserts"`

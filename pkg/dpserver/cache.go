@@ -29,6 +29,7 @@ type Cache struct {
 	ll           *list.List // front = most recent
 	items        map[string]*list.Element
 	hits, misses int64
+	evictions    int64
 	gen          uint64
 	invalidates  int64
 }
@@ -117,6 +118,7 @@ func (c *Cache) Put(key string, gen uint64, results []distperm.Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, results: results})
 }
@@ -129,6 +131,17 @@ func (c *Cache) Counters() (hits, misses int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.ll.Len()
+}
+
+// Evictions returns how many entries capacity pressure has pushed out
+// (invalidation flushes are counted separately, by Invalidations).
+func (c *Cache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Invalidations returns how many times the cache has been invalidated.

@@ -15,6 +15,7 @@ import (
 
 	"distperm/pkg/distperm"
 	"distperm/pkg/dpserver"
+	"distperm/pkg/obs"
 )
 
 // Client talks to one dpserver base URL. The zero HTTPClient means
@@ -150,7 +151,8 @@ func (c *Client) IndexInfo(ctx context.Context) (dpserver.IndexInfo, error) {
 	return resp, err
 }
 
-// Health probes /healthz.
+// Health probes /healthz (liveness: the process answers HTTP, possibly
+// still loading its store).
 func (c *Client) Health(ctx context.Context) error {
 	var resp struct {
 		Status string `json:"status"`
@@ -162,6 +164,48 @@ func (c *Client) Health(ctx context.Context) error {
 		return fmt.Errorf("client: health status %q", resp.Status)
 	}
 	return nil
+}
+
+// Ready probes /readyz (readiness: the store is loaded and queries will be
+// answered). A loading daemon fails this with its 503 while passing Health.
+func (c *Client) Ready(ctx context.Context) error {
+	var resp struct {
+		Status string `json:"status"`
+	}
+	if err := c.get(ctx, "/readyz", &resp); err != nil {
+		return err
+	}
+	if resp.Status != "ready" {
+		return fmt.Errorf("client: readiness status %q", resp.Status)
+	}
+	return nil
+}
+
+// Metrics scrapes GET /metrics and returns the parsed families, keyed by
+// family name — the server-side half of a client-vs-server latency
+// comparison after a load run.
+func (c *Client) Metrics(ctx context.Context) (map[string]obs.Family, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	fams, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET /metrics: %w", err)
+	}
+	byName := make(map[string]obs.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	return byName, nil
 }
 
 func (c *Client) httpClient() *http.Client {

@@ -3,13 +3,14 @@ package client
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"distperm/pkg/distperm"
+	"distperm/pkg/obs"
 )
 
 // LoadConfig drives RunLoad against a running dpserver.
@@ -40,6 +41,26 @@ type LoadConfig struct {
 	WriteRatio float64
 }
 
+// LatencySummary condenses one endpoint's latency histogram: the request
+// count and the nearest-rank percentiles at bucket-edge resolution.
+type LatencySummary struct {
+	Count         uint64
+	P50, P95, P99 time.Duration
+}
+
+// summarize reads a latency snapshot into a LatencySummary.
+func summarize(snap obs.HistogramSnapshot) LatencySummary {
+	s := LatencySummary{Count: snap.Count}
+	if snap.Count == 0 {
+		return s
+	}
+	q := func(p float64) time.Duration {
+		return time.Duration(math.Round(snap.Quantile(p) * 1e9))
+	}
+	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	return s
+}
+
 // LoadReport summarises one RunLoad run.
 type LoadReport struct {
 	// Requests and Errors count HTTP requests sent and failed.
@@ -54,14 +75,14 @@ type LoadReport struct {
 	Elapsed time.Duration
 	// QueriesPerSecond is Queries / Elapsed.
 	QueriesPerSecond float64
-	// P50 and P99 are per-request latency percentiles over a bounded
-	// window of the most recent requests.
-	P50, P99 time.Duration
+	// P50, P95, and P99 are per-request latency percentiles across every
+	// successful request, read from fixed-bucket histograms (memory stays
+	// flat however long the run); resolution is one histogram bucket edge.
+	P50, P95, P99 time.Duration
+	// PerEndpoint breaks the latency down by endpoint ("knn", "range",
+	// "insert", "delete"); endpoints the run never hit are absent.
+	PerEndpoint map[string]LatencySummary
 }
-
-// latWindow bounds the latency samples RunLoad keeps, like the engine's
-// bounded ring: a long run's memory stays flat.
-const latWindow = 1 << 14
 
 // RunLoad fires queries at cfg.Target from cfg.Concurrency workers until
 // cfg.Duration elapses or ctx is cancelled, and reports achieved
@@ -127,19 +148,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	var (
 		requests, errors, queries atomic.Int64
 		inserts, deletes          atomic.Int64
-		latMu                     sync.Mutex
-		lat                       = make([]time.Duration, 0, latWindow)
-		latPos                    int
 	)
-	record := func(d time.Duration) {
-		latMu.Lock()
-		if len(lat) < latWindow {
-			lat = append(lat, d)
-		} else {
-			lat[latPos] = d
-			latPos = (latPos + 1) % latWindow
-		}
-		latMu.Unlock()
+	// One lock-free latency histogram per endpoint, the same instrument the
+	// server aggregates with, so the client- and server-side percentiles in
+	// the end-of-run comparison share bucket edges.
+	hists := map[string]*obs.Histogram{
+		"knn":    obs.NewHistogram(obs.DefLatencyBuckets),
+		"range":  obs.NewHistogram(obs.DefLatencyBuckets),
+		"insert": obs.NewHistogram(obs.DefLatencyBuckets),
+		"delete": obs.NewHistogram(obs.DefLatencyBuckets),
+	}
+	record := func(endpoint string, d time.Duration) {
+		hists[endpoint].Observe(d.Seconds())
 	}
 
 	c := New(cfg.Target)
@@ -166,15 +186,21 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					return
 				}
 				var err error
+				endpoint := "knn"
+				if cfg.K == 0 {
+					endpoint = "range"
+				}
 				reqStart := time.Now()
 				if cfg.WriteRatio > 0 && wrng.Float64() < cfg.WriteRatio {
 					if len(myIDs) > 0 && wrng.Intn(2) == 0 {
+						endpoint = "delete"
 						err = c.Delete(ctx, myIDs[0])
 						if err == nil {
 							myIDs = myIDs[1:]
 							deletes.Add(1)
 						}
 					} else {
+						endpoint = "insert"
 						var id int
 						id, err = c.Insert(ctx, cfg.Queries[i%len(cfg.Queries)])
 						if err == nil {
@@ -192,7 +218,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 						continue
 					}
 					requests.Add(1)
-					record(time.Since(reqStart))
+					record(endpoint, time.Since(reqStart))
 					continue
 				}
 				if batch == 1 {
@@ -224,7 +250,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				}
 				requests.Add(1)
 				queries.Add(int64(batch))
-				record(time.Since(reqStart))
+				record(endpoint, time.Since(reqStart))
 			}
 		}(w)
 	}
@@ -242,13 +268,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	if elapsed > 0 {
 		report.QueriesPerSecond = float64(report.Queries) / elapsed.Seconds()
 	}
-	latMu.Lock()
-	window := append([]time.Duration(nil), lat...)
-	latMu.Unlock()
-	if len(window) > 0 {
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		report.P50 = distperm.Percentile(window, 0.50)
-		report.P99 = distperm.Percentile(window, 0.99)
+	var all obs.HistogramSnapshot
+	report.PerEndpoint = make(map[string]LatencySummary)
+	for endpoint, h := range hists {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		report.PerEndpoint[endpoint] = summarize(snap)
+		all.Merge(snap)
+	}
+	if overall := summarize(all); overall.Count > 0 {
+		report.P50, report.P95, report.P99 = overall.P50, overall.P95, overall.P99
 	}
 	return report, nil
 }

@@ -49,6 +49,11 @@ type Coalescer struct {
 	backend Backend
 	max     int
 	wait    time.Duration
+	// OnFlush, when set before the first call, observes every flushed
+	// batch: its size and why it flushed ("full", "timer", "direct",
+	// "close"). The server hooks its batch-size histogram and flush-reason
+	// counters here.
+	OnFlush func(size int, reason string)
 
 	mu      sync.Mutex
 	pending map[batchKey]*pendingBatch
@@ -56,6 +61,33 @@ type Coalescer struct {
 	batches int64 // flushed batches
 	queries int64 // queries enqueued
 }
+
+// Flush reasons reported to OnFlush and in FlushInfo.
+const (
+	// FlushFull: the batch reached BatchMax and the filling caller ran it.
+	FlushFull = "full"
+	// FlushTimer: BatchWait elapsed before the batch filled.
+	FlushTimer = "timer"
+	// FlushDirect: no batching window was configured; the call ran alone.
+	FlushDirect = "direct"
+	// FlushClose: Close flushed a still-open batch during shutdown.
+	FlushClose = "close"
+)
+
+// FlushInfo describes the engine batch a coalesced call was answered in —
+// the slow-query log's view of what the request shared its fate with.
+type FlushInfo struct {
+	// Size is how many queries the flushed batch carried.
+	Size int
+	// Reason is why the batch flushed: one of the Flush* constants.
+	Reason string
+	// RequestIDs holds the request IDs coalesced into the batch, capped at
+	// coalesceTracedIDs entries to bound the log line.
+	RequestIDs []string
+}
+
+// coalesceTracedIDs caps FlushInfo.RequestIDs.
+const coalesceTracedIDs = 16
 
 // batchKey groups coalescable calls: queries answer as one engine batch
 // only if they share the operation and its parameter. The radius is keyed
@@ -70,12 +102,14 @@ type batchKey struct {
 // pendingBatch accumulates the queries of one future engine batch. Appends
 // happen under the coalescer lock while the batch is in the pending map;
 // the flusher removes it from the map (under the same lock) before reading
-// qs, so flush needs no further synchronisation. done closes after out and
-// err are set.
+// qs, so flush needs no further synchronisation. done closes after out,
+// err, and info are set, so waiters read them without locking.
 type pendingBatch struct {
 	qs    []distperm.Point
+	ids   []string // request IDs of the coalesced calls, capped
 	out   [][]distperm.Result
 	err   error
+	info  FlushInfo
 	done  chan struct{}
 	timer *time.Timer
 }
@@ -103,12 +137,26 @@ func NewCoalescer(backend Backend, max int, wait time.Duration) *Coalescer {
 // backend.KNNBatch([]Point{q}, k) with the submission cost shared across
 // the batch it lands in.
 func (c *Coalescer) KNN(q distperm.Point, k int) ([]distperm.Result, error) {
-	return c.enqueue(batchKey{op: 'k', k: k}, q)
+	rs, _, err := c.enqueue(batchKey{op: 'k', k: k}, q, "")
+	return rs, err
 }
 
 // Range answers one range query through the coalescer.
 func (c *Coalescer) Range(q distperm.Point, r float64) ([]distperm.Result, error) {
-	return c.enqueue(batchKey{op: 'r', r: math.Float64bits(r)}, q)
+	rs, _, err := c.enqueue(batchKey{op: 'r', r: math.Float64bits(r)}, q, "")
+	return rs, err
+}
+
+// KNNTraced is KNN carrying the caller's request ID into the batch and
+// reporting, alongside the answer, which flush served it — the tracing
+// surface the server's slow-query log reads.
+func (c *Coalescer) KNNTraced(q distperm.Point, k int, reqID string) ([]distperm.Result, FlushInfo, error) {
+	return c.enqueue(batchKey{op: 'k', k: k}, q, reqID)
+}
+
+// RangeTraced is Range with request-ID tracing; see KNNTraced.
+func (c *Coalescer) RangeTraced(q distperm.Point, r float64, reqID string) ([]distperm.Result, FlushInfo, error) {
+	return c.enqueue(batchKey{op: 'r', r: math.Float64bits(r)}, q, reqID)
 }
 
 // Counters reports how many engine batches have been flushed and how many
@@ -119,11 +167,11 @@ func (c *Coalescer) Counters() (batches, queries int64) {
 	return c.batches, c.queries
 }
 
-func (c *Coalescer) enqueue(key batchKey, q distperm.Point) ([]distperm.Result, error) {
+func (c *Coalescer) enqueue(key batchKey, q distperm.Point, reqID string) ([]distperm.Result, FlushInfo, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrCoalescerClosed
+		return nil, FlushInfo{}, ErrCoalescerClosed
 	}
 	b, open := c.pending[key]
 	if !open {
@@ -138,6 +186,9 @@ func (c *Coalescer) enqueue(key batchKey, q distperm.Point) ([]distperm.Result, 
 	}
 	idx := len(b.qs)
 	b.qs = append(b.qs, q)
+	if reqID != "" && len(b.ids) < coalesceTracedIDs {
+		b.ids = append(b.ids, reqID)
+	}
 	c.queries++
 	full := len(b.qs) >= c.max || !open
 	if full && open {
@@ -151,13 +202,17 @@ func (c *Coalescer) enqueue(key batchKey, q distperm.Point) ([]distperm.Result, 
 		if b.timer != nil {
 			b.timer.Stop()
 		}
-		c.flush(key, b)
+		reason := FlushFull
+		if !open {
+			reason = FlushDirect
+		}
+		c.flush(key, b, reason)
 	}
 	<-b.done
 	if b.err != nil {
-		return nil, b.err
+		return nil, b.info, b.err
 	}
-	return b.out[idx], nil
+	return b.out[idx], b.info, nil
 }
 
 // flushTimed is the wait-window path: flush the batch if the fill path has
@@ -170,13 +225,14 @@ func (c *Coalescer) flushTimed(key batchKey, b *pendingBatch) {
 	}
 	delete(c.pending, key)
 	c.mu.Unlock()
-	c.flush(key, b)
+	c.flush(key, b, FlushTimer)
 }
 
 // flush submits the batch to the backend and wakes its waiters. The caller
 // must have removed b from the pending map (or never published it), so b.qs
 // is frozen here.
-func (c *Coalescer) flush(key batchKey, b *pendingBatch) {
+func (c *Coalescer) flush(key batchKey, b *pendingBatch, reason string) {
+	b.info = FlushInfo{Size: len(b.qs), Reason: reason, RequestIDs: b.ids}
 	defer close(b.done)
 	if key.op == 'k' {
 		b.out, b.err = c.backend.KNNBatch(b.qs, key.k)
@@ -186,6 +242,9 @@ func (c *Coalescer) flush(key batchKey, b *pendingBatch) {
 	c.mu.Lock()
 	c.batches++
 	c.mu.Unlock()
+	if c.OnFlush != nil {
+		c.OnFlush(len(b.qs), reason)
+	}
 }
 
 // Close flushes every pending batch through the backend — callers blocked
@@ -206,6 +265,6 @@ func (c *Coalescer) Close() {
 		if b.timer != nil {
 			b.timer.Stop()
 		}
-		c.flush(key, b)
+		c.flush(key, b, FlushClose)
 	}
 }

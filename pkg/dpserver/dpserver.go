@@ -16,7 +16,10 @@
 //	                cache hits/misses) and, on mutable servers, the write
 //	                path (delta size, tombstones, rebuilds)
 //	GET  /v1/index  what is being served (kind, bits, shards, workers)
-//	GET  /healthz   liveness
+//	GET  /healthz   liveness (200 whenever the process can answer HTTP)
+//	GET  /readyz    readiness (the Gate answers 503 until the index loads)
+//	GET  /metrics   Prometheus text exposition (see the Observability
+//	                section of the README for the metric inventory)
 //
 // The write endpoints are live when the backend is a MutableBackend
 // (distperm.MutableEngine); a read-only server answers them 409. A write
@@ -46,14 +49,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distperm/pkg/distperm"
+	"distperm/pkg/obs"
 )
 
 // Config tunes the serving layers. The zero value serves correctly:
@@ -69,6 +76,15 @@ type Config struct {
 	BatchWait time.Duration
 	// CacheSize bounds the LRU result cache in entries.
 	CacheSize int
+	// Registry receives the server's metric families (exported on
+	// GET /metrics). nil gives the server a private registry, so multiple
+	// servers in one process never collide on registration.
+	Registry *obs.Registry
+	// SlowQuery is the slow-query threshold: single queries slower than
+	// this are logged as one-line JSON records. ≤ 0 disables the log.
+	SlowQuery time.Duration
+	// SlowQueryLog receives the slow-query records; nil means os.Stderr.
+	SlowQueryLog io.Writer
 }
 
 // Server is the HTTP serving layer over one Backend. Create with New or
@@ -88,8 +104,24 @@ type Server struct {
 	// metric panic in a worker. nil skips validation (New without a DB).
 	proto distperm.Point
 
+	metrics *serverMetrics
+	slow    *slowLogger
+	// ridPrefix + ridSeq mint request IDs for requests that arrive without
+	// an X-Request-ID; the prefix keeps IDs unique across server restarts.
+	ridPrefix string
+	ridSeq    atomic.Uint64
+
 	mu sync.Mutex
 	ServerCounters
+}
+
+// ridKey carries the request ID through the handler's context.
+type ridKey struct{}
+
+// requestID returns the ID ServeHTTP assigned to this request.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ridKey{}).(string)
+	return id
 }
 
 // New wraps backend, described by info, in a Server with cfg's coalescer
@@ -98,17 +130,32 @@ func New(backend Backend, info IndexInfo, cfg Config) (*Server, error) {
 	if backend == nil {
 		return nil, fmt.Errorf("dpserver: New requires a backend")
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
-		backend: backend,
-		info:    info,
-		co:      NewCoalescer(backend, cfg.BatchMax, cfg.BatchWait),
-		cache:   NewCache(cfg.CacheSize),
-		mux:     http.NewServeMux(),
+		backend:   backend,
+		info:      info,
+		co:        NewCoalescer(backend, cfg.BatchMax, cfg.BatchWait),
+		cache:     NewCache(cfg.CacheSize),
+		mux:       http.NewServeMux(),
+		ridPrefix: fmt.Sprintf("%x", time.Now().UnixNano()),
 	}
 	s.mutable, _ = backend.(MutableBackend)
 	if s.mutable != nil {
 		s.info.Mutable = true
 	}
+	s.metrics = newServerMetrics(reg, backend, s.mutable, s.cache)
+	s.co.OnFlush = func(size int, reason string) {
+		s.metrics.batchSize.Observe(float64(size))
+		s.metrics.flush(reason).Inc()
+	}
+	slowOut := cfg.SlowQueryLog
+	if slowOut == nil {
+		slowOut = os.Stderr
+	}
+	s.slow = newSlowLogger(cfg.SlowQuery, slowOut, s.metrics.slowQueries)
 	s.mux.HandleFunc("POST /v1/knn", s.handleKNN)
 	s.mux.HandleFunc("POST /v1/range", s.handleRange)
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
@@ -116,8 +163,14 @@ func New(backend Backend, info IndexInfo, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/index", s.handleIndex)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.Handle("GET /metrics", reg)
 	return s, nil
 }
+
+// Registry returns the registry the server's metric families live on, for
+// mounting /metrics on an ops listener alongside the serving port.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // NewFromIndex starts the right engine for idx — a ShardedEngine with
 // workers per shard for a sharded index, a single Engine otherwise — and
@@ -187,12 +240,33 @@ func NewFromMutable(me *distperm.MutableEngine, cfg Config) (*Server, error) {
 // Info returns what the server is serving.
 func (s *Server) Info() IndexInfo { return s.info }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is the instrumentation middleware:
+// every request gets an ID (the client's X-Request-ID, or a minted one),
+// echoed back in the response header and threaded through the handler's
+// context, and is counted into the per-endpoint request/error/latency
+// families and the in-flight gauge.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ep := endpointOf(r.URL.Path)
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = fmt.Sprintf("%s-%d", s.ridPrefix, s.ridSeq.Add(1))
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, reqID))
+
 	s.mu.Lock()
 	s.Requests++
 	s.mu.Unlock()
-	s.mux.ServeHTTP(w, r)
+	s.metrics.request(ep).Inc()
+	s.metrics.inflight.Add(1)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.metrics.inflight.Add(-1)
+	if sw.code >= 400 {
+		s.metrics.error(ep).Inc()
+	}
+	s.metrics.observeLatency(ep, time.Since(start))
 }
 
 // Close flushes the coalescer's pending batches and closes the backend
@@ -237,9 +311,12 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("k=%d out of range 1..%d", req.K, s.info.N))
 		return
 	}
-	s.answer(w, req.Query, req.Queries,
+	s.answer(w, r, slowQueryRecord{Endpoint: "knn", K: req.K},
+		req.Query, req.Queries,
 		func(q distperm.Point) (string, bool) { return knnKey(q, req.K) },
-		func(q distperm.Point) ([]distperm.Result, error) { return s.co.KNN(q, req.K) },
+		func(q distperm.Point, reqID string) ([]distperm.Result, FlushInfo, error) {
+			return s.co.KNNTraced(q, req.K, reqID)
+		},
 		func(qs []distperm.Point) ([][]distperm.Result, error) { return s.backend.KNNBatch(qs, req.K) },
 	)
 }
@@ -254,9 +331,12 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad radius %g", req.R))
 		return
 	}
-	s.answer(w, req.Query, req.Queries,
+	s.answer(w, r, slowQueryRecord{Endpoint: "range", Radius: req.R},
+		req.Query, req.Queries,
 		func(q distperm.Point) (string, bool) { return rangeKey(q, req.R) },
-		func(q distperm.Point) ([]distperm.Result, error) { return s.co.Range(q, req.R) },
+		func(q distperm.Point, reqID string) ([]distperm.Result, FlushInfo, error) {
+			return s.co.RangeTraced(q, req.R, reqID)
+		},
 		func(qs []distperm.Point) ([][]distperm.Result, error) { return s.backend.RangeBatch(qs, req.R) },
 	)
 }
@@ -264,12 +344,15 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 // answer runs the shared request shape of /v1/knn and /v1/range: exactly
 // one of single/batch, points decoded and validated, the single form routed
 // cache → coalescer, the batched form routed straight to the engine.
-func (s *Server) answer(w http.ResponseWriter,
+// Computed (non-cache-hit) answers are timed against the slow-query
+// threshold; rec arrives with the endpoint and its parameter filled in.
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, rec slowQueryRecord,
 	single json.RawMessage, batch []json.RawMessage,
 	key func(distperm.Point) (string, bool),
-	one func(distperm.Point) ([]distperm.Result, error),
+	one func(q distperm.Point, reqID string) ([]distperm.Result, FlushInfo, error),
 	many func([]distperm.Point) ([][]distperm.Result, error),
 ) {
+	rec.RequestID = requestID(r)
 	switch {
 	case single != nil && batch != nil:
 		s.fail(w, http.StatusBadRequest, `"query" and "queries" are mutually exclusive`)
@@ -289,11 +372,16 @@ func (s *Server) answer(w http.ResponseWriter,
 		// while the query runs, the stamp no longer matches and the Put is
 		// dropped, so the cache cannot serve the pre-mutation answer.
 		gen := s.cache.Generation()
-		rs, err := one(q)
+		evals, start := s.traceStart()
+		rs, fi, err := one(q, rec.RequestID)
 		if err != nil {
 			s.fail(w, backendErrorCode(err), err.Error())
 			return
 		}
+		rec.BatchSize = fi.Size
+		rec.FlushReason = fi.Reason
+		rec.CoalescedIDs = fi.RequestIDs
+		s.traceEnd(rec, evals, start)
 		if cacheable {
 			s.cache.Put(k, gen, rs)
 		}
@@ -309,11 +397,14 @@ func (s *Server) answer(w http.ResponseWriter,
 			}
 			qs[i] = q
 		}
+		evals, start := s.traceStart()
 		outs, err := many(qs)
 		if err != nil {
 			s.fail(w, backendErrorCode(err), err.Error())
 			return
 		}
+		rec.Queries = len(qs)
+		s.traceEnd(rec, evals, start)
 		batches := make([][]Result, len(outs))
 		for i, rs := range outs {
 			batches[i] = toWire(rs)
@@ -323,6 +414,32 @@ func (s *Server) answer(w http.ResponseWriter,
 	default:
 		s.fail(w, http.StatusBadRequest, `one of "query" or "queries" is required`)
 	}
+}
+
+// traceStart opens a slow-query measurement: the engine's distance-eval
+// counter (so the record can report the evals this query's batch spent)
+// and the clock. Free when the slow-query log is disabled.
+func (s *Server) traceStart() (evalsBefore int64, start time.Time) {
+	if !s.slow.enabled() {
+		return 0, time.Time{}
+	}
+	return s.backend.Stats().DistanceEvals, time.Now()
+}
+
+// traceEnd closes the measurement and emits the record if over threshold.
+// The evals figure is a process-wide delta, so concurrent queries inflate
+// each other's — it bounds, rather than isolates, this query's work.
+func (s *Server) traceEnd(rec slowQueryRecord, evalsBefore int64, start time.Time) {
+	if !s.slow.enabled() {
+		return
+	}
+	d := time.Since(start)
+	if d < s.slow.threshold {
+		return
+	}
+	rec.Shards = s.info.Shards
+	rec.Evals = s.backend.Stats().DistanceEvals - evalsBefore
+	s.slow.emit(rec, d)
 }
 
 // decodePoint decodes a wire point and checks it against the database's
@@ -486,6 +603,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	counters.CacheHits = hits
 	counters.CacheMisses = misses
 	counters.CacheEntries = entries
+	counters.CacheEvictions = s.cache.Evictions()
 	counters.CacheInvalidations = s.cache.Invalidations()
 	resp := StatsResponse{Engine: statsWire(s.backend.Stats()), Server: counters}
 	if s.mutable != nil {
@@ -501,6 +619,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleReady is the readiness half of the liveness/readiness split: a
+// request reaching a running Server is by definition ready (the Gate
+// answers 503 for it while the index is still loading).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ready"}`)
 }
 
 func (s *Server) ok(w http.ResponseWriter, body any) {

@@ -12,10 +12,13 @@ import (
 // Gate is the bind-first front of a daemon: it owns the listening socket
 // from before the index exists, so a restarting process exposes its port
 // immediately — orchestrators see a live socket, not connection refused —
-// and answers every request 503 Service Unavailable until SetReady hands it
-// a Server. /healthz is deliberately gated too: a not-ready daemon reports
-// {"status":"loading"} with a 503, the explicit not-ready → ready transition
-// load balancers key on. Once ready the Gate is a transparent proxy to the
+// and answers requests 503 Service Unavailable until SetReady hands it a
+// Server. The split between the probes is deliberate: /healthz is liveness
+// and answers 200 {"status":"ok"} the moment the socket is bound (the
+// process is alive and loading, don't restart it), while /readyz — and
+// every other path — reports {"status":"loading"} with a 503 until the
+// index is served, the explicit not-ready → ready transition load
+// balancers key on. Once ready the Gate is a transparent proxy to the
 // Server, readiness checked with one atomic load per request.
 type Gate struct {
 	srv atomic.Pointer[Server]
@@ -63,14 +66,19 @@ func (g *Gate) server() *Server {
 	return nil
 }
 
-// ServeHTTP implements http.Handler: 503 {"status":"loading"} before
-// SetReady, the Server afterwards.
+// ServeHTTP implements http.Handler: before SetReady, /healthz answers 200
+// (liveness) and everything else 503 {"status":"loading"}; afterwards the
+// Server handles the request.
 func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s := g.server(); s != nil {
 		s.ServeHTTP(w, r)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Path == "/healthz" {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+		return
+	}
 	w.Header().Set("Retry-After", "1")
 	w.WriteHeader(http.StatusServiceUnavailable)
 	fmt.Fprintln(w, `{"status":"loading"}`)

@@ -37,10 +37,11 @@ func gateServer(t *testing.T) *dpserver.Server {
 	return srv
 }
 
-// TestGateNotReadyThenReady pins the daemon's readiness contract: the bound
-// socket answers from the start, every endpoint — health checks included —
-// says 503 {"status":"loading"} until the store is published, and flips to
-// real answers the moment it is.
+// TestGateNotReadyThenReady pins the daemon's liveness/readiness contract:
+// the bound socket answers from the start, /healthz reports alive (200)
+// throughout, and every other endpoint — /readyz included — says 503
+// {"status":"loading"} until the store is published, flipping to real
+// answers the moment it is.
 func TestGateNotReadyThenReady(t *testing.T) {
 	gate := dpserver.NewGate()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -63,11 +64,15 @@ func TestGateNotReadyThenReady(t *testing.T) {
 		return resp.StatusCode, strings.TrimSpace(string(body))
 	}
 
-	// Socket is up, store is not: 503 everywhere, including /healthz.
+	// Socket is up, store is not: alive but not ready. /healthz says 200,
+	// /readyz and the API say 503 loading.
 	if gate.Ready() {
 		t.Fatal("gate ready before SetReady")
 	}
-	for _, path := range []string{"/healthz", "/v1/index"} {
+	if code, body := get("/healthz"); code != http.StatusOK || body != `{"status":"ok"}` {
+		t.Fatalf("not-ready GET /healthz = %d %q, want 200 ok", code, body)
+	}
+	for _, path := range []string{"/readyz", "/v1/index"} {
 		code, body := get(path)
 		if code != http.StatusServiceUnavailable || body != `{"status":"loading"}` {
 			t.Fatalf("not-ready GET %s = %d %q, want 503 loading", path, code, body)
@@ -90,6 +95,9 @@ func TestGateNotReadyThenReady(t *testing.T) {
 	}
 	if code, body := get("/healthz"); code != http.StatusOK || body != `{"status":"ok"}` {
 		t.Fatalf("ready /healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || body != `{"status":"ready"}` {
+		t.Fatalf("ready /readyz = %d %q, want 200 ready", code, body)
 	}
 	resp, err = http.Post(base+"/v1/knn", "application/json",
 		strings.NewReader(`{"query":[0.5,0.5,0.5],"k":2}`))

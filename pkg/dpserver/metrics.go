@@ -1,0 +1,235 @@
+package dpserver
+
+import (
+	"net/http"
+	"time"
+
+	"distperm/pkg/distperm"
+	"distperm/pkg/obs"
+)
+
+// The metric families GET /metrics exports. Server-level families carry
+// the dpserver_ prefix; engine, mutation, and mmap families carry
+// distperm_ (they describe the engine layer, whichever server fronts it).
+// CI lints the exposition against these prefixes and the _total/_seconds
+// suffix conventions (obs.Lint).
+
+// endpoints the per-endpoint families are labelled with. Unknown paths
+// fold into "other" so cardinality stays fixed.
+var metricEndpoints = []string{"knn", "range", "insert", "delete", "stats", "index", "metrics", "healthz", "readyz", "other"}
+
+// endpointOf maps a request path to its metric label.
+func endpointOf(path string) string {
+	switch path {
+	case "/v1/knn":
+		return "knn"
+	case "/v1/range":
+		return "range"
+	case "/v1/insert":
+		return "insert"
+	case "/v1/delete":
+		return "delete"
+	case "/v1/stats":
+		return "stats"
+	case "/v1/index":
+		return "index"
+	case "/metrics":
+		return "metrics"
+	case "/healthz":
+		return "healthz"
+	case "/readyz":
+		return "readyz"
+	default:
+		return "other"
+	}
+}
+
+// serverMetrics is the server's registered instrument set. Per-endpoint
+// instruments are pre-registered for every known endpoint so the hot path
+// is a map lookup, never a registration.
+type serverMetrics struct {
+	reg         *obs.Registry
+	requests    map[string]*obs.Counter
+	errors      map[string]*obs.Counter
+	latency     map[string]*obs.Histogram
+	inflight    *obs.Gauge
+	slowQueries *obs.Counter
+	batchSize   *obs.Histogram
+	flushes     map[string]*obs.Counter
+}
+
+// newServerMetrics registers every server-level family on reg and the
+// cache/engine/mutation/mmap families as read-time funcs over their owners.
+func newServerMetrics(reg *obs.Registry, backend Backend, mutable MutableBackend, cache *Cache) *serverMetrics {
+	m := &serverMetrics{
+		reg:      reg,
+		requests: make(map[string]*obs.Counter, len(metricEndpoints)),
+		errors:   make(map[string]*obs.Counter, len(metricEndpoints)),
+		latency:  make(map[string]*obs.Histogram, len(metricEndpoints)),
+		flushes:  make(map[string]*obs.Counter, 4),
+	}
+	for _, ep := range metricEndpoints {
+		ls := obs.Labels{"endpoint": ep}
+		m.requests[ep] = reg.Counter("dpserver_requests_total",
+			"HTTP requests accepted, by endpoint", ls)
+		m.errors[ep] = reg.Counter("dpserver_errors_total",
+			"HTTP requests answered with status >= 400, by endpoint", ls)
+		m.latency[ep] = reg.Histogram("dpserver_request_duration_seconds",
+			"Wall-clock HTTP request latency, by endpoint", obs.DefLatencyBuckets, ls)
+	}
+	m.inflight = reg.Gauge("dpserver_inflight_requests",
+		"HTTP requests currently being served", nil)
+	m.slowQueries = reg.Counter("dpserver_slow_queries_total",
+		"Queries that exceeded the slow-query threshold", nil)
+	m.batchSize = reg.Histogram("dpserver_coalescer_batch_size",
+		"Queries per flushed coalescer batch", obs.DefSizeBuckets, nil)
+	for _, reason := range []string{FlushFull, FlushTimer, FlushDirect, FlushClose} {
+		m.flushes[reason] = reg.Counter("dpserver_coalescer_flushes_total",
+			"Coalescer batch flushes, by reason", obs.Labels{"reason": reason})
+	}
+	// The result cache reads out through funcs: a nil *Cache (cache
+	// disabled) answers zeros through its nil-safe accessors.
+	reg.CounterFunc("dpserver_cache_hits_total",
+		"Result-cache hits", nil,
+		func() float64 { h, _, _ := cache.Counters(); return float64(h) })
+	reg.CounterFunc("dpserver_cache_misses_total",
+		"Result-cache misses", nil,
+		func() float64 { _, ms, _ := cache.Counters(); return float64(ms) })
+	reg.CounterFunc("dpserver_cache_evictions_total",
+		"Result-cache entries evicted by capacity pressure", nil,
+		func() float64 { return float64(cache.Evictions()) })
+	reg.CounterFunc("dpserver_cache_invalidations_total",
+		"Result-cache flushes forced by mutations", nil,
+		func() float64 { return float64(cache.Invalidations()) })
+	reg.GaugeFunc("dpserver_cache_entries",
+		"Result-cache entries currently resident", nil,
+		func() float64 { _, _, n := cache.Counters(); return float64(n) })
+	registerBackendMetrics(reg, backend, mutable)
+	return m
+}
+
+// request/error/latency/flush return the instrument for a label,
+// defaulting to "other" so an unexpected value cannot nil-deref.
+func (m *serverMetrics) request(ep string) *obs.Counter {
+	if c, ok := m.requests[ep]; ok {
+		return c
+	}
+	return m.requests["other"]
+}
+
+func (m *serverMetrics) error(ep string) *obs.Counter {
+	if c, ok := m.errors[ep]; ok {
+		return c
+	}
+	return m.errors["other"]
+}
+
+func (m *serverMetrics) observeLatency(ep string, d time.Duration) {
+	h, ok := m.latency[ep]
+	if !ok {
+		h = m.latency["other"]
+	}
+	h.Observe(d.Seconds())
+}
+
+func (m *serverMetrics) flush(reason string) *obs.Counter {
+	if c, ok := m.flushes[reason]; ok {
+		return c
+	}
+	return m.flushes[FlushDirect]
+}
+
+// latencyBackend and busyBackend are the optional engine surfaces the
+// exporter discovers by type assertion — *distperm.Engine,
+// *distperm.ShardedEngine, and *distperm.MutableEngine provide both, but
+// a minimal custom Backend stays servable without them.
+type latencyBackend interface {
+	LatencySnapshot() obs.HistogramSnapshot
+}
+
+type busyBackend interface {
+	BusyWorkers() int
+}
+
+// registerBackendMetrics exports the engine layer as read-time funcs: a
+// scrape reads live counters, no per-query bookkeeping is added here.
+func registerBackendMetrics(reg *obs.Registry, backend Backend, mutable MutableBackend) {
+	reg.CounterFunc("distperm_engine_queries_total",
+		"Queries the engine has answered", nil,
+		func() float64 { return float64(backend.Stats().Queries) })
+	reg.CounterFunc("distperm_engine_batched_queries_total",
+		"Queries served through the sub-batch fast path", nil,
+		func() float64 { return float64(backend.Stats().BatchedQueries) })
+	reg.CounterFunc("distperm_engine_distance_evals_total",
+		"Distance evaluations spent (the paper's cost model)", nil,
+		func() float64 { return float64(backend.Stats().DistanceEvals) })
+	reg.GaugeFunc("distperm_engine_workers",
+		"Worker goroutines in the engine pool(s)", nil,
+		func() float64 { return float64(backend.Workers()) })
+	if bb, ok := backend.(busyBackend); ok {
+		reg.GaugeFunc("distperm_engine_busy_workers",
+			"Workers currently serving a job", nil,
+			func() float64 { return float64(bb.BusyWorkers()) })
+	}
+	if lb, ok := backend.(latencyBackend); ok {
+		reg.HistogramFunc("distperm_engine_query_duration_seconds",
+			"Per-query engine latency (merged across shards and epochs)", nil,
+			lb.LatencySnapshot)
+	}
+	if mutable != nil {
+		reg.CounterFunc("distperm_mutable_inserts_total",
+			"Accepted inserts", nil,
+			func() float64 { return float64(mutable.MutationStats().Inserts) })
+		reg.CounterFunc("distperm_mutable_deletes_total",
+			"Accepted deletes", nil,
+			func() float64 { return float64(mutable.MutationStats().Deletes) })
+		reg.CounterFunc("distperm_mutable_rebuilds_total",
+			"Completed background rebuilds (epoch swaps)", nil,
+			func() float64 { return float64(mutable.MutationStats().Rebuilds) })
+		reg.CounterFunc("distperm_mutable_rebuild_failures_total",
+			"Rebuilds that failed", nil,
+			func() float64 { return float64(mutable.MutationStats().RebuildFailures) })
+		reg.GaugeFunc("distperm_mutable_delta_size",
+			"Inserted points pending the next rebuild", nil,
+			func() float64 { return float64(mutable.MutationStats().DeltaSize) })
+		reg.GaugeFunc("distperm_mutable_tombstones",
+			"Deleted base points pending the next rebuild", nil,
+			func() float64 { return float64(mutable.MutationStats().Tombstones) })
+		reg.GaugeFunc("distperm_mutable_pending_writes",
+			"Rebuild backlog: delta size plus tombstones", nil,
+			func() float64 { return float64(mutable.MutationStats().PendingWrites) })
+		reg.GaugeFunc("distperm_mutable_live_points",
+			"Logical live point count", nil,
+			func() float64 { return float64(mutable.MutationStats().LiveN) })
+		reg.GaugeFunc("distperm_mutable_last_rebuild_seconds",
+			"Duration of the most recent successful rebuild", nil,
+			func() float64 { return mutable.MutationStats().LastRebuild.Seconds() })
+	}
+	reg.CounterFunc("distperm_mmap_opens_total",
+		"Frozen-container opens (process-wide)", nil,
+		func() float64 { return float64(distperm.ReadMmapStats().Opens) })
+	reg.CounterFunc("distperm_mmap_zero_copy_opens_total",
+		"Opens served as true zero-copy mappings", nil,
+		func() float64 { return float64(distperm.ReadMmapStats().ZeroCopyOpens) })
+	reg.CounterFunc("distperm_mmap_checksum_failures_total",
+		"Containers rejected for a section-checksum mismatch", nil,
+		func() float64 { return float64(distperm.ReadMmapStats().ChecksumFailures) })
+	reg.GaugeFunc("distperm_mmap_mapped_bytes",
+		"Bytes currently memory-mapped from frozen containers", nil,
+		func() float64 { return float64(distperm.ReadMmapStats().MappedBytes) })
+	reg.HistogramFunc("distperm_mmap_open_duration_seconds",
+		"Frozen-container open latency", nil,
+		func() obs.HistogramSnapshot { return distperm.ReadMmapStats().OpenLatency })
+}
+
+// statusWriter captures the response status so ServeHTTP can count
+// errors per endpoint after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

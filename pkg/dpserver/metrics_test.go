@@ -1,0 +1,349 @@
+package dpserver_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distperm/internal/dataset"
+	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
+	"distperm/pkg/obs"
+)
+
+// scrape fetches /metrics and parses it with the strict exposition parser,
+// so every test of metric content also validates the wire format.
+func scrape(t *testing.T, base string) map[string]obs.Family {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text v0.0.4", ct)
+	}
+	fams, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v", err)
+	}
+	byName := make(map[string]obs.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	return byName
+}
+
+// sampleValue returns the value of the sample in fam matching every given
+// label, failing if absent.
+func sampleValue(t *testing.T, fams map[string]obs.Family, name string, labels map[string]string) float64 {
+	t.Helper()
+	fam, ok := fams[name]
+	if !ok {
+		t.Fatalf("family %s missing from /metrics", name)
+	}
+outer:
+	for _, s := range fam.Samples {
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue outer
+			}
+		}
+		return s.Value
+	}
+	t.Fatalf("family %s has no sample with labels %v", name, labels)
+	return 0
+}
+
+// histCount returns the _count sample of the named histogram family
+// matching the given labels (the parser groups _bucket/_sum/_count under
+// the base family name).
+func histCount(t *testing.T, fams map[string]obs.Family, name string, labels map[string]string) float64 {
+	t.Helper()
+	fam, ok := fams[name]
+	if !ok {
+		t.Fatalf("histogram family %s missing from /metrics", name)
+	}
+outer:
+	for _, s := range fam.Samples {
+		if s.Name != name+"_count" {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue outer
+			}
+		}
+		return s.Value
+	}
+	t.Fatalf("histogram %s has no _count with labels %v", name, labels)
+	return 0
+}
+
+// TestMetricsEndpoint drives traffic through every serving layer and then
+// checks /metrics reports it: per-endpoint requests and latency, cache
+// hits/misses, coalescer flushes, engine queries and evals, and the shared
+// histogram shape invariants — all through the strict parser, so the
+// exposition format itself is under test too.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _, queries := testServer(t, 77, 300, 4, dpserver.Config{BatchMax: 4, BatchWait: time.Millisecond, CacheSize: 8})
+
+	post := func(path, body string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	enc := func(q distperm.Point) string {
+		raw, err := dpserver.EncodePoint(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	const reps = 20
+	for i := 0; i < reps; i++ {
+		post("/v1/knn", fmt.Sprintf(`{"query":%s,"k":3}`, enc(queries[i])))
+	}
+	// The most recent query again: a cache hit (earlier entries may have
+	// been evicted by the LRU's 8-entry cap).
+	post("/v1/knn", fmt.Sprintf(`{"query":%s,"k":3}`, enc(queries[reps-1])))
+	post("/v1/range", fmt.Sprintf(`{"query":%s,"r":0.5}`, enc(queries[1])))
+	// One error: bad body.
+	post("/v1/knn", `{"k":0}`)
+
+	fams := scrape(t, ts.URL)
+
+	if v := sampleValue(t, fams, "dpserver_requests_total", map[string]string{"endpoint": "knn"}); v != reps+2 {
+		t.Errorf("knn requests_total = %g, want %d", v, reps+2)
+	}
+	if v := sampleValue(t, fams, "dpserver_requests_total", map[string]string{"endpoint": "range"}); v != 1 {
+		t.Errorf("range requests_total = %g, want 1", v)
+	}
+	if v := sampleValue(t, fams, "dpserver_errors_total", map[string]string{"endpoint": "knn"}); v != 1 {
+		t.Errorf("knn errors_total = %g, want 1", v)
+	}
+	if v := sampleValue(t, fams, "dpserver_cache_hits_total", nil); v != 1 {
+		t.Errorf("cache hits = %g, want 1", v)
+	}
+	if v := sampleValue(t, fams, "dpserver_cache_misses_total", nil); v < reps {
+		t.Errorf("cache misses = %g, want >= %d", v, reps)
+	}
+	// Latency histogram: count matches requests, served through the parser's
+	// bucket-monotonicity checks already.
+	if v := histCount(t, fams, "dpserver_request_duration_seconds", map[string]string{"endpoint": "knn"}); v != reps+2 {
+		t.Errorf("knn latency count = %g, want %d", v, reps+2)
+	}
+	// Engine families: every non-cached single query reached the engine.
+	if v := sampleValue(t, fams, "distperm_engine_queries_total", nil); v < reps {
+		t.Errorf("engine queries = %g, want >= %d", v, reps)
+	}
+	if v := sampleValue(t, fams, "distperm_engine_distance_evals_total", nil); v <= 0 {
+		t.Errorf("engine evals = %g, want > 0", v)
+	}
+	if v := histCount(t, fams, "distperm_engine_query_duration_seconds", nil); v < reps {
+		t.Errorf("engine latency count = %g, want >= %d", v, reps)
+	}
+	// Coalescer: flush counts across reasons equal the batch-size samples.
+	var flushes float64
+	for _, s := range fams["dpserver_coalescer_flushes_total"].Samples {
+		flushes += s.Value
+	}
+	if batches := histCount(t, fams, "dpserver_coalescer_batch_size", nil); batches != flushes {
+		t.Errorf("batch_size count %g != flush total %g", batches, flushes)
+	}
+	// /v1/stats still carries the same counters (JSON surface unchanged).
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Server struct {
+			Requests  int64 `json:"requests"`
+			CacheHits int64 `json:"cache_hits"`
+		} `json:"server"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server.CacheHits != 1 {
+		t.Errorf("/v1/stats cache_hits = %d, want 1", stats.Server.CacheHits)
+	}
+}
+
+// TestMetricNamingConventions lints the live server exposition: every
+// family carries a known prefix, counters end in _total, histograms in a
+// unit suffix, and every family has help text.
+func TestMetricNamingConventions(t *testing.T) {
+	_, ts, _, queries := testServer(t, 78, 200, 3, dpserver.Config{CacheSize: 4})
+	raw, err := dpserver.EncodePoint(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/knn", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"query":%s,"k":2}`, string(raw))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	fams, err := obs.ParsePrometheus(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("no families exported")
+	}
+	if problems := obs.Lint(fams, []string{"dpserver_", "distperm_"}); len(problems) > 0 {
+		t.Errorf("metric naming problems:\n  %s", strings.Join(problems, "\n  "))
+	}
+}
+
+// TestRequestIDsAndSlowQueryLog pins the tracing contract: the client's
+// X-Request-ID is echoed back and lands in the slow-query log (threshold 0
+// via 1ns, so every query logs), records parse as one-line JSON with the
+// endpoint, parameters, and coalescer batch facts filled in.
+func TestRequestIDsAndSlowQueryLog(t *testing.T) {
+	var logBuf syncBuffer
+	rng := rand.New(rand.NewSource(99))
+	db, err := distperm.NewDB(distperm.L2, dataset.UniformVectors(rng, 200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := distperm.Build(db, distperm.Spec{Index: "distperm", K: 6, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dpserver.NewFromIndex(db, idx, 2, dpserver.Config{
+		SlowQuery:    time.Nanosecond,
+		SlowQueryLog: &logBuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	raw, _ := dpserver.EncodePoint(dataset.UniformVectors(rng, 1, 3)[0])
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/knn",
+		strings.NewReader(fmt.Sprintf(`{"query":%s,"k":3}`, string(raw))))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-me-42" {
+		t.Fatalf("X-Request-ID echoed as %q, want trace-me-42", got)
+	}
+
+	// A request without an ID gets one minted.
+	resp, err = http.Post(ts.URL+"/v1/knn", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"query":%s,"k":3}`, string(raw))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	minted := resp.Header.Get("X-Request-ID")
+	if minted == "" {
+		t.Fatal("no X-Request-ID minted")
+	}
+
+	var records []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(logBuf.String()))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("slow-query line is not JSON: %q: %v", line, err)
+		}
+		records = append(records, rec)
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d slow-query records, want 2:\n%s", len(records), logBuf.String())
+	}
+	first := records[0]
+	if first["request_id"] != "trace-me-42" {
+		t.Errorf("record request_id = %v, want trace-me-42", first["request_id"])
+	}
+	if first["endpoint"] != "knn" {
+		t.Errorf("record endpoint = %v, want knn", first["endpoint"])
+	}
+	if k, _ := first["k"].(float64); k != 3 {
+		t.Errorf("record k = %v, want 3", first["k"])
+	}
+	if d, _ := first["duration_ms"].(float64); d <= 0 {
+		t.Errorf("record duration_ms = %v, want > 0", first["duration_ms"])
+	}
+	if _, ok := first["flush_reason"].(string); !ok {
+		t.Errorf("record has no flush_reason: %v", first)
+	}
+	if records[1]["request_id"] != minted {
+		t.Errorf("second record request_id = %v, want minted %q", records[1]["request_id"], minted)
+	}
+}
+
+// TestMetricsSharedRegistry: two servers can publish side by side on one
+// caller-owned registry only if it is not shared — the default private
+// registry means constructing many servers in-process never panics on
+// duplicate registration.
+func TestMetricsSharedRegistry(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		_, ts, _, _ := testServer(t, int64(80+i), 100, 3, dpserver.Config{})
+		fams := scrape(t, ts.URL)
+		if _, ok := fams["dpserver_requests_total"]; !ok {
+			t.Fatalf("server %d missing dpserver_requests_total", i)
+		}
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the logger's concurrent writes.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

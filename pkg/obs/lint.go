@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lint checks parsed families against the repo's naming conventions:
+// every family name carries one of the allowed prefixes, counters end in
+// _total, histograms end in a unit suffix (_seconds, _bytes, _size), and
+// gauges never end in _total. Returns one message per violation; an
+// empty slice means the exposition is clean. CI runs this against the
+// live /metrics output.
+func Lint(fams []Family, prefixes []string) []string {
+	var problems []string
+	for _, f := range fams {
+		if !validName(f.Name) {
+			problems = append(problems, fmt.Sprintf("%s: invalid metric name", f.Name))
+			continue
+		}
+		prefixed := false
+		for _, p := range prefixes {
+			if strings.HasPrefix(f.Name, p) {
+				prefixed = true
+				break
+			}
+		}
+		if !prefixed {
+			problems = append(problems,
+				fmt.Sprintf("%s: missing required prefix (one of %s)", f.Name, strings.Join(prefixes, ", ")))
+		}
+		switch f.Type {
+		case "counter":
+			if !strings.HasSuffix(f.Name, "_total") {
+				problems = append(problems, fmt.Sprintf("%s: counter must end in _total", f.Name))
+			}
+		case "gauge":
+			if strings.HasSuffix(f.Name, "_total") {
+				problems = append(problems, fmt.Sprintf("%s: gauge must not end in _total", f.Name))
+			}
+		case "histogram":
+			if !strings.HasSuffix(f.Name, "_seconds") &&
+				!strings.HasSuffix(f.Name, "_bytes") &&
+				!strings.HasSuffix(f.Name, "_size") {
+				problems = append(problems,
+					fmt.Sprintf("%s: histogram must end in a unit suffix (_seconds, _bytes, _size)", f.Name))
+			}
+		}
+		if f.Help == "" {
+			problems = append(problems, fmt.Sprintf("%s: missing HELP text", f.Name))
+		}
+	}
+	return problems
+}

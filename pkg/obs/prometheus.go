@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format v0.0.4, families sorted by name, one # HELP / # TYPE
+// header per family. Func-backed series are read at write time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch f.typ {
+	case typeCounter:
+		v := s.fn
+		if v == nil {
+			c := s.counter
+			v = func() float64 { return float64(c.Value()) }
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels, "", 0), formatFloat(v()))
+	case typeGauge:
+		v := s.fn
+		if v == nil {
+			g := s.gauge
+			v = func() float64 { return g.Value() }
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels, "", 0), formatFloat(v()))
+	case typeHistogram:
+		var snap HistogramSnapshot
+		if s.histFn != nil {
+			snap = s.histFn()
+		} else {
+			snap = s.hist.Snapshot()
+		}
+		var cum uint64
+		for i, edge := range snap.Edges {
+			if i < len(snap.Buckets) {
+				cum += snap.Buckets[i]
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(s.labels, "le", edge), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(s.labels, "le", math.Inf(1)), snap.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(s.labels, "", 0), formatFloat(snap.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels, "", 0), snap.Count)
+	}
+}
+
+// formatLabels renders {k="v",...} with keys sorted, appending an `le`
+// label when leKey is non-empty. Returns "" for an empty set.
+func formatLabels(ls Labels, leKey string, le float64) string {
+	if len(ls) == 0 && leKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(ls[k]))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a value the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -692,3 +692,27 @@ func BenchmarkAblationPermDistance(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWALAppend prices durability: one insert record appended to the
+// write-ahead log under each sync policy. always pays an fsync inside
+// every acknowledged write (the crash-safe default), interval amortises
+// the fsync over a background timer, never leaves persistence to the OS
+// page cache — the measured gap is exactly what -wal-sync trades away.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, sync := range []distperm.SyncPolicy{distperm.SyncAlways, distperm.SyncInterval, distperm.SyncNever} {
+		b.Run("sync="+sync.String(), func(b *testing.B) {
+			w, err := distperm.OpenWAL(b.TempDir(), distperm.WALOptions{Sync: sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			p := distperm.Vector{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(distperm.WALRecord{Op: distperm.WALInsert, GID: i, Point: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -95,6 +95,13 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines per engine pool (0 = NumCPU)")
 		rebuild   = flag.Int("rebuild-threshold", 0, "enable the live write path (POST /v1/insert, /v1/delete): background-rebuild the index once this many writes are pending (0 serves read-only)")
 
+		// Durability: crash-safe writes through a write-ahead log.
+		walDir     = flag.String("wal", "", "write-ahead log directory: log every write before acknowledging it, and recover on startup (newest checkpoint + log tail replay); implies the live write path. Restart with the same dataset/index flags — without a checkpoint, replay rebuilds the base from them")
+		walSync    = flag.String("wal-sync", "always", "wal durability: always (fsync before every ack), interval (background fsync), never (OS page cache only — survives kill -9, not power loss)")
+		walEvery   = flag.Duration("wal-sync-interval", 50*time.Millisecond, "background fsync period under -wal-sync interval")
+		walSegment = flag.Int64("wal-segment", 64<<20, "rotate wal segments at this many bytes")
+		walCkpt    = flag.Int64("wal-checkpoint", 0, "also write a checkpoint once this many records accumulate past the last one (0 = checkpoint only when a rebuild folds the delta)")
+
 		// Serving.
 		addr      = flag.String("addr", ":7411", "HTTP listen address")
 		batchMax  = flag.Int("batch-max", 64, "coalescer: flush a pending batch at this many queries")
@@ -183,10 +190,20 @@ func main() {
 		defer f.Close()
 		serving.SlowQueryLog = f
 	}
+	syncPolicy, err := distperm.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := daemonConfig{
 		Index: *index, K: *k, Load: *load, Mmap: *mmapFlag,
 		Shards: *shards, Partition: *partition, Workers: *workers,
 		RebuildThreshold: *rebuild,
+		WALDir:           *walDir,
+		WALSync:          syncPolicy,
+		WALSyncInterval:  *walEvery,
+		WALSegment:       *walSegment,
+		WALCheckpoint:    *walCkpt,
 		Serving:          serving,
 	}
 
@@ -347,6 +364,11 @@ type daemonConfig struct {
 	Partition        string
 	Workers          int
 	RebuildThreshold int
+	WALDir           string
+	WALSync          distperm.SyncPolicy
+	WALSyncInterval  time.Duration
+	WALSegment       int64
+	WALCheckpoint    int64
 	Serving          dpserver.Config
 }
 
@@ -370,8 +392,43 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 		store  *distperm.Store
 		src    string
 		heapDB bool // db lives on the heap, not inside store's mapping
+
+		wal        *distperm.WAL
+		walFromSeq uint64
+		fromCkpt   bool
 	)
-	if cfg.Mmap {
+	if cfg.WALDir != "" {
+		var err error
+		wal, err = distperm.OpenWAL(cfg.WALDir, distperm.WALOptions{
+			Sync: cfg.WALSync, SyncInterval: cfg.WALSyncInterval, SegmentBytes: cfg.WALSegment,
+		})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		ck, err := wal.LoadCheckpoint()
+		if err != nil {
+			wal.Close()
+			return nil, "", nil, fmt.Errorf("wal recovery: %w", err)
+		}
+		if ck != nil {
+			// The checkpoint is self-contained: its database and "mutable"
+			// container replace the dataset/-load boot entirely, and replay
+			// resumes from the sequence it covers.
+			db, idx = ck.Snapshot.DB(), ck.Snapshot
+			walFromSeq, fromCkpt = ck.Seq, true
+			src = fmt.Sprintf("%s checkpoint (seq %d)", cfg.WALDir, ck.Seq)
+		}
+	}
+	// On any failure below the open log must not stay held.
+	walOK := false
+	defer func() {
+		if wal != nil && !walOK {
+			wal.Close()
+		}
+	}()
+	switch {
+	case fromCkpt: // store recovered above
+	case cfg.Mmap:
 		if cfg.Load == "" {
 			return nil, "", nil, fmt.Errorf("-mmap needs -load <container>")
 		}
@@ -396,7 +453,7 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 		}
 		cleanup = func() { store.Close() }
 		db, idx = store.DB, store.Index
-	} else {
+	default:
 		ds, err := loadDS()
 		if err != nil {
 			return nil, "", nil, err
@@ -406,8 +463,9 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 			return nil, "", nil, err
 		}
 	}
+	mutable := cfg.RebuildThreshold > 0 || wal != nil
 	var p distperm.Partitioner
-	if cfg.Shards > 1 || cfg.RebuildThreshold > 0 {
+	if cfg.Shards > 1 || mutable {
 		var err error
 		if p, err = distperm.PartitionerByName(cfg.Partition); err != nil {
 			return nil, "", nil, err
@@ -415,7 +473,7 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 	}
 	var err error
 	switch {
-	case idx != nil: // mapped above
+	case idx != nil: // mapped or checkpoint-recovered above
 	case cfg.Load != "":
 		f, err := os.Open(cfg.Load)
 		if err != nil {
@@ -436,7 +494,7 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 			return nil, "", nil, err
 		}
 	}
-	if cfg.RebuildThreshold <= 0 {
+	if !mutable {
 		srv, err := dpserver.NewFromIndex(db, idx, cfg.Workers, cfg.Serving)
 		if err != nil {
 			cleanup()
@@ -460,18 +518,18 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 		// the final cleanup.
 		mcfg.BaseRelease = func() { store.Close() }
 	}
-	if cfg.Load != "" {
-		// Rebuilds of a loaded store keep the loaded shape (kind and
-		// pivot/site count) rather than following the possibly-defaulted
-		// -index/-k flags: resuming a store must not silently rebuild it
-		// into a different index.
+	if cfg.Load != "" || fromCkpt {
+		// Rebuilds of a loaded or checkpoint-recovered store keep the
+		// loaded shape (kind and pivot/site count) rather than following
+		// the possibly-defaulted -index/-k flags: resuming a store must not
+		// silently rebuild it into a different index.
 		mcfg.Spec = inferSpec(idx)
 		mcfg.Spec.Seed = rng.Int63()
 	}
 	if cfg.Shards > 1 {
 		mcfg.Shards = cfg.Shards
 		mcfg.Partitioner = p
-	} else if sx := shardedBase(idx); cfg.Load != "" && sx != nil {
+	} else if sx := shardedBase(idx); (cfg.Load != "" || fromCkpt) && sx != nil {
 		// A loaded sharded store stays sharded across rebuilds even when
 		// -shards was not repeated on the command line. The partition map
 		// in the container carries no strategy name, so placement follows
@@ -491,12 +549,77 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 		cleanup()
 		return nil, "", nil, err
 	}
+	if wal != nil {
+		// Recovery order matters: replay the log tail into the engine first
+		// (the engine is not attached yet, so replayed records are not
+		// re-appended), then attach so new writes log before acknowledging.
+		applied, skipped, rerr := me.ReplayWAL(wal, walFromSeq)
+		if rerr == nil {
+			rerr = me.AttachWAL(wal)
+		}
+		if rerr != nil {
+			me.Close()
+			cleanup()
+			return nil, "", nil, fmt.Errorf("wal recovery: %w", rerr)
+		}
+		src = fmt.Sprintf("%s, wal %s (replayed %d records, skipped %d, sync %s)",
+			src, cfg.WALDir, applied, skipped, cfg.WALSync)
+	}
 	srv, err := dpserver.NewFromMutable(me, cfg.Serving)
 	if err != nil {
 		me.Close()
 		return nil, "", nil, err
 	}
+	if wal != nil {
+		// The checkpointer folds the log behind durable snapshots; cleanup
+		// (after the serve drain, when the engine is closed) stops it and
+		// closes the log last.
+		stopCkpt := make(chan struct{})
+		go runCheckpoints(me, wal, cfg.WALCheckpoint, stopCkpt)
+		prev := cleanup
+		cleanup = func() {
+			close(stopCkpt)
+			prev()
+			wal.Close()
+		}
+		walOK = true
+	}
 	return srv, src, cleanup, nil
+}
+
+// runCheckpoints folds the write-ahead log behind durable snapshots: after
+// every background rebuild (the delta is freshly folded, so the snapshot
+// is at its smallest) and, when recordEvery > 0, once that many records
+// accumulate past the last checkpoint. Each checkpoint prunes the log
+// segments and checkpoint files it supersedes.
+func runCheckpoints(me *distperm.MutableEngine, wal *distperm.WAL, recordEvery int64, stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	var lastRebuilds int64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		ms := me.MutationStats()
+		ws := me.WALStats()
+		need := ms.Rebuilds > lastRebuilds
+		if recordEvery > 0 && ws.Seq-ws.CheckpointSeq >= uint64(recordEvery) {
+			need = true
+		}
+		if !need {
+			continue
+		}
+		lastRebuilds = ms.Rebuilds
+		snap, seq, err := me.CheckpointSnapshot()
+		if err == nil && seq > ws.CheckpointSeq {
+			err = wal.WriteCheckpoint(snap, seq)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distpermd: wal checkpoint: %v\n", err)
+		}
+	}
 }
 
 // inferSpec derives a rebuild Spec from a loaded index: its kind and, for

@@ -53,6 +53,12 @@ type MutableConfig struct {
 	// on heap, and this hook is where the mapping is unmapped. Rebuilt
 	// bases are heap-owned and need no hook.
 	BaseRelease func()
+	// WAL, if set, receives an append for every mutation before it is
+	// acknowledged, making the write path crash-safe (see OpenWAL). Only
+	// attach a log whose records are already applied — when resuming from a
+	// recovery, replay with ReplayWAL first and use AttachWAL after, or the
+	// replayed records would be appended a second time.
+	WAL *WAL
 }
 
 // mutBackend is the engine surface a snapshot serves base queries on;
@@ -167,6 +173,10 @@ type MutableEngine struct {
 	// writeMu serialises Insert/Delete/rebuild-swap/Close.
 	writeMu sync.Mutex
 	nextGid int
+	// wal, when non-nil, is appended to under writeMu before a mutation
+	// publishes — the durability handshake: no acknowledgement without a
+	// logged record. Set by MutableConfig.WAL or AttachWAL.
+	wal *WAL
 
 	// rebuildMu serialises whole rebuilds (capture → build → swap) against
 	// each other — the background loop and manual Rebuild calls. The swap
@@ -313,6 +323,7 @@ func newMutable(baseDB *DB, baseIdx Index, gids, tombs []int, delta []deltaPoint
 		metric:  baseDB.Metric,
 		proto:   baseDB.Points[0],
 		nextGid: nextGid,
+		wal:     cfg.WAL,
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
@@ -530,6 +541,16 @@ func (m *MutableEngine) Insert(p Point) (int, error) {
 	}
 	s := m.cur
 	gid := m.nextGid
+	// Durability before acknowledgement: the record must be on the log
+	// before the insert becomes visible or the gid is consumed. On append
+	// failure nothing changed — but the WAL itself has poisoned, so the gid
+	// cannot be double-logged by a retry.
+	if m.wal != nil {
+		if err := m.wal.Append(WALRecord{Op: WALInsert, GID: gid, Point: p}); err != nil {
+			m.writeMu.Unlock()
+			return 0, err
+		}
+	}
 	m.nextGid++
 	next := *s
 	// Appending may share the backing array with s.delta; that is safe —
@@ -578,6 +599,12 @@ func (m *MutableEngine) Delete(gid int) error {
 			next.tomb[g] = struct{}{}
 		}
 		next.tomb[gid] = struct{}{}
+	}
+	if m.wal != nil {
+		if err := m.wal.Append(WALRecord{Op: WALDelete, GID: gid}); err != nil {
+			m.writeMu.Unlock()
+			return err
+		}
 	}
 	next.logical--
 	m.publish(&next)
@@ -805,6 +832,14 @@ func (m *MutableEngine) MutationStats() MutationStats {
 // index with the engine, which both only read.
 func (m *MutableEngine) Snapshot() (*MutableIndex, error) {
 	s := m.snapshot()
+	m.writeMu.Lock()
+	nextGid := m.nextGid
+	m.writeMu.Unlock()
+	return m.assemble(s, nextGid)
+}
+
+// assemble builds the serialisable snapshot form of s.
+func (m *MutableEngine) assemble(s *mutSnapshot, nextGid int) (*MutableIndex, error) {
 	pts := append([]Point(nil), s.baseDB.Points...)
 	gids := append([]int(nil), s.gids...)
 	for _, dp := range s.delta {
@@ -816,11 +851,118 @@ func (m *MutableEngine) Snapshot() (*MutableIndex, error) {
 		tombs = append(tombs, g)
 	}
 	sort.Ints(tombs)
-	m.writeMu.Lock()
-	nextGid := m.nextGid
-	m.writeMu.Unlock()
 	full := sisap.NewDB(m.metric, pts)
 	return sisap.NewMutableIndex(full, len(s.gids), s.baseIdx, gids, tombs, nextGid)
+}
+
+// NextGID returns the global ID the next accepted insert would take.
+func (m *MutableEngine) NextGID() int {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	return m.nextGid
+}
+
+// AttachWAL starts logging every subsequent mutation to w. It must only be
+// called while no mutation is being issued, with a log whose records are
+// all already applied to this engine — the boot sequence is OpenWAL →
+// ReplayWAL → AttachWAL → serve. Attaching twice is an error.
+func (m *MutableEngine) AttachWAL(w *WAL) error {
+	if w == nil {
+		return errors.New("distperm: AttachWAL requires a WAL")
+	}
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if m.closed.Load() {
+		return errors.New("distperm: mutable engine is closed")
+	}
+	if m.wal != nil {
+		return errors.New("distperm: a WAL is already attached")
+	}
+	m.wal = w
+	return nil
+}
+
+// ReplayWAL applies every record of w with sequence > fromSeq to the
+// engine, in order. It must run before AttachWAL (an attached log would
+// re-append what it replays). Replay is idempotent against a conservative
+// fromSeq: an insert whose gid the engine already issued is skipped, as is
+// a delete of an unknown gid; an insert that would skip a gid is a gap —
+// evidence of log loss — and errors. Returns applied and skipped counts.
+func (m *MutableEngine) ReplayWAL(w *WAL, fromSeq uint64) (applied, skipped uint64, err error) {
+	m.writeMu.Lock()
+	attached := m.wal != nil
+	m.writeMu.Unlock()
+	if attached {
+		return 0, 0, errors.New("distperm: ReplayWAL must run before AttachWAL")
+	}
+	_, err = w.Replay(fromSeq, func(seq uint64, rec WALRecord) error {
+		switch rec.Op {
+		case WALInsert:
+			next := m.NextGID()
+			if rec.GID < next {
+				skipped++
+				return nil
+			}
+			if rec.GID > next {
+				return fmt.Errorf("distperm: wal seq %d inserts gid %d but engine expects %d — records are missing", seq, rec.GID, next)
+			}
+			gid, err := m.Insert(rec.Point)
+			if err != nil {
+				return fmt.Errorf("distperm: replaying wal seq %d: %w", seq, err)
+			}
+			if gid != rec.GID {
+				return fmt.Errorf("distperm: replaying wal seq %d issued gid %d, record says %d", seq, gid, rec.GID)
+			}
+		case WALDelete:
+			if err := m.Delete(rec.GID); err != nil {
+				if errors.Is(err, ErrUnknownID) {
+					skipped++
+					return nil
+				}
+				return fmt.Errorf("distperm: replaying wal seq %d: %w", seq, err)
+			}
+		default:
+			return fmt.Errorf("distperm: wal seq %d has unknown op %d", seq, rec.Op)
+		}
+		applied++
+		return nil
+	})
+	return applied, skipped, err
+}
+
+// CheckpointSnapshot captures the store and the WAL sequence it covers as
+// one exact cut (both read under the write lock, which every append and
+// publish holds): replaying the log from the returned sequence onto the
+// returned snapshot reproduces the live store. Feed the pair to
+// WAL.WriteCheckpoint.
+func (m *MutableEngine) CheckpointSnapshot() (*MutableIndex, uint64, error) {
+	m.writeMu.Lock()
+	if m.closed.Load() {
+		m.writeMu.Unlock()
+		return nil, 0, errors.New("distperm: mutable engine is closed")
+	}
+	if m.wal == nil {
+		m.writeMu.Unlock()
+		return nil, 0, errors.New("distperm: no WAL attached")
+	}
+	s := m.cur
+	nextGid := m.nextGid
+	seq := m.wal.Seq()
+	m.writeMu.Unlock()
+	mi, err := m.assemble(s, nextGid)
+	return mi, seq, err
+}
+
+// WALStats snapshots the attached log's counters; the zero value (Enabled
+// false) when no WAL is attached.
+func (m *MutableEngine) WALStats() WALStats {
+	m.writeMu.Lock()
+	w := m.wal
+	m.writeMu.Unlock()
+	if w == nil {
+		return WALStats{}
+	}
+	return w.Stats()
 }
 
 // Close stops the rebuilder, waits for superseded engines to drain, and

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"distperm/pkg/distperm"
 )
@@ -158,11 +159,39 @@ type MutationStatsWire struct {
 	LastRebuildError string `json:"last_rebuild_error,omitempty"`
 }
 
+// WALStatsWire mirrors distperm.WALStats on the wire — the durability
+// half of GET /v1/stats, present only when the backend logs writes ahead.
+type WALStatsWire struct {
+	Dir      string `json:"dir"`
+	Sync     string `json:"sync"`
+	Seq      uint64 `json:"seq"`
+	Segments int    `json:"segments"`
+	// AppendedRecords/AppendedBytes count what this process wrote;
+	// ReplayedRecords counts what recovery read back, and Recoveries how
+	// many times the log was opened or replayed over existing state.
+	AppendedRecords    int64  `json:"appended_records"`
+	AppendedBytes      int64  `json:"appended_bytes"`
+	Syncs              int64  `json:"syncs"`
+	ReplayedRecords    int64  `json:"replayed_records"`
+	Recoveries         int64  `json:"recoveries"`
+	TornBytesTruncated int64  `json:"torn_bytes_truncated"`
+	Checkpoints        int64  `json:"checkpoints"`
+	CheckpointSeq      uint64 `json:"checkpoint_seq"`
+	// Fsync latency, in the same dual shape as engine latency.
+	FsyncCount   uint64  `json:"fsyncs"`
+	FsyncP50Nano int64   `json:"fsync_p50_ns"`
+	FsyncP99Nano int64   `json:"fsync_p99_ns"`
+	FsyncP50     string  `json:"fsync_p50"`
+	FsyncP99     string  `json:"fsync_p99"`
+	FsyncMean    float64 `json:"fsync_mean_seconds"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Engine   EngineStatsWire    `json:"engine"`
 	Server   ServerCounters     `json:"server"`
 	Mutation *MutationStatsWire `json:"mutation,omitempty"`
+	WAL      *WALStatsWire      `json:"wal,omitempty"`
 }
 
 // EncodePoint marshals a point into its wire shape: a Vector as a JSON
@@ -228,6 +257,36 @@ func mutationWire(ms distperm.MutationStats) *MutationStatsWire {
 		RebuildFailures:  ms.RebuildFailures,
 		LastRebuildNanos: int64(ms.LastRebuild),
 		LastRebuildError: ms.LastRebuildError,
+	}
+}
+
+// walWire converts a write-ahead-log snapshot to the wire shape (nil when
+// the backend does not log).
+func walWire(ws distperm.WALStats) *WALStatsWire {
+	if !ws.Enabled {
+		return nil
+	}
+	p50 := time.Duration(ws.Fsync.Quantile(0.50) * float64(time.Second))
+	p99 := time.Duration(ws.Fsync.Quantile(0.99) * float64(time.Second))
+	return &WALStatsWire{
+		Dir:                ws.Dir,
+		Sync:               ws.Sync,
+		Seq:                ws.Seq,
+		Segments:           ws.Segments,
+		AppendedRecords:    ws.AppendedRecords,
+		AppendedBytes:      ws.AppendedBytes,
+		Syncs:              ws.Syncs,
+		ReplayedRecords:    ws.ReplayedRecords,
+		Recoveries:         ws.Recoveries,
+		TornBytesTruncated: ws.TornBytesTruncated,
+		Checkpoints:        ws.Checkpoints,
+		CheckpointSeq:      ws.CheckpointSeq,
+		FsyncCount:         ws.Fsync.Count,
+		FsyncP50Nano:       p50.Nanoseconds(),
+		FsyncP99Nano:       p99.Nanoseconds(),
+		FsyncP50:           p50.String(),
+		FsyncP99:           p99.String(),
+		FsyncMean:          ws.Fsync.Mean(),
 	}
 }
 

@@ -608,6 +608,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := StatsResponse{Engine: statsWire(s.backend.Stats()), Server: counters}
 	if s.mutable != nil {
 		resp.Mutation = mutationWire(s.mutable.MutationStats())
+		if wb, ok := s.mutable.(walBackend); ok {
+			resp.WAL = walWire(wb.WALStats())
+		}
 	}
 	s.ok(w, resp)
 }

@@ -151,6 +151,12 @@ type busyBackend interface {
 	BusyWorkers() int
 }
 
+// walBackend is the durability surface: *distperm.MutableEngine provides
+// it, and its stats report Enabled=false when no log is attached.
+type walBackend interface {
+	WALStats() distperm.WALStats
+}
+
 // registerBackendMetrics exports the engine layer as read-time funcs: a
 // scrape reads live counters, no per-query bookkeeping is added here.
 func registerBackendMetrics(reg *obs.Registry, backend Backend, mutable MutableBackend) {
@@ -204,6 +210,41 @@ func registerBackendMetrics(reg *obs.Registry, backend Backend, mutable MutableB
 		reg.GaugeFunc("distperm_mutable_last_rebuild_seconds",
 			"Duration of the most recent successful rebuild", nil,
 			func() float64 { return mutable.MutationStats().LastRebuild.Seconds() })
+	}
+	if wb, ok := mutable.(walBackend); ok && wb.WALStats().Enabled {
+		reg.CounterFunc("distperm_wal_appended_records_total",
+			"WAL records appended (logged before the write was acknowledged)", nil,
+			func() float64 { return float64(wb.WALStats().AppendedRecords) })
+		reg.CounterFunc("distperm_wal_appended_bytes_total",
+			"WAL bytes appended", nil,
+			func() float64 { return float64(wb.WALStats().AppendedBytes) })
+		reg.CounterFunc("distperm_wal_syncs_total",
+			"WAL fsync calls issued by the active sync policy", nil,
+			func() float64 { return float64(wb.WALStats().Syncs) })
+		reg.CounterFunc("distperm_wal_replayed_records_total",
+			"WAL records replayed into the engine during startup recovery", nil,
+			func() float64 { return float64(wb.WALStats().ReplayedRecords) })
+		reg.CounterFunc("distperm_wal_recoveries_total",
+			"WAL open/replay recovery passes", nil,
+			func() float64 { return float64(wb.WALStats().Recoveries) })
+		reg.CounterFunc("distperm_wal_truncated_bytes_total",
+			"Torn trailing bytes truncated from the log during recovery", nil,
+			func() float64 { return float64(wb.WALStats().TornBytesTruncated) })
+		reg.CounterFunc("distperm_wal_checkpoints_total",
+			"Durable checkpoints written", nil,
+			func() float64 { return float64(wb.WALStats().Checkpoints) })
+		reg.GaugeFunc("distperm_wal_seq",
+			"Sequence number of the last logged record", nil,
+			func() float64 { return float64(wb.WALStats().Seq) })
+		reg.GaugeFunc("distperm_wal_checkpoint_seq",
+			"Sequence number covered by the newest checkpoint", nil,
+			func() float64 { return float64(wb.WALStats().CheckpointSeq) })
+		reg.GaugeFunc("distperm_wal_segments",
+			"Log segment files currently retained", nil,
+			func() float64 { return float64(wb.WALStats().Segments) })
+		reg.HistogramFunc("distperm_wal_fsync_duration_seconds",
+			"WAL fsync latency", nil,
+			func() obs.HistogramSnapshot { return wb.WALStats().Fsync })
 	}
 	reg.CounterFunc("distperm_mmap_opens_total",
 		"Frozen-container opens (process-wide)", nil,

@@ -223,6 +223,84 @@ func TestMetricNamingConventions(t *testing.T) {
 	}
 }
 
+// TestServerWALSurface pins the durability observability contract: a
+// WAL-backed mutable server surfaces the log through both /v1/stats (the
+// wal object) and /metrics (the distperm_wal_ families, which must also
+// pass the naming lint).
+func TestServerWALSurface(t *testing.T) {
+	w, err := distperm.OpenWAL(t.TempDir(), distperm.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, points := mutableServer(t, 41, 150,
+		distperm.MutableConfig{Spec: distperm.Spec{Index: "distperm", K: 6, Seed: 41}, WAL: w},
+		dpserver.Config{CacheSize: 4})
+
+	const writes = 5
+	for i := 0; i < writes; i++ {
+		raw, err := dpserver.EncodePoint(points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/insert", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"point":%s}`, string(raw))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert %d = %d", i, resp.StatusCode)
+		}
+	}
+
+	// JSON surface: /v1/stats carries the wal object with the acked writes
+	// logged and fsynced (default policy is always).
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats dpserver.StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := stats.WAL
+	if ws == nil {
+		t.Fatal("/v1/stats has no wal object on a WAL-backed server")
+	}
+	if ws.Sync != "always" || ws.Seq != writes || ws.AppendedRecords != writes {
+		t.Errorf("wal stats %+v, want sync=always seq=%d appended=%d", ws, writes, writes)
+	}
+	if ws.Syncs < writes || ws.FsyncCount < writes {
+		t.Errorf("sync=always logged %d records with %d syncs / %d fsync samples", writes, ws.Syncs, ws.FsyncCount)
+	}
+
+	// Exposition surface: the wal families exist, agree with the JSON
+	// counters, and pass the same naming lint as everything else.
+	fams := scrape(t, ts.URL)
+	if v := sampleValue(t, fams, "distperm_wal_appended_records_total", nil); v != writes {
+		t.Errorf("wal appended_records_total = %g, want %d", v, writes)
+	}
+	if v := sampleValue(t, fams, "distperm_wal_replayed_records_total", nil); v != 0 {
+		t.Errorf("wal replayed_records_total = %g on a fresh log, want 0", v)
+	}
+	if v := sampleValue(t, fams, "distperm_wal_seq", nil); v != writes {
+		t.Errorf("wal seq = %g, want %d", v, writes)
+	}
+	if v := histCount(t, fams, "distperm_wal_fsync_duration_seconds", nil); v < writes {
+		t.Errorf("wal fsync histogram count = %g, want >= %d", v, writes)
+	}
+	var famList []obs.Family
+	for _, f := range fams {
+		famList = append(famList, f)
+	}
+	if problems := obs.Lint(famList, []string{"dpserver_", "distperm_"}); len(problems) > 0 {
+		t.Errorf("metric naming problems:\n  %s", strings.Join(problems, "\n  "))
+	}
+}
+
 // TestRequestIDsAndSlowQueryLog pins the tracing contract: the client's
 // X-Request-ID is echoed back and lands in the slow-query log (threshold 0
 // via 1ns, so every query logs), records parse as one-line JSON with the

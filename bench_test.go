@@ -663,6 +663,102 @@ func BenchmarkOpenContainer(b *testing.B) {
 	b.Run("mode=mmap", func(b *testing.B) { open(b, frozen, distperm.LoadOptions{Mmap: true, DB: db}) })
 }
 
+// approxBench holds the one-time n=200k builds behind BenchmarkApproxKNN:
+// one distance-permutation index per data shape plus the exact top-10
+// answers for a shared query set, so each sub-benchmark can report its
+// measured recall@10 next to its throughput. Shared across sub-benchmarks so
+// the builds and the truth scans happen once per test process.
+var approxBench struct {
+	once    sync.Once
+	idx     map[string]*sisap.PermIndex
+	truth   map[string][][]sisap.Result
+	queries map[string][]metric.Point
+}
+
+func approxBenchIndex(b *testing.B, data string) (*sisap.PermIndex, []metric.Point, [][]sisap.Result) {
+	b.Helper()
+	ab := &approxBench
+	ab.once.Do(func() {
+		rng := rand.New(rand.NewSource(19))
+		ab.idx = make(map[string]*sisap.PermIndex)
+		ab.truth = make(map[string][][]sisap.Result)
+		ab.queries = make(map[string][]metric.Point)
+		for _, name := range []string{"uniform", "clustered"} {
+			var pts []metric.Point
+			if name == "clustered" {
+				pts = dataset.ClusteredVectors(rng, 200_000, 6, 32, 0.05)
+			} else {
+				pts = dataset.UniformVectors(rng, 200_000, 6)
+			}
+			db := sisap.NewDB(metric.L2{}, pts)
+			idx := sisap.NewPermIndex(db, rng.Perm(db.N())[:12], sisap.Footrule)
+			// Queries follow the data distribution — perturbed database
+			// points, the workload shape a kNN serving index actually sees.
+			queries := make([]metric.Point, 64)
+			for i := range queries {
+				base := pts[rng.Intn(len(pts))].(metric.Vector)
+				q := make(metric.Vector, len(base))
+				for j, v := range base {
+					q[j] = v + 0.01*rng.NormFloat64()
+				}
+				queries[i] = q
+			}
+			truth := make([][]sisap.Result, len(queries))
+			for i, q := range queries {
+				truth[i], _ = idx.KNN(q, 10)
+			}
+			ab.idx[name] = idx
+			ab.truth[name] = truth
+			ab.queries[name] = queries
+		}
+	})
+	return ab.idx[data], ab.queries[data], ab.truth[data]
+}
+
+// BenchmarkApproxKNN measures the prefix-bucket approximate 10-NN path at
+// serving scale (n=200k, k=12 sites) against the exact table scan, sweeping
+// nprobe on uniform (permutation-rich) and clustered (distinct ≪ n) data.
+// Each approximate sub-benchmark reports the recall@10 of its operating
+// point as a custom metric; nprobe=exact is the full-scan baseline the
+// speedup is measured against. The acceptance point is the clustered sweep:
+// a nprobe with recall@10 ≥ 0.9 at ≥ 5× the exact ns/op.
+func BenchmarkApproxKNN(b *testing.B) {
+	for _, data := range []string{"uniform", "clustered"} {
+		b.Run("data="+data+"/nprobe=exact", func(b *testing.B) {
+			idx, queries, _ := approxBenchIndex(b, data)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.KNN(queries[i&63], 10)
+			}
+			b.ReportMetric(1, "recall@10")
+		})
+		for _, nprobe := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("data=%s/nprobe=%d", data, nprobe), func(b *testing.B) {
+				idx, queries, truth := approxBenchIndex(b, data)
+				recall := 0.0
+				for qi, q := range queries {
+					got, _ := idx.KNNApprox(q, 10, nprobe)
+					hit := 0
+					for _, r := range got {
+						for _, w := range truth[qi] {
+							if r.ID == w.ID {
+								hit++
+								break
+							}
+						}
+					}
+					recall += float64(hit) / float64(len(truth[qi]))
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					idx.KNNApprox(queries[i&63], 10, nprobe)
+				}
+				b.ReportMetric(recall/float64(len(queries)), "recall@10")
+			})
+		}
+	}
+}
+
 // BenchmarkPermIndexBuild measures sharded index construction (k·n metric
 // evaluations spread across NumCPU workers).
 func BenchmarkPermIndexBuild(b *testing.B) {

@@ -43,6 +43,7 @@
 //	    -knn 3 -qps 500 -concurrency 16 -duration 10s
 //
 //	curl -s localhost:7411/v1/knn -d '{"query": [0.5,0.5,0.5,0.5,0.5,0.5], "k": 3}'
+//	curl -s localhost:7411/v1/knn -d '{"query": [0.5,0.5,0.5,0.5,0.5,0.5], "k": 3, "approx": true, "nprobe": 4}'
 //	curl -s localhost:7411/v1/stats
 package main
 
@@ -94,6 +95,7 @@ func main() {
 		partition = flag.String("partition", "roundrobin", "shard placement strategy: "+strings.Join(distperm.Partitioners(), ", "))
 		workers   = flag.Int("workers", 0, "worker goroutines per engine pool (0 = NumCPU)")
 		rebuild   = flag.Int("rebuild-threshold", 0, "enable the live write path (POST /v1/insert, /v1/delete): background-rebuild the index once this many writes are pending (0 serves read-only)")
+		approxEll = flag.Int("approx-prefix", 0, "rebuild the approximate-search prefix-bucket directory at this permutation-prefix length ℓ before serving (0 keeps the index default; indexes produced by later background rebuilds build the default directory lazily)")
 
 		// Durability: crash-safe writes through a write-ahead log.
 		walDir     = flag.String("wal", "", "write-ahead log directory: log every write before acknowledging it, and recover on startup (newest checkpoint + log tail replay); implies the live write path. Restart with the same dataset/index flags — without a checkpoint, replay rebuilds the base from them")
@@ -121,6 +123,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "loadgen: client workers")
 		duration    = flag.Duration("duration", 5*time.Second, "loadgen: run length")
 		reqBatch    = flag.Int("batch", 1, "loadgen: queries per request (1 = single-query form, exercising the coalescer)")
+		approxNP    = flag.Int("approx", 0, "loadgen: probe this many prefix buckets per kNN query through the server's approximate path (0 = exact; needs -knn > 0)")
 		writeRatio  = flag.Float64("write-ratio", 0, "loadgen: fraction of requests that mutate (insert/delete) instead of query; needs a -rebuild-threshold server")
 		scrape      = flag.Bool("scrape", true, "loadgen: scrape the server's /metrics after the run and print the client-vs-server latency comparison")
 	)
@@ -160,15 +163,16 @@ func main() {
 			os.Exit(2)
 		}
 		cfg := client.LoadConfig{
-			Target:      *target,
-			Queries:     ds.Sample(rng, 1024),
-			K:           *knn,
-			Radius:      *radius,
-			QPS:         *qps,
-			Concurrency: *concurrency,
-			Duration:    *duration,
-			Batch:       *reqBatch,
-			WriteRatio:  *writeRatio,
+			Target:       *target,
+			Queries:      ds.Sample(rng, 1024),
+			K:            *knn,
+			Radius:       *radius,
+			QPS:          *qps,
+			Concurrency:  *concurrency,
+			Duration:     *duration,
+			Batch:        *reqBatch,
+			WriteRatio:   *writeRatio,
+			ApproxNProbe: *approxNP,
 		}
 		if err := runLoadgen(os.Stdout, cfg, *scrape); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -199,6 +203,7 @@ func main() {
 		Index: *index, K: *k, Load: *load, Mmap: *mmapFlag,
 		Shards: *shards, Partition: *partition, Workers: *workers,
 		RebuildThreshold: *rebuild,
+		ApproxPrefix:     *approxEll,
 		WALDir:           *walDir,
 		WALSync:          syncPolicy,
 		WALSyncInterval:  *walEvery,
@@ -364,6 +369,7 @@ type daemonConfig struct {
 	Partition        string
 	Workers          int
 	RebuildThreshold int
+	ApproxPrefix     int
 	WALDir           string
 	WALSync          distperm.SyncPolicy
 	WALSyncInterval  time.Duration
@@ -493,6 +499,9 @@ func buildServer(loadDS func() (*dataset.Dataset, error), rng *rand.Rand, cfg da
 			distperm.Spec{Index: cfg.Index, K: cfg.K, Seed: rng.Int63()}); err != nil {
 			return nil, "", nil, err
 		}
+	}
+	if cfg.ApproxPrefix > 0 {
+		configurePrefix(idx, cfg.ApproxPrefix)
 	}
 	if !mutable {
 		srv, err := dpserver.NewFromIndex(db, idx, cfg.Workers, cfg.Serving)
@@ -642,6 +651,25 @@ func inferSpec(idx distperm.Index) distperm.Spec {
 	}
 }
 
+// configurePrefix walks idx down to every distance-permutation index inside
+// it (the shards of a sharded container, a mutable container's base) and
+// rebuilds their prefix-bucket directories at permutation-prefix length ell.
+// Indexes without an approximate form are left alone, as are indexes a
+// later background rebuild produces — those build the default directory
+// lazily on their first approximate query.
+func configurePrefix(idx distperm.Index, ell int) {
+	switch x := idx.(type) {
+	case *distperm.PermIndex:
+		x.ConfigurePrefixBuckets(ell)
+	case *distperm.ShardedIndex:
+		for i := 0; i < x.NumShards(); i++ {
+			configurePrefix(x.Shard(i), ell)
+		}
+	case *distperm.MutableIndex:
+		configurePrefix(x.Base(), ell)
+	}
+}
+
 // shardedBase unwraps idx to the sharded container it serves from, if any:
 // the index itself, or a mutable snapshot's base.
 func shardedBase(idx distperm.Index) *distperm.ShardedIndex {
@@ -660,6 +688,8 @@ func runLoadgen(w io.Writer, cfg client.LoadConfig, scrape bool) error {
 	mode := fmt.Sprintf("%d-NN", cfg.K)
 	if cfg.K == 0 {
 		mode = fmt.Sprintf("range r=%g", cfg.Radius)
+	} else if cfg.ApproxNProbe > 0 {
+		mode = fmt.Sprintf("approximate %d-NN (nprobe %d)", cfg.K, cfg.ApproxNProbe)
 	}
 	fmt.Fprintf(w, "loadgen: %s queries × batch %d at %s (%d workers, qps cap %g) for %v\n",
 		mode, max(cfg.Batch, 1), cfg.Target, max(cfg.Concurrency, 1), cfg.QPS, cfg.Duration)
@@ -672,6 +702,10 @@ func runLoadgen(w io.Writer, cfg client.LoadConfig, scrape bool) error {
 		report.QueriesPerSecond, report.P50, report.P95, report.P99)
 	if report.Inserts > 0 || report.Deletes > 0 {
 		fmt.Fprintf(w, "mutations: %d inserts, %d deletes\n", report.Inserts, report.Deletes)
+	}
+	if report.ApproxRequests > 0 {
+		fmt.Fprintf(w, "approx: %d requests, mean candidate fraction %.3f (share of the database scanned per query)\n",
+			report.ApproxRequests, report.MeanCandidateFraction)
 	}
 	endpoints := make([]string, 0, len(report.PerEndpoint))
 	for ep := range report.PerEndpoint {

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", `"voronoi", "prefix", "construction", "coverage", "counterexample", "convergence", "recall", "search", or "all"`)
+		fig    = flag.String("fig", "all", `"voronoi", "prefix", "construction", "coverage", "counterexample", "convergence", "recall", "approx", "search", or "all"`)
 		k      = flag.Int("k", 5, "sites for the construction / search")
 		p      = flag.Float64("p", 2, "Lp parameter for the construction (1, 2, or +Inf via -p inf)")
 		d      = flag.Int("d", 3, "dimension for the counterexample search")
@@ -100,6 +100,11 @@ func main() {
 	if show("recall") {
 		for _, pd := range []sisap.PermDistance{sisap.Footrule, sisap.KendallTau, sisap.SpearmanRho} {
 			experiments.RunRecallCurve(cfg, *d, *k, 100, pd).Write(w)
+		}
+	}
+	if show("approx") {
+		for _, clustered := range []bool{false, true} {
+			experiments.RunApproxSweep(cfg, *d, 12, 10, 100, clustered).Write(w)
 		}
 	}
 	if *fig == "search" {

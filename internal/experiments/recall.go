@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"distperm/internal/dataset"
 	"distperm/internal/metric"
@@ -78,6 +79,126 @@ func RunRecallCurve(cfg Config, d, k, queries int, pd sisap.PermDistance) *Recal
 	}
 	rc.MeanRankOfNN = float64(totalRank) / float64(queries)
 	return rc
+}
+
+// ApproxSweep measures the quality/cost trade of the prefix-bucket
+// approximate kNN path: for a sweep of nprobe values, the mean recall@K
+// against the exact answer, the candidate fraction (share of the database
+// measured per query), and the speedup over the exact scan — both the
+// deterministic distance-evaluation ratio and the measured wall-time ratio.
+// This is the harness behind the approximate-search knob guidance: it shows
+// where on the nprobe axis recall saturates while the scan cost is still a
+// small fraction of exact.
+type ApproxSweep struct {
+	N, D, SitesK, K int
+	Queries         int
+	Clustered       bool
+	// PrefixLen and TotalBuckets describe the directory the sweep probed.
+	PrefixLen    int
+	TotalBuckets int
+	NProbe       []int
+	// Recall is the mean recall@K vs the exact answer at each nprobe.
+	Recall []float64
+	// CandidateFraction is the mean share of the database measured.
+	CandidateFraction []float64
+	// EvalSpeedup is exact distance evaluations over approximate ones
+	// (deterministic); TimeSpeedup is the measured wall-time ratio.
+	EvalSpeedup []float64
+	TimeSpeedup []float64
+}
+
+// RunApproxSweep builds a distance-permutation index over a uniform or
+// clustered database and sweeps nprobe across the bucket directory.
+func RunApproxSweep(cfg Config, d, sitesK, k, queries int, clustered bool) *ApproxSweep {
+	rng := cfg.rng(70_000 + int64(d*1000+sitesK) + int64(btoi(clustered)))
+	n := cfg.VectorN
+	var points []metric.Point
+	if clustered {
+		points = dataset.ClusteredVectors(rng, n, d, 32, 0.05)
+	} else {
+		points = dataset.UniformVectors(rng, n, d)
+	}
+	db := sisap.NewDB(metric.L2{}, points)
+	idx := sisap.NewPermIndex(db, rng.Perm(n)[:sitesK], sisap.Footrule)
+	nb := idx.ApproxBuckets()
+
+	sweep := []int{1, 2, 4, 8, 16, 32, 64}
+	probes := sweep[:0]
+	for _, p := range sweep {
+		if p < nb {
+			probes = append(probes, p)
+		}
+	}
+	probes = append(probes, nb) // full coverage: exact by construction
+	as := &ApproxSweep{
+		N: n, D: d, SitesK: sitesK, K: k, Queries: queries, Clustered: clustered,
+		PrefixLen: idx.PrefixLen(), TotalBuckets: nb,
+		NProbe:            probes,
+		Recall:            make([]float64, len(probes)),
+		CandidateFraction: make([]float64, len(probes)),
+		EvalSpeedup:       make([]float64, len(probes)),
+		TimeSpeedup:       make([]float64, len(probes)),
+	}
+	qs := dataset.UniformVectors(rng, queries, d)
+	truth := make([][]sisap.Result, queries)
+	exactEvals := 0
+	exactStart := time.Now()
+	for qi, q := range qs {
+		var st sisap.Stats
+		truth[qi], st = idx.KNN(q, k)
+		exactEvals += st.DistanceEvals
+	}
+	exactTime := time.Since(exactStart)
+	for pi, nprobe := range probes {
+		evals, cands := 0, 0
+		start := time.Now()
+		for qi, q := range qs {
+			got, st := idx.KNNApprox(q, k, nprobe)
+			evals += st.DistanceEvals
+			cands += st.Candidates
+			hit := 0
+			for _, r := range got {
+				for _, w := range truth[qi] {
+					if r.ID == w.ID {
+						hit++
+						break
+					}
+				}
+			}
+			as.Recall[pi] += float64(hit) / float64(len(truth[qi]))
+		}
+		elapsed := time.Since(start)
+		as.Recall[pi] /= float64(queries)
+		as.CandidateFraction[pi] = float64(cands) / float64(queries*n)
+		if evals > 0 {
+			as.EvalSpeedup[pi] = float64(exactEvals) / float64(evals)
+		}
+		if elapsed > 0 {
+			as.TimeSpeedup[pi] = float64(exactTime) / float64(elapsed)
+		}
+	}
+	return as
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Write renders the sweep.
+func (as *ApproxSweep) Write(w io.Writer) {
+	shape := "uniform"
+	if as.Clustered {
+		shape = "clustered"
+	}
+	fmt.Fprintf(w, "Approx sweep: distperm prefix buckets, %s n=%d, d=%d, sites k=%d, recall@%d over %d queries, ℓ=%d (%d buckets)\n",
+		shape, as.N, as.D, as.SitesK, as.K, as.Queries, as.PrefixLen, as.TotalBuckets)
+	for pi, p := range as.NProbe {
+		fmt.Fprintf(w, "  nprobe %4d: recall@%d = %.3f, candidates %5.1f%%, speedup %5.1f× evals (%.1f× time)\n",
+			p, as.K, as.Recall[pi], 100*as.CandidateFraction[pi], as.EvalSpeedup[pi], as.TimeSpeedup[pi])
+	}
 }
 
 // Write renders the curve.

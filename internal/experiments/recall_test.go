@@ -40,6 +40,42 @@ func TestRecallCurveShape(t *testing.T) {
 	}
 }
 
+func TestApproxSweepShape(t *testing.T) {
+	cfg := Config{VectorN: 4_000, Seed: 3}
+	for _, clustered := range []bool{false, true} {
+		as := RunApproxSweep(cfg, 4, 10, 10, 30, clustered)
+		if len(as.NProbe) == 0 || len(as.Recall) != len(as.NProbe) {
+			t.Fatal("malformed sweep")
+		}
+		prev := -1.0
+		for pi, p := range as.NProbe {
+			r := as.Recall[pi]
+			if r < 0 || r > 1 {
+				t.Errorf("clustered=%v nprobe %d: recall %v out of range", clustered, p, r)
+			}
+			// Monotone in nprobe: a superset of buckets can only improve the
+			// candidate set (tiny float tolerance for the mean).
+			if r < prev-1e-9 {
+				t.Errorf("clustered=%v: recall dropped from %v to %v at nprobe %d",
+					clustered, prev, r, p)
+			}
+			prev = r
+			if f := as.CandidateFraction[pi]; f <= 0 || f > 1 {
+				t.Errorf("clustered=%v nprobe %d: candidate fraction %v", clustered, p, f)
+			}
+		}
+		// The last probe count covers the whole directory: exact answer.
+		if last := as.Recall[len(as.Recall)-1]; last != 1 {
+			t.Errorf("clustered=%v: full-coverage recall %v, want 1", clustered, last)
+		}
+		var buf bytes.Buffer
+		as.Write(&buf)
+		if !strings.Contains(buf.String(), "nprobe") {
+			t.Error("sweep output malformed")
+		}
+	}
+}
+
 func TestRecallCurveAblation(t *testing.T) {
 	// All three permutation distances must produce usable orderings; the
 	// footrule and rho orderings are typically very close, tau close

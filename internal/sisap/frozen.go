@@ -54,13 +54,32 @@ import (
 // The points section (plus the metric name) makes a container
 // self-contained: OpenMapped can reconstruct the database from the
 // mapping, so a serving process needs no separate data file.
+// Two frozen payload revisions exist, distinguished by tag. PFRZ is the
+// original four-section layout above. PFR2 adds a fifth "buckets" section
+// — the permutation-prefix inverted-file directory of prefixbuckets.go —
+// so mapped opens serve approximate queries zero-copy instead of
+// rebuilding the directory per process. Its fixed header keeps every PFRZ
+// field at the same offset, appends the fifth section descriptor directly
+// after the fourth, then two uint32s (ell, nbuckets):
+//
+//	sections   5 × {off uint64, len uint64, crc32c uint32, _ uint32}
+//	ell        uint32   directory prefix length (1..k)
+//	nbuckets   uint32   directory size (1..distinct)
+//	buckets    4·(nbuckets·ell + 2·(nbuckets+1) + distinct + n) bytes:
+//	           uint32 arrays [prefixes][rowStarts][rowOrder][ptStarts][ptOrder]
+//
+// WriteFrozen emits PFR2; both revisions decode (a PFRZ file builds its
+// directory lazily on the heap instead).
 const (
-	permFrozenTag  = 0x5A524650 // "PFRZ" read little-endian
-	frozenAlign    = 64
-	frozenNumSecs  = 4
-	frozenFixedLen = 136 // header bytes after the tag, before the metric name
-	frozenMaxDims  = 1 << 16
-	frozenKind     = "distperm"
+	permFrozenTag    = 0x5A524650 // "PFRZ" read little-endian
+	permFrozenV2Tag  = 0x32524650 // "PFR2" read little-endian
+	frozenAlign      = 64
+	frozenNumSecs    = 4
+	frozenV2NumSecs  = 5
+	frozenFixedLen   = 136 // v1 header bytes after the tag, before the metric name
+	frozenV2FixedLen = 168 // v2: + fifth descriptor (24) + ell/nbuckets (8)
+	frozenMaxDims    = 1 << 16
+	frozenKind       = "distperm"
 	// frozenPrefixLen is where WriteFrozen puts the tag: after the v2
 	// container prefix (magic, version, kindLen, kind).
 	frozenPrefixLen = len(codecMagic) + 4 + 4 + len(frozenKind)
@@ -72,9 +91,18 @@ const (
 	frozenSecRanks
 	frozenSecIDs
 	frozenSecPoints
+	frozenSecBuckets // PFR2 only
 )
 
-var frozenSectionName = [frozenNumSecs]string{"sites", "ranks", "ids", "points"}
+var frozenSectionName = [frozenV2NumSecs]string{"sites", "ranks", "ids", "points", "buckets"}
+
+// frozenFixedLenFor returns the fixed-header length of a payload revision.
+func frozenFixedLenFor(version int) int {
+	if version >= 2 {
+		return frozenV2FixedLen
+	}
+	return frozenFixedLen
+}
 
 var frozenCRC = crc32.MakeTable(crc32.Castagnoli)
 
@@ -99,6 +127,7 @@ type frozenSection struct {
 
 // frozenHeader is the parsed fixed header of a frozen payload.
 type frozenHeader struct {
+	version   int // payload revision: 1 (PFRZ) or 2 (PFR2)
 	headerOff uint64
 	k         int
 	dist      PermDistance
@@ -107,13 +136,16 @@ type frozenHeader struct {
 	rankWidth int
 	dims      int
 	metricLen int
-	sec       [frozenNumSecs]frozenSection
+	ell       int // v2: directory prefix length
+	nbuckets  int // v2: directory size
+	sec       []frozenSection
 }
 
-// parseFrozenFixed decodes the frozenFixedLen bytes that follow the tag.
-func parseFrozenFixed(b []byte) frozenHeader {
+// parseFrozenFixed decodes the fixed header bytes that follow the tag —
+// frozenFixedLenFor(version) of them.
+func parseFrozenFixed(b []byte, version int) frozenHeader {
 	le := binary.LittleEndian
-	var h frozenHeader
+	h := frozenHeader{version: version}
 	h.headerOff = le.Uint64(b[0:])
 	h.k = int(le.Uint32(b[8:]))
 	h.dist = PermDistance(le.Uint32(b[12:]))
@@ -122,6 +154,11 @@ func parseFrozenFixed(b []byte) frozenHeader {
 	h.rankWidth = int(le.Uint32(b[28:]))
 	h.dims = int(le.Uint32(b[32:]))
 	h.metricLen = int(le.Uint32(b[36:]))
+	nsec := frozenNumSecs
+	if version >= 2 {
+		nsec = frozenV2NumSecs
+	}
+	h.sec = make([]frozenSection, nsec)
 	for i := range h.sec {
 		base := 40 + 24*i
 		h.sec[i] = frozenSection{
@@ -130,24 +167,33 @@ func parseFrozenFixed(b []byte) frozenHeader {
 			crc:    le.Uint32(b[base+16:]),
 		}
 	}
+	if version >= 2 {
+		h.ell = int(le.Uint32(b[40+24*frozenV2NumSecs:]))
+		h.nbuckets = int(le.Uint32(b[44+24*frozenV2NumSecs:]))
+	}
 	return h
 }
 
 // sectionLens returns the exact byte length every section must have given
 // the header counts. All factors are bounded by check's field validation,
 // so the uint64 products cannot overflow.
-func (h *frozenHeader) sectionLens() [frozenNumSecs]uint64 {
-	return [frozenNumSecs]uint64{
+func (h *frozenHeader) sectionLens() []uint64 {
+	lens := []uint64{
 		frozenSecSites:  uint64(h.k) * 8,
 		frozenSecRanks:  uint64(h.distinct) * uint64(h.k) * uint64(h.rankWidth),
 		frozenSecIDs:    h.n * 4,
 		frozenSecPoints: h.n * uint64(h.dims) * 8,
 	}
+	if h.version >= 2 {
+		nb := uint64(h.nbuckets)
+		lens = append(lens, 4*(nb*uint64(h.ell)+2*(nb+1)+uint64(h.distinct)+h.n))
+	}
+	return lens
 }
 
 // end returns the file offset one past the last section.
 func (h *frozenHeader) end() uint64 {
-	last := h.sec[frozenNumSecs-1]
+	last := h.sec[len(h.sec)-1]
 	return last.off + last.length
 }
 
@@ -184,13 +230,21 @@ func (h *frozenHeader) check() error {
 	if h.dims > 0 && h.metricLen == 0 {
 		return errors.New("sisap: frozen container embeds points but no metric name")
 	}
+	if h.version >= 2 {
+		if h.ell < 1 || h.ell > h.k {
+			return fmt.Errorf("sisap: frozen bucket prefix length %d out of range 1..%d", h.ell, h.k)
+		}
+		if h.nbuckets < 1 || h.nbuckets > h.distinct {
+			return fmt.Errorf("sisap: frozen bucket count %d out of range 1..%d", h.nbuckets, h.distinct)
+		}
+	}
 	// headerOff is bounded so the offset arithmetic below cannot overflow
 	// (section lengths are ≤ 2^51 by the field bounds above).
 	if h.headerOff > 1<<20 {
 		return fmt.Errorf("sisap: frozen header offset %d out of range", h.headerOff)
 	}
 	want := h.sectionLens()
-	pos := h.headerOff + 4 + frozenFixedLen + uint64(h.metricLen)
+	pos := h.headerOff + 4 + uint64(frozenFixedLenFor(h.version)) + uint64(h.metricLen)
 	for i, s := range h.sec {
 		off := align64(pos)
 		if s.off != off {
@@ -211,7 +265,7 @@ func (h *frozenHeader) check() error {
 // rows — which the compact decoder rejects — are tolerated here: they
 // waste table space but cannot corrupt an answer, and detecting them
 // would cost the O(n·k) hashing pass this format exists to avoid.)
-func (h *frozenHeader) verifySections(secs *[frozenNumSecs][]byte) error {
+func (h *frozenHeader) verifySections(secs [][]byte) error {
 	le := binary.LittleEndian
 	for i, b := range secs {
 		if got := crc32.Checksum(b, frozenCRC); got != h.sec[i].crc {
@@ -243,6 +297,99 @@ func (h *frozenHeader) verifySections(secs *[frozenNumSecs][]byte) error {
 	for off := 0; off < len(ids); off += 4 {
 		if id := le.Uint32(ids[off:]); int(id) >= h.distinct {
 			return fmt.Errorf("sisap: frozen row ID %d out of range (distinct=%d)", id, h.distinct)
+		}
+	}
+	if h.version >= 2 {
+		return h.verifyBucketSection(secs)
+	}
+	return nil
+}
+
+// verifyBucketSection validates the v2 inverted-file directory far beyond
+// memory safety: the posting-list boundaries must tile the row and point
+// ranges exactly, rowOrder/ptOrder must be permutations, and — the
+// mis-probe guarantee — every row listed under a bucket must actually
+// carry that bucket's prefix (checked against the rank matrix) and every
+// point must be listed under its own row's bucket. A hostile directory
+// that survives this is, by construction, a correct directory: probing it
+// can only ever select the points it claims, so corruption fails decode
+// instead of silently degrading answers.
+func (h *frozenHeader) verifyBucketSection(secs [][]byte) error {
+	le := binary.LittleEndian
+	b := secs[frozenSecBuckets]
+	u32 := func(i int) uint32 { return le.Uint32(b[4*i:]) }
+	nb, ell, distinct := h.nbuckets, h.ell, h.distinct
+	n := int(h.n)
+	prefixesOff := 0
+	rowStartsOff := prefixesOff + nb*ell
+	rowOrderOff := rowStartsOff + nb + 1
+	ptStartsOff := rowOrderOff + distinct
+	ptOrderOff := ptStartsOff + nb + 1
+	for i := 0; i < nb*ell; i++ {
+		if int(u32(prefixesOff+i)) >= h.k {
+			return fmt.Errorf("sisap: frozen bucket prefix site %d out of range (k=%d)", u32(prefixesOff+i), h.k)
+		}
+	}
+	checkStarts := func(off, total int, what string) error {
+		if u32(off) != 0 {
+			return fmt.Errorf("sisap: frozen bucket %s do not start at 0", what)
+		}
+		for i := 1; i <= nb; i++ {
+			if u32(off+i) < u32(off+i-1) {
+				return fmt.Errorf("sisap: frozen bucket %s not monotone at bucket %d", what, i-1)
+			}
+		}
+		if int(u32(off+nb)) != total {
+			return fmt.Errorf("sisap: frozen bucket %s end at %d, want %d", what, u32(off+nb), total)
+		}
+		return nil
+	}
+	if err := checkStarts(rowStartsOff, distinct, "row boundaries"); err != nil {
+		return err
+	}
+	if err := checkStarts(ptStartsOff, n, "point boundaries"); err != nil {
+		return err
+	}
+	// rankAt reads the stored rank of site s in table row r straight from
+	// the verified ranks section.
+	ranks := secs[frozenSecRanks]
+	rankAt := func(r, s int) int {
+		if h.rankWidth == 2 {
+			return int(le.Uint16(ranks[2*(r*h.k+s):]))
+		}
+		return int(ranks[r*h.k+s])
+	}
+	rowBucket := make([]uint32, distinct)
+	seenRow := make([]bool, distinct)
+	for bkt := 0; bkt < nb; bkt++ {
+		lo, hi := int(u32(rowStartsOff+bkt)), int(u32(rowStartsOff+bkt+1))
+		for i := lo; i < hi; i++ {
+			r := u32(rowOrderOff + i)
+			if int(r) >= distinct || seenRow[r] {
+				return fmt.Errorf("sisap: frozen bucket row list is not a permutation (row %d)", r)
+			}
+			seenRow[r] = true
+			rowBucket[r] = uint32(bkt)
+			for j := 0; j < ell; j++ {
+				if rankAt(int(r), int(u32(prefixesOff+bkt*ell+j))) != j {
+					return fmt.Errorf("sisap: frozen table row %d does not carry its bucket's prefix", r)
+				}
+			}
+		}
+	}
+	ids := secs[frozenSecIDs]
+	seenPt := make([]bool, n)
+	for bkt := 0; bkt < nb; bkt++ {
+		lo, hi := int(u32(ptStartsOff+bkt)), int(u32(ptStartsOff+bkt+1))
+		for i := lo; i < hi; i++ {
+			pt := u32(ptOrderOff + i)
+			if int(pt) >= n || seenPt[pt] {
+				return fmt.Errorf("sisap: frozen bucket point list is not a permutation (point %d)", pt)
+			}
+			seenPt[pt] = true
+			if rowBucket[le.Uint32(ids[4*pt:])] != uint32(bkt) {
+				return fmt.Errorf("sisap: frozen point %d listed under the wrong bucket", pt)
+			}
 		}
 	}
 	return nil
@@ -300,11 +447,14 @@ func WriteIndexWith(w io.Writer, x Index, opts WriteOptions) (int64, error) {
 	return WriteIndex(w, x)
 }
 
-// WriteFrozen serialises x in the sectioned frozen form of the v2
+// WriteFrozen serialises x in the sectioned frozen form (PFR2) of the v2
 // container. Unlike WriteIndex's compact payload it has no k ≤ 20 cap,
 // and when the database is self-describing (a named metric over
 // equal-dimension vectors) the point vectors are embedded, making the
-// file self-contained for OpenMapped.
+// file self-contained for OpenMapped. The prefix-bucket directory is
+// built (if the index has not served an approximate query yet) and
+// written as the fifth section, so mapped opens serve approximate queries
+// zero-copy.
 func WriteFrozen(w io.Writer, x *PermIndex) (int64, error) {
 	k := x.K()
 	n := uint64(x.db.N())
@@ -312,8 +462,10 @@ func WriteFrozen(w io.Writer, x *PermIndex) (int64, error) {
 		return 0, fmt.Errorf("sisap: cannot freeze an index over %d points", n)
 	}
 	distinct := x.table.rows
+	pb := x.buckets()
+	nb := pb.numBuckets()
 
-	var secs [frozenNumSecs][]byte
+	secs := make([][]byte, frozenV2NumSecs)
 	sites := make([]byte, 8*k)
 	for i, id := range x.siteIDs {
 		binary.LittleEndian.PutUint64(sites[8*i:], uint64(id))
@@ -338,10 +490,17 @@ func WriteFrozen(w io.Writer, x *PermIndex) (int64, error) {
 	secs[frozenSecIDs] = ids
 	points, dims, metricName := frozenPoints(x.db)
 	secs[frozenSecPoints] = points
+	buckets := make([]byte, 0, 4*(nb*pb.ell+2*(nb+1)+distinct+int(n)))
+	for _, arr := range [][]uint32{pb.prefixes, pb.rowStarts, pb.rowOrder, pb.ptStarts, pb.ptOrder} {
+		for _, v := range arr {
+			buckets = binary.LittleEndian.AppendUint32(buckets, v)
+		}
+	}
+	secs[frozenSecBuckets] = buckets
 
 	headerOff := uint64(frozenPrefixLen)
-	var sec [frozenNumSecs]frozenSection
-	pos := headerOff + 4 + frozenFixedLen + uint64(len(metricName))
+	sec := make([]frozenSection, frozenV2NumSecs)
+	pos := headerOff + 4 + frozenV2FixedLen + uint64(len(metricName))
 	for i, b := range secs {
 		off := align64(pos)
 		sec[i] = frozenSection{off: off, length: uint64(len(b)), crc: crc32.Checksum(b, frozenCRC)}
@@ -349,8 +508,8 @@ func WriteFrozen(w io.Writer, x *PermIndex) (int64, error) {
 	}
 
 	le := binary.LittleEndian
-	hdr := make([]byte, 4+frozenFixedLen+len(metricName))
-	le.PutUint32(hdr[0:], permFrozenTag)
+	hdr := make([]byte, 4+frozenV2FixedLen+len(metricName))
+	le.PutUint32(hdr[0:], permFrozenV2Tag)
 	le.PutUint64(hdr[4:], headerOff)
 	le.PutUint32(hdr[12:], uint32(k))
 	le.PutUint32(hdr[16:], uint32(x.dist))
@@ -365,7 +524,9 @@ func WriteFrozen(w io.Writer, x *PermIndex) (int64, error) {
 		le.PutUint64(hdr[base+8:], s.length)
 		le.PutUint32(hdr[base+16:], s.crc)
 	}
-	copy(hdr[44+24*frozenNumSecs:], metricName)
+	le.PutUint32(hdr[44+24*frozenV2NumSecs:], uint32(pb.ell))
+	le.PutUint32(hdr[48+24*frozenV2NumSecs:], uint32(nb))
+	copy(hdr[4+frozenV2FixedLen:], metricName)
 
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
@@ -481,7 +642,7 @@ func frozenFloat64s(b []byte, zeroCopy bool) []float64 {
 // section bytes. With zeroCopy the rank matrix, row IDs, and point
 // vectors are views into the section bytes — the mapped path; otherwise
 // they are decoded copies and the section bytes may be discarded.
-func buildFrozenIndex(h *frozenHeader, metricName string, secs *[frozenNumSecs][]byte, db *DB, zeroCopy bool) (*PermIndex, *DB, error) {
+func buildFrozenIndex(h *frozenHeader, metricName string, secs [][]byte, db *DB, zeroCopy bool) (*PermIndex, *DB, error) {
 	if db != nil {
 		if uint64(db.N()) != h.n {
 			return nil, nil, fmt.Errorf("sisap: index has %d points, database has %d", h.n, db.N())
@@ -514,7 +675,25 @@ func buildFrozenIndex(h *frozenHeader, metricName string, secs *[frozenNumSecs][
 		table = newFrozenRankTable(h.k, h.distinct, nil, frozenUint16s(secs[frozenSecRanks], zeroCopy))
 	}
 	ids := frozenUint32s(secs[frozenSecIDs], zeroCopy)
-	return newPermIndexFromTable(db, siteIDs, h.dist, table, ids), db, nil
+	idx := newPermIndexFromTable(db, siteIDs, h.dist, table, ids)
+	if h.version >= 2 {
+		// The verified directory becomes the index's bucket directory
+		// directly — views into the mapping on the zero-copy path — so no
+		// process ever rebuilds what the file already stores.
+		u := frozenUint32s(secs[frozenSecBuckets], zeroCopy)
+		nb, ell := h.nbuckets, h.ell
+		p := 0
+		cut := func(n int) []uint32 { s := u[p : p+n : p+n]; p += n; return s }
+		idx.lb.pb = &prefixBuckets{
+			ell:       ell,
+			prefixes:  cut(nb * ell),
+			rowStarts: cut(nb + 1),
+			rowOrder:  cut(h.distinct),
+			ptStarts:  cut(nb + 1),
+			ptOrder:   cut(int(h.n)),
+		}
+	}
+	return idx, db, nil
 }
 
 // readFrozenSection reads exactly length section bytes, growing the buffer
@@ -551,18 +730,19 @@ func readFrozenSection(br io.Reader, length uint64) ([]byte, error) {
 
 // decodeFrozenStream reads a frozen payload sequentially — the
 // compatibility path ReadIndex uses, materialising a heap-backed index;
-// OpenMapped is the zero-copy path. The tag has already been consumed.
-// The header stores absolute section offsets, but it also stores its own
-// absolute offset, so the padding gaps can be derived without seeking.
-func decodeFrozenStream(br io.Reader, db *DB) (*PermIndex, error) {
+// OpenMapped is the zero-copy path. The tag has already been consumed and
+// names the payload revision. The header stores absolute section offsets,
+// but it also stores its own absolute offset, so the padding gaps can be
+// derived without seeking.
+func decodeFrozenStream(br io.Reader, db *DB, version int) (*PermIndex, error) {
 	if db == nil {
 		return nil, errors.New("sisap: stream-decoding a frozen container requires a database")
 	}
-	fixed := make([]byte, frozenFixedLen)
+	fixed := make([]byte, frozenFixedLenFor(version))
 	if _, err := io.ReadFull(br, fixed); err != nil {
 		return nil, fmt.Errorf("sisap: reading frozen header: %w", err)
 	}
-	h := parseFrozenFixed(fixed)
+	h := parseFrozenFixed(fixed, version)
 	if err := h.check(); err != nil {
 		return nil, err
 	}
@@ -573,8 +753,8 @@ func decodeFrozenStream(br io.Reader, db *DB) (*PermIndex, error) {
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, fmt.Errorf("sisap: reading frozen metric name: %w", err)
 	}
-	pos := h.headerOff + 4 + frozenFixedLen + uint64(h.metricLen)
-	var secs [frozenNumSecs][]byte
+	pos := h.headerOff + 4 + uint64(frozenFixedLenFor(version)) + uint64(h.metricLen)
+	secs := make([][]byte, len(h.sec))
 	for i, s := range h.sec {
 		// check pinned s.off to align64(pos), so the gap is < frozenAlign.
 		if gap := int64(s.off - pos); gap > 0 {
@@ -589,10 +769,10 @@ func decodeFrozenStream(br io.Reader, db *DB) (*PermIndex, error) {
 		secs[i] = b
 		pos = s.off + s.length
 	}
-	if err := h.verifySections(&secs); err != nil {
+	if err := h.verifySections(secs); err != nil {
 		return nil, err
 	}
-	idx, _, err := buildFrozenIndex(&h, string(name), &secs, db, false)
+	idx, _, err := buildFrozenIndex(&h, string(name), secs, db, false)
 	return idx, err
 }
 
@@ -701,27 +881,36 @@ func openFrozenBytes(data []byte, db *DB, zeroCopy bool) (*PermIndex, *DB, error
 	if int(kindLen) != len(frozenKind) || string(data[len(codecMagic)+8:frozenPrefixLen]) != frozenKind {
 		return nil, nil, fmt.Errorf("sisap: mapped open supports only %q containers", frozenKind)
 	}
-	if tag := le.Uint32(data[frozenPrefixLen:]); tag != permFrozenTag {
+	version := 0
+	switch le.Uint32(data[frozenPrefixLen:]) {
+	case permFrozenTag:
+		version = 1
+	case permFrozenV2Tag:
+		version = 2
+	default:
 		return nil, nil, errors.New("sisap: container payload is not frozen (write it with WriteFrozen, or stream-decode with ReadIndex)")
 	}
-	h := parseFrozenFixed(data[frozenPrefixLen+4:])
+	if len(data) < frozenPrefixLen+4+frozenFixedLenFor(version) {
+		return nil, nil, fmt.Errorf("sisap: %d-byte file is too short for a frozen v%d header", len(data), version)
+	}
+	h := parseFrozenFixed(data[frozenPrefixLen+4:], version)
 	if err := h.check(); err != nil {
 		return nil, nil, err
 	}
 	if h.headerOff != uint64(frozenPrefixLen) {
 		return nil, nil, fmt.Errorf("sisap: frozen header claims offset %d, found at %d", h.headerOff, frozenPrefixLen)
 	}
-	nameOff := frozenPrefixLen + 4 + frozenFixedLen
+	nameOff := frozenPrefixLen + 4 + frozenFixedLenFor(version)
 	if h.end() != uint64(len(data)) {
 		return nil, nil, fmt.Errorf("sisap: frozen container is %d bytes, header describes %d", len(data), h.end())
 	}
 	name := string(data[nameOff : nameOff+h.metricLen])
-	var secs [frozenNumSecs][]byte
+	secs := make([][]byte, len(h.sec))
 	for i, s := range h.sec {
 		secs[i] = data[s.off : s.off+s.length : s.off+s.length]
 	}
-	if err := h.verifySections(&secs); err != nil {
+	if err := h.verifySections(secs); err != nil {
 		return nil, nil, err
 	}
-	return buildFrozenIndex(&h, name, &secs, db, zeroCopy)
+	return buildFrozenIndex(&h, name, secs, db, zeroCopy)
 }

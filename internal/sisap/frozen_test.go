@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"distperm/internal/dataset"
@@ -220,7 +222,7 @@ func TestWriteIndexWithSelectsForm(t *testing.T) {
 	if !bytes.Equal(compact.Bytes(), direct.Bytes()) {
 		t.Error("Compact: true should emit exactly the WriteIndex wire form")
 	}
-	if tag := binary.LittleEndian.Uint32(frozen.Bytes()[frozenPrefixLen:]); tag != permFrozenTag {
+	if tag := binary.LittleEndian.Uint32(frozen.Bytes()[frozenPrefixLen:]); tag != permFrozenV2Tag {
 		t.Errorf("default WriteIndexWith form has payload tag %#x, want frozen", tag)
 	}
 	if frozen.Len() <= compact.Len() {
@@ -370,4 +372,184 @@ func TestFrozenRejectsCorruptContainers(t *testing.T) {
 func OpenMappedBytesForTest(data []byte, db *DB) (*PermIndex, error) {
 	idx, _, err := openFrozenBytes(data, db, false)
 	return idx, err
+}
+
+// frozenBucketGeometry reads the PFR2 directory geometry back out of a
+// container image: the absolute byte offsets of the five uint32 arrays in
+// the buckets section, plus ell and nbuckets. Field positions: n@44,
+// distinct@52, buckets descriptor @68+24·frozenSecBuckets, ell@188,
+// nbuckets@192.
+func frozenBucketGeometry(d []byte) (n, distinct, ell, nb, prefixesOff, rowStartsOff, rowOrderOff, ptStartsOff, ptOrderOff int) {
+	le := binary.LittleEndian
+	n = int(le.Uint64(d[44:]))
+	distinct = int(le.Uint32(d[52:]))
+	ell = int(le.Uint32(d[188:]))
+	nb = int(le.Uint32(d[192:]))
+	prefixesOff = int(le.Uint64(d[68+24*frozenSecBuckets:]))
+	rowStartsOff = prefixesOff + 4*nb*ell
+	rowOrderOff = rowStartsOff + 4*(nb+1)
+	ptStartsOff = rowOrderOff + 4*distinct
+	ptOrderOff = ptStartsOff + 4*(nb+1)
+	return
+}
+
+func TestFrozenRejectsCorruptBucketDirectory(t *testing.T) {
+	// The mis-probe guarantee: any directory inconsistent with the rank
+	// table — even one whose checksum has been recomputed — must fail
+	// decode on both the mapped and stream paths, never serve wrong
+	// candidates.
+	db, rng := testDB(718, 200, 3, metric.L2{})
+	idx := NewPermIndex(db, rng.Perm(db.N())[:6], Footrule)
+	var buf bytes.Buffer
+	if _, err := WriteFrozen(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	le := binary.LittleEndian
+	n, distinct, _, nb, prefixesOff, rowStartsOff, rowOrderOff, ptStartsOff, ptOrderOff := frozenBucketGeometry(pristine)
+	if nb < 2 {
+		t.Fatalf("need at least 2 buckets to corrupt, have %d", nb)
+	}
+	swap4 := func(d []byte, a, b int) {
+		var tmp [4]byte
+		copy(tmp[:], d[a:a+4])
+		copy(d[a:a+4], d[b:b+4])
+		copy(d[b:b+4], tmp[:])
+	}
+	cases := []struct {
+		name   string
+		refix  bool // recompute the section CRC: validation, not the checksum, must catch it
+		mutate func(d []byte)
+	}{
+		{"buckets checksum mismatch", false, func(d []byte) { d[prefixesOff] ^= 0xFF }},
+		{"ell zero", false, func(d []byte) { le.PutUint32(d[188:], 0) }},
+		{"ell beyond k", false, func(d []byte) { le.PutUint32(d[188:], 7) }},
+		{"nbuckets zero", false, func(d []byte) { le.PutUint32(d[192:], 0) }},
+		{"nbuckets beyond distinct", false, func(d []byte) { le.PutUint32(d[192:], uint32(distinct)+1) }},
+		{"prefix site out of range", true, func(d []byte) { le.PutUint32(d[prefixesOff:], 99) }},
+		{"row boundaries start past 0", true, func(d []byte) { le.PutUint32(d[rowStartsOff:], 1) }},
+		{"duplicate row in posting list", true, func(d []byte) {
+			copy(d[rowOrderOff:rowOrderOff+4], d[rowOrderOff+4:rowOrderOff+8])
+		}},
+		{"row listed under wrong bucket", true, func(d []byte) {
+			// Swap the first rows of buckets 0 and 1: both end up under a
+			// prefix they do not carry.
+			s1 := int(le.Uint32(d[rowStartsOff+4:]))
+			swap4(d, rowOrderOff, rowOrderOff+4*s1)
+		}},
+		{"duplicate point in posting list", true, func(d []byte) {
+			copy(d[ptOrderOff:ptOrderOff+4], d[ptOrderOff+4:ptOrderOff+8])
+		}},
+		{"point boundaries end short", true, func(d []byte) {
+			le.PutUint32(d[ptStartsOff+4*nb:], uint32(n-1))
+		}},
+	}
+	for _, tc := range cases {
+		data := append([]byte(nil), pristine...)
+		tc.mutate(data)
+		if tc.refix {
+			refreezeCRC(data, frozenSecBuckets)
+		}
+		if _, err := OpenMappedBytesForTest(data, db); err == nil {
+			t.Errorf("%s: mapped open accepted the corruption", tc.name)
+		}
+		if _, err := ReadIndex(bytes.NewReader(data), db); err == nil {
+			t.Errorf("%s: stream decode accepted the corruption", tc.name)
+		}
+	}
+}
+
+// readFuzzSeed decodes one committed `go test fuzz v1` corpus file back to
+// its raw byte payload.
+func readFuzzSeed(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	i := strings.Index(s, "[]byte(")
+	j := strings.LastIndex(s, ")")
+	if i < 0 || j <= i {
+		t.Fatalf("%s is not a fuzz seed file", path)
+	}
+	raw, err := strconv.Unquote(strings.TrimSpace(s[i+len("[]byte(") : j]))
+	if err != nil {
+		t.Fatalf("unquoting %s: %v", path, err)
+	}
+	return []byte(raw)
+}
+
+func TestFrozenV1StillDecodes(t *testing.T) {
+	// The committed PFRZ fuzz seed doubles as the backward-compatibility
+	// pin: the pre-directory revision keeps decoding on both paths, with
+	// the bucket directory rebuilt lazily on the heap. The seed was
+	// written against the reproducible testDB(607, 50, 3) index.
+	raw := readFuzzSeed(t, filepath.Join("testdata", "fuzz", "FuzzReadIndex", "seed-frozen-v1"))
+	db, rng := testDB(607, 50, 3, metric.L2{})
+	want := NewPermIndex(db, rng.Perm(db.N())[:5], Footrule)
+	for name, decode := range map[string]func() (*PermIndex, error){
+		"stream": func() (*PermIndex, error) {
+			got, err := ReadIndex(bytes.NewReader(raw), db)
+			if err != nil {
+				return nil, err
+			}
+			return got.(*PermIndex), nil
+		},
+		"mapped": func() (*PermIndex, error) { return OpenMappedBytesForTest(raw, db) },
+	} {
+		got, err := decode()
+		if err != nil {
+			t.Fatalf("%s: v1 frozen container no longer decodes: %v", name, err)
+		}
+		if got.lb.pb != nil {
+			t.Fatalf("%s: v1 container unexpectedly carries a directory", name)
+		}
+		q := dataset.UniformVectors(rng, 1, 3)[0]
+		a, _ := want.ScanOrder(q)
+		b, _ := got.ScanOrder(q)
+		assertSameOrder(t, name, b, a)
+		// The lazily built heap directory must agree with the original's.
+		if got.ApproxBuckets() != want.ApproxBuckets() {
+			t.Fatalf("%s: lazy directory has %d buckets, want %d", name, got.ApproxBuckets(), want.ApproxBuckets())
+		}
+		rs, st := got.KNNApprox(q, 3, 1)
+		ws, wt := want.KNNApprox(q, 3, 1)
+		sameResults(t, name+" v1 approx", rs, ws)
+		if st != wt {
+			t.Fatalf("%s: v1 approx stats %+v, want %+v", name, st, wt)
+		}
+	}
+}
+
+func TestFrozenBucketDirectoryRoundTrip(t *testing.T) {
+	// save → OpenMapped → approximate query: the mapped index must answer
+	// from the container's directory (no rebuild) and agree with the
+	// heap-built index bucket for bucket.
+	db, rng := testDB(719, 500, 3, metric.L2{})
+	for _, k := range []int{6, 300} {
+		idx := NewPermIndex(db, rng.Perm(db.N())[:k], Footrule)
+		idx.ConfigurePrefixBuckets(3)
+		mapped := mappedCopy(t, idx, db)
+		if mapped.lb.pb == nil {
+			t.Fatalf("k=%d: mapped open did not pre-fill the bucket directory", k)
+		}
+		if got, want := mapped.PrefixLen(), idx.PrefixLen(); got != want {
+			t.Fatalf("k=%d: mapped prefix length %d, want %d", k, got, want)
+		}
+		if got, want := mapped.ApproxBuckets(), idx.ApproxBuckets(); got != want {
+			t.Fatalf("k=%d: mapped directory has %d buckets, want %d", k, got, want)
+		}
+		for qi := 0; qi < 10; qi++ {
+			q := dataset.UniformVectors(rng, 1, 3)[0]
+			for _, nprobe := range []int{1, 3, idx.ApproxBuckets()} {
+				want, wantSt := idx.KNNApprox(q, 5, nprobe)
+				got, gotSt := mapped.KNNApprox(q, 5, nprobe)
+				sameResults(t, "mapped approx knn", got, want)
+				if gotSt != wantSt {
+					t.Fatalf("k=%d nprobe=%d: mapped stats %+v, heap stats %+v", k, nprobe, gotSt, wantSt)
+				}
+			}
+		}
+	}
 }

@@ -63,6 +63,11 @@ type PermIndex struct {
 	// after construction and shared between replicas.
 	table    *rankTable
 	tableIDs []uint32
+	// lb shares the approximate-search bucket directory (prefixbuckets.go)
+	// between the index and every replica: built lazily on first
+	// approximate query, or pre-filled with container views by a frozen
+	// open.
+	lb *lazyBuckets
 	// scratch holds the per-query buffers (allocated lazily, never shared:
 	// Replica clears it), which is what makes the query path non-reentrant.
 	scratch *permScratch
@@ -78,6 +83,7 @@ type permScratch struct {
 	keys   []int64          // per-point keys scattered from tkeys
 	counts []int32          // counting-sort buckets, grown on demand
 	batch  *batchScratch    // batch-path workspace, allocated on first batch
+	approx *approxScratch   // approximate-path workspace, on first approx query
 }
 
 // batchScratch is the per-replica workspace of the batch query path: the
@@ -151,6 +157,7 @@ func NewPermIndex(db *DB, siteIDs []int, dist PermDistance) *PermIndex {
 		dist:     dist,
 		table:    buildPermTable(pm, db.Points, ids),
 		tableIDs: ids,
+		lb:       &lazyBuckets{},
 	}
 }
 
@@ -168,6 +175,7 @@ func newPermIndexFromTable(db *DB, siteIDs []int, dist PermDistance, table *rank
 		dist:     dist,
 		table:    table,
 		tableIDs: ids,
+		lb:       &lazyBuckets{},
 	}
 }
 

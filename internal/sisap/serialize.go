@@ -217,7 +217,9 @@ func decodePermPayload(br io.Reader, db *DB) (*PermIndex, error) {
 	case permTableTag:
 		return decodeTablePayload(br, db)
 	case permFrozenTag:
-		return decodeFrozenStream(br, db)
+		return decodeFrozenStream(br, db, 1)
+	case permFrozenV2Tag:
+		return decodeFrozenStream(br, db, 2)
 	}
 	return decodeLegacyPayload(br, db, first)
 }

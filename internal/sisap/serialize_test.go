@@ -185,6 +185,13 @@ func FuzzReadIndex(f *testing.F) {
 	}
 	f.Add(frozen.Bytes())
 	f.Add(frozen.Bytes()[:90])
+	// A checksum-valid but inconsistent bucket directory, seeding the
+	// fuzzer at the directory-consistency validation.
+	badBuckets := append([]byte(nil), frozen.Bytes()...)
+	_, _, _, _, _, _, _, _, ptOrderOff := frozenBucketGeometry(badBuckets)
+	copy(badBuckets[ptOrderOff:ptOrderOff+4], badBuckets[ptOrderOff+4:ptOrderOff+8])
+	refreezeCRC(badBuckets, frozenSecBuckets)
+	f.Add(badBuckets)
 	var v1 bytes.Buffer
 	if _, err := idx.WriteTo(&v1); err != nil {
 		f.Fatal(err)

@@ -93,6 +93,41 @@ type BatchIndex interface {
 	KNNBatch(qs []metric.Point, k int) ([][]Result, []Stats)
 }
 
+// ApproxStats extends Stats with the probe accounting of an approximate
+// query: how much of the bucket directory was consulted and how much of
+// the database was actually measured.
+type ApproxStats struct {
+	Stats
+	// ProbedBuckets and TotalBuckets report the probe set against the
+	// directory size; Candidates counts the points measured (the candidate
+	// fraction is Candidates over the database size).
+	ProbedBuckets int
+	TotalBuckets  int
+	Candidates    int
+	// Exact reports that the probe set covered every bucket, so the exact
+	// scan answered and the results are byte-identical to KNN.
+	Exact bool
+}
+
+// ApproxIndex is the approximate-search capability: an index that can
+// trade bounded recall for a smaller candidate set, steered by nprobe
+// (how many inverted-file buckets to probe; ≤ 0 selects the index's
+// default, ≥ the directory size degrades to the exact scan with
+// byte-identical answers). Recall must be monotone non-decreasing in
+// nprobe. Engines detect this interface on their worker replicas, exactly
+// as they detect BatchIndex.
+type ApproxIndex interface {
+	Index
+	// KNNApprox answers one approximate kNN query.
+	KNNApprox(q metric.Point, k, nprobe int) ([]Result, ApproxStats)
+	// KNNApproxBatch answers one approximate kNN query per element of qs,
+	// identical per query to KNNApprox.
+	KNNApproxBatch(qs []metric.Point, k, nprobe int) ([][]Result, []ApproxStats)
+	// ApproxBuckets returns the inverted-file directory size nprobe is
+	// measured against.
+	ApproxBuckets() int
+}
+
 // Replicable is implemented by indexes whose query path mutates per-index
 // scratch state and which can therefore not be shared across goroutines.
 // Replica returns an independent view over the same immutable built

@@ -204,4 +204,18 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 	}
 	emit("FuzzReadIndex", "seed-frozen", frozen.Bytes())
 	emit("FuzzReadIndex", "seed-frozen-torn", frozen.Bytes()[:90])
+	// A directory-inconsistency seed: duplicate the first point posting and
+	// recompute the section CRC, starting the fuzzer right at the
+	// bucket-directory validation instead of the checksum wall.
+	badBuckets := append([]byte(nil), frozen.Bytes()...)
+	_, _, _, _, _, _, _, _, ptOrderOff := frozenBucketGeometry(badBuckets)
+	copy(badBuckets[ptOrderOff:ptOrderOff+4], badBuckets[ptOrderOff+4:ptOrderOff+8])
+	refreezeCRC(badBuckets, frozenSecBuckets)
+	emit("FuzzReadIndex", "seed-frozen-badbuckets", badBuckets)
+	// seed-frozen-v1 pins the PFRZ revision (no bucket directory): it was
+	// committed from the last v1 writer and cannot be regenerated, so it is
+	// asserted present but never rewritten.
+	if _, err := os.Stat(filepath.Join("testdata", "fuzz", "FuzzReadIndex", "seed-frozen-v1")); err != nil {
+		t.Errorf("missing committed v1 frozen seed: %v", err)
+	}
 }

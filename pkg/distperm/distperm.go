@@ -76,6 +76,15 @@ type (
 	// block of queries per pass over the index data, identically to per-query
 	// KNN. Engine detects it and hands workers contiguous sub-batches.
 	BatchIndex = sisap.BatchIndex
+	// ApproxIndex is the approximate-search capability: KNNApprox trades
+	// bounded recall for a smaller candidate set, steered by nprobe (how
+	// many permutation-prefix buckets to probe). PermIndex implements it;
+	// the engines detect it on their replicas as they detect BatchIndex.
+	ApproxIndex = sisap.ApproxIndex
+	// ApproxStats extends Stats with the probe accounting of an approximate
+	// query: probed buckets against the directory size, candidate count,
+	// and whether the probe set degraded to the exact scan.
+	ApproxStats = sisap.ApproxStats
 )
 
 // Candidate-ordering permutation distances for PermIndex.

@@ -1,6 +1,7 @@
 package distperm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,6 +12,11 @@ import (
 	"distperm/internal/sisap"
 	"distperm/pkg/obs"
 )
+
+// ErrNoApprox tags KNNApproxBatch calls against an index without the
+// ApproxIndex capability, so serving layers can report the request as
+// unsupported rather than failed. Match with errors.Is.
+var ErrNoApprox = errors.New("index has no approximate-search support")
 
 // Engine is a concurrent query engine over one built index: a pool of
 // worker goroutines, each holding its own query replica of the index (the
@@ -33,6 +39,10 @@ type Engine struct {
 	// index's batched kernels amortise the table walk across queries; when it
 	// is not, batches degrade to the per-query jobs below.
 	batchOK bool
+	// approxOK records whether the index carries the approximate-search
+	// capability (sisap.ApproxIndex); without it KNNApproxBatch fails with
+	// ErrNoApprox.
+	approxOK bool
 
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
@@ -47,6 +57,12 @@ type Engine struct {
 	queries  int64
 	evals    int64
 	batched  int64 // queries served through the sub-batch fast path
+	// Approximate-path accounting: queries served through KNNApproxBatch,
+	// their summed probed-bucket counts, and their summed candidate counts
+	// (the aggregate candidate fraction is approxCand over approxQ·N).
+	approxQ    int64
+	probed     int64
+	approxCand int64
 	// lat holds every per-query latency in a fixed-bucket histogram
 	// (obs.DefLatencyBuckets): constant memory regardless of lifetime,
 	// lock-free to observe, mergeable across shards and epochs, and the
@@ -69,6 +85,13 @@ type job struct {
 	// slots for exactly these queries, and wg counts jobs, not queries.
 	qs   []Point
 	outs [][]Result
+
+	// Approximate form (always sub-batch): the job routes through the
+	// replica's ApproxIndex capability with this nprobe, and asts aliases
+	// the caller's per-query stats slots.
+	approx bool
+	nprobe int
+	asts   []sisap.ApproxStats
 }
 
 // engineChunkCap bounds the queries a single sub-batch job carries. Beyond
@@ -86,13 +109,15 @@ func NewEngine(db *DB, idx Index, workers int) (*Engine, error) {
 		workers = runtime.NumCPU()
 	}
 	_, batchOK := idx.(sisap.BatchIndex)
+	_, approxOK := idx.(sisap.ApproxIndex)
 	e := &Engine{
-		db:      db,
-		idx:     idx,
-		workers: workers,
-		jobs:    make(chan job, 4*workers),
-		batchOK: batchOK,
-		lat:     obs.NewHistogram(obs.DefLatencyBuckets),
+		db:       db,
+		idx:      idx,
+		workers:  workers,
+		jobs:     make(chan job, 4*workers),
+		batchOK:  batchOK,
+		approxOK: approxOK,
+		lat:      obs.NewHistogram(obs.DefLatencyBuckets),
 	}
 	for i := 0; i < workers; i++ {
 		replica := sisap.QueryReplica(idx)
@@ -113,7 +138,11 @@ func (e *Engine) worker(idx Index) {
 	for j := range e.jobs {
 		e.busy.Add(1)
 		if j.qs != nil {
-			e.serveBatch(idx, j)
+			if j.approx {
+				e.serveApprox(idx, j)
+			} else {
+				e.serveBatch(idx, j)
+			}
 			e.busy.Add(-1)
 			continue
 		}
@@ -177,6 +206,48 @@ func (e *Engine) serveBatch(idx Index, j job) {
 	j.wg.Done()
 }
 
+// serveApprox answers one approximate sub-batch job on the worker's
+// replica. Accounting mirrors serveBatch, with the probe statistics folded
+// into the approximate-path counters as well.
+func (e *Engine) serveApprox(idx Index, j job) {
+	start := time.Now()
+	var rs [][]Result
+	var sts []sisap.ApproxStats
+	if a, ok := idx.(sisap.ApproxIndex); ok {
+		rs, sts = a.KNNApproxBatch(j.qs, j.k, j.nprobe)
+	} else {
+		// The engine's index was approx-capable but this worker's replica is
+		// not (a custom Replicable could downgrade); serve exactly and report
+		// full coverage — correct answers at the cost of the speedup.
+		rs = make([][]Result, len(j.qs))
+		sts = make([]sisap.ApproxStats, len(j.qs))
+		for i, q := range j.qs {
+			var st Stats
+			rs[i], st = idx.KNN(q, j.k)
+			sts[i] = sisap.ApproxStats{Stats: st, Candidates: e.db.N(), Exact: true}
+		}
+	}
+	perQuery := time.Since(start) / time.Duration(len(j.qs))
+	copy(j.outs, rs)
+	copy(j.asts, sts)
+
+	e.mu.Lock()
+	e.queries += int64(len(j.qs))
+	e.approxQ += int64(len(j.qs))
+	for _, st := range sts {
+		e.evals += int64(st.DistanceEvals)
+		e.probed += int64(st.ProbedBuckets)
+		e.approxCand += int64(st.Candidates)
+	}
+	e.mu.Unlock()
+	sec := perQuery.Seconds()
+	for range j.qs {
+		e.lat.Observe(sec)
+	}
+
+	j.wg.Done()
+}
+
 // KNNBatch answers one kNN query per point of qs, fanned out across the
 // worker pool. out[i] holds the k nearest database points to qs[i] in
 // increasing distance order — identical to querying the index sequentially.
@@ -190,6 +261,69 @@ func (e *Engine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 	return e.submit(qs, func(i int, out *[]Result, wg *sync.WaitGroup) job {
 		return job{q: qs[i], k: k, out: out, wg: wg}
 	})
+}
+
+// KNNApproxBatch answers one approximate kNN query per point of qs through
+// the index's ApproxIndex capability, fanned out across the worker pool in
+// contiguous sub-batches. nprobe steers the recall/speed trade (≤ 0 selects
+// the index default; ≥ ApproxBuckets degrades to the exact scan with
+// answers byte-identical to KNNBatch). The returned stats are per query.
+// Indexes without the capability fail with ErrNoApprox.
+func (e *Engine) KNNApproxBatch(qs []Point, k, nprobe int) ([][]Result, []sisap.ApproxStats, error) {
+	if !e.approxOK {
+		return nil, nil, fmt.Errorf("distperm: %w", ErrNoApprox)
+	}
+	if k < 1 || k > e.db.N() {
+		return nil, nil, fmt.Errorf("distperm: k=%d %w 1..%d", k, ErrOutOfRange, e.db.N())
+	}
+	if len(qs) == 0 {
+		return [][]Result{}, []sisap.ApproxStats{}, nil
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, nil, fmt.Errorf("distperm: engine is closed")
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	chunk := (len(qs) + e.workers - 1) / e.workers
+	if chunk > engineChunkCap {
+		chunk = engineChunkCap
+	}
+	outs := make([][]Result, len(qs))
+	asts := make([]sisap.ApproxStats, len(qs))
+	var wg sync.WaitGroup
+	for base := 0; base < len(qs); base += chunk {
+		end := base + chunk
+		if end > len(qs) {
+			end = len(qs)
+		}
+		wg.Add(1)
+		e.jobs <- job{qs: qs[base:end], k: k, outs: outs[base:end], approx: true, nprobe: nprobe, asts: asts[base:end], wg: &wg}
+	}
+	wg.Wait()
+	return outs, asts, nil
+}
+
+// ApproxBuckets returns the index's inverted-file directory size — the
+// bound nprobe is measured against — or 0 when the index has no
+// approximate-search capability.
+func (e *Engine) ApproxBuckets() int {
+	if a, ok := e.idx.(sisap.ApproxIndex); ok {
+		return a.ApproxBuckets()
+	}
+	return 0
+}
+
+// DistinctRows returns the index's distinct permutation-row count — the
+// paper's table size and the universe the prefix-bucket directory is built
+// over — or 0 when the index does not expose it.
+func (e *Engine) DistinctRows() int {
+	if d, ok := e.idx.(interface{ DistinctPermutations() int }); ok {
+		return d.DistinctPermutations()
+	}
+	return 0
 }
 
 // RangeBatch answers one range query of radius r per point of qs.
@@ -284,6 +418,20 @@ type EngineStats struct {
 	// fast path (batch-native index kernels); 0 means every query ran the
 	// per-query path.
 	BatchedQueries int64
+	// ApproxQueries is how many queries were served through the approximate
+	// path (KNNApproxBatch), including those whose probe set covered the
+	// whole directory and degraded to the exact scan.
+	ApproxQueries int64
+	// ProbedBuckets sums the per-query probed-bucket counts of the
+	// approximate path; ApproxCandidates sums the per-query candidate-set
+	// sizes (ApproxCandidates / (ApproxQueries·N) is the aggregate candidate
+	// fraction).
+	ProbedBuckets    int64
+	ApproxCandidates int64
+	// DistinctRows is the index's distinct permutation-row count (0 when the
+	// index does not expose one) — the table size of the paper's counting
+	// bounds and the row universe of the prefix-bucket directory.
+	DistinctRows int
 	// DistanceEvals is the total metric evaluations spent.
 	DistanceEvals int64
 	// MeanEvals is DistanceEvals / Queries.
@@ -304,27 +452,43 @@ func histQuantile(s obs.HistogramSnapshot, q float64) time.Duration {
 
 // Stats returns a snapshot of the engine-level counters.
 func (e *Engine) Stats() EngineStats {
-	e.mu.Lock()
-	s := EngineStats{Queries: e.queries, BatchedQueries: e.batched, DistanceEvals: e.evals}
-	e.mu.Unlock()
+	c, snap := e.counters()
+	s := EngineStats{
+		Queries:          c.queries,
+		BatchedQueries:   c.batched,
+		ApproxQueries:    c.approxQ,
+		ProbedBuckets:    c.probed,
+		ApproxCandidates: c.approxCand,
+		DistanceEvals:    c.evals,
+		DistinctRows:     e.DistinctRows(),
+	}
 	if s.Queries > 0 {
 		s.MeanEvals = float64(s.DistanceEvals) / float64(s.Queries)
 	}
-	if snap := e.lat.Snapshot(); snap.Count > 0 {
+	if snap.Count > 0 {
 		s.P50 = histQuantile(snap, 0.50)
 		s.P99 = histQuantile(snap, 0.99)
 	}
 	return s
 }
 
-// counters snapshots the raw engine counters and the latency histogram —
-// the sharded layer sums the counters and merges the per-shard histograms
-// before taking quantiles.
-func (e *Engine) counters() (queries, evals, batched int64, lat obs.HistogramSnapshot) {
+// engineCounters is a raw counter snapshot — the sharded layer sums these
+// across shards and merges the per-shard histograms before taking
+// quantiles.
+type engineCounters struct {
+	queries, evals, batched     int64
+	approxQ, probed, approxCand int64
+}
+
+// counters snapshots the raw engine counters and the latency histogram.
+func (e *Engine) counters() (engineCounters, obs.HistogramSnapshot) {
 	e.mu.Lock()
-	queries, evals, batched = e.queries, e.evals, e.batched
+	c := engineCounters{
+		queries: e.queries, evals: e.evals, batched: e.batched,
+		approxQ: e.approxQ, probed: e.probed, approxCand: e.approxCand,
+	}
 	e.mu.Unlock()
-	return queries, evals, batched, e.lat.Snapshot()
+	return c, e.lat.Snapshot()
 }
 
 // LatencySnapshot returns the engine's per-query latency histogram — the

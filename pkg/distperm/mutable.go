@@ -65,8 +65,11 @@ type MutableConfig struct {
 // *Engine and *ShardedEngine both satisfy it.
 type mutBackend interface {
 	KNNBatch(qs []Point, k int) ([][]Result, error)
+	KNNApproxBatch(qs []Point, k, nprobe int) ([][]Result, []sisap.ApproxStats, error)
 	RangeBatch(qs []Point, r float64) ([][]Result, error)
 	Stats() EngineStats
+	ApproxBuckets() int
+	DistinctRows() int
 	LatencySnapshot() obs.HistogramSnapshot
 	BusyWorkers() int
 	Workers() int
@@ -193,6 +196,7 @@ type MutableEngine struct {
 	// so Stats survives rebuilds; deltaEvals counts the gather-time scans.
 	statsMu                          sync.Mutex
 	accQueries, accEvals, accBatched int64
+	accApproxQ, accProbed, accCand   int64
 	accLat                           obs.HistogramSnapshot
 	deltaEvals                       atomic.Int64
 	inserts, deletes                 atomic.Int64
@@ -457,6 +461,58 @@ func (m *MutableEngine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 	m.deltaEvals.Add(evals)
 	return outs, nil
 }
+
+// KNNApproxBatch answers one approximate kNN query per point of qs over
+// the logical point set. Only the built base index answers approximately —
+// the delta buffer is always scanned exactly, so freshly inserted points
+// can never be missed by a probe miss; mutation costs distance
+// evaluations, never recall beyond the base's own probe trade. The
+// returned per-query stats carry the base's probe accounting with the
+// delta scan folded into DistanceEvals and Candidates; Exact refers to the
+// base answer (when true, results are byte-identical to KNNBatch). An
+// engine whose base index lacks the capability fails with ErrNoApprox.
+func (m *MutableEngine) KNNApproxBatch(qs []Point, k, nprobe int) ([][]Result, []sisap.ApproxStats, error) {
+	s, err := m.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.ep.inflight.Done()
+	if k < 1 || k > s.logical {
+		return nil, nil, fmt.Errorf("distperm: k=%d %w 1..%d", k, ErrOutOfRange, s.logical)
+	}
+	if len(qs) == 0 {
+		return [][]Result{}, []sisap.ApproxStats{}, nil
+	}
+	kb := k + len(s.tomb)
+	if kb > len(s.gids) {
+		kb = len(s.gids)
+	}
+	outs, sts, err := s.ep.backend.KNNApproxBatch(qs, kb, nprobe)
+	if err != nil {
+		return nil, nil, err
+	}
+	var evals int64
+	for i, q := range qs {
+		outs[i] = sisap.MergeKNN([][]Result{
+			filterBase(outs[i], s),
+			scanDelta(m.metric, s.delta, q, -1, &evals),
+		}, k)
+		sts[i].DistanceEvals += len(s.delta)
+		sts[i].Candidates += len(s.delta)
+	}
+	m.deltaEvals.Add(evals)
+	return outs, sts, nil
+}
+
+// ApproxBuckets returns the current base engine's inverted-file directory
+// size (0 when the base index has no approximate capability). It can
+// change across rebuilds.
+func (m *MutableEngine) ApproxBuckets() int { return m.snapshot().ep.backend.ApproxBuckets() }
+
+// DistinctRows returns the current base index's distinct permutation-row
+// count (0 when the base does not expose one). Delta points are not
+// counted until a rebuild folds them in.
+func (m *MutableEngine) DistinctRows() int { return m.snapshot().ep.backend.DistinctRows() }
 
 // RangeBatch answers one range query of radius r per point of qs over the
 // logical point set, in (distance, global ID) order.
@@ -746,6 +802,9 @@ func (m *MutableEngine) rebuildOnce(force bool) error {
 		m.accQueries += st.Queries
 		m.accEvals += st.DistanceEvals
 		m.accBatched += st.BatchedQueries
+		m.accApproxQ += st.ApproxQueries
+		m.accProbed += st.ProbedBuckets
+		m.accCand += st.ApproxCandidates
 		m.accLat.Merge(lat)
 		m.statsMu.Unlock()
 		oldEp.close()
@@ -767,6 +826,9 @@ func (m *MutableEngine) Stats() EngineStats {
 	st.Queries += m.accQueries
 	st.DistanceEvals += m.accEvals
 	st.BatchedQueries += m.accBatched
+	st.ApproxQueries += m.accApproxQ
+	st.ProbedBuckets += m.accProbed
+	st.ApproxCandidates += m.accCand
 	lat.Merge(m.accLat)
 	m.statsMu.Unlock()
 	st.DistanceEvals += m.deltaEvals.Load()

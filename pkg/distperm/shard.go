@@ -286,6 +286,74 @@ func (s *ShardedEngine) KNNBatch(qs []Point, k int) ([][]Result, error) {
 	return out, nil
 }
 
+// KNNApproxBatch answers one approximate kNN query per point of qs: every
+// shard probes the nprobe nearest prefix buckets of its own directory and
+// answers over its candidate set, and the per-shard answers merge into the
+// global top k exactly as KNNBatch merges exact answers. The returned
+// per-query stats sum the shard probe accounting; Exact is true only when
+// every shard's probe set covered its whole directory — in which case the
+// answers are byte-identical to KNNBatch. Any shard without the
+// ApproxIndex capability fails the batch with ErrNoApprox.
+func (s *ShardedEngine) KNNApproxBatch(qs []Point, k, nprobe int) ([][]Result, []sisap.ApproxStats, error) {
+	n := s.sx.DB().N()
+	if k < 1 || k > n {
+		return nil, nil, fmt.Errorf("distperm: k=%d %w 1..%d", k, ErrOutOfRange, n)
+	}
+	if len(qs) == 0 {
+		return [][]Result{}, []sisap.ApproxStats{}, nil
+	}
+	perStats := make([][]sisap.ApproxStats, len(s.engines))
+	perShard, err := s.scatter(func(i int, e *Engine) ([][]Result, error) {
+		ks := k
+		if sn := s.sx.ShardDB(i).N(); ks > sn {
+			ks = sn
+		}
+		rs, sts, err := e.KNNApproxBatch(qs, ks, nprobe)
+		perStats[i] = sts
+		return rs, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]Result, len(qs))
+	asts := make([]sisap.ApproxStats, len(qs))
+	gather := make([][]Result, len(s.engines))
+	for q := range qs {
+		agg := sisap.ApproxStats{Exact: true}
+		for i := range s.engines {
+			gather[i] = perShard[i][q]
+			st := perStats[i][q]
+			agg.DistanceEvals += st.DistanceEvals
+			agg.ProbedBuckets += st.ProbedBuckets
+			agg.TotalBuckets += st.TotalBuckets
+			agg.Candidates += st.Candidates
+			agg.Exact = agg.Exact && st.Exact
+		}
+		out[q] = sisap.MergeKNN(gather, k)
+		asts[q] = agg
+	}
+	return out, asts, nil
+}
+
+// ApproxBuckets sums the shard directories' bucket counts — the bound the
+// per-query TotalBuckets stat reports. 0 when no shard has the capability.
+func (s *ShardedEngine) ApproxBuckets() int {
+	total := 0
+	for _, e := range s.engines {
+		total += e.ApproxBuckets()
+	}
+	return total
+}
+
+// DistinctRows sums the shard indexes' distinct permutation-row counts.
+func (s *ShardedEngine) DistinctRows() int {
+	total := 0
+	for _, e := range s.engines {
+		total += e.DistinctRows()
+	}
+	return total
+}
+
 // RangeBatch answers one range query of radius r per point of qs, scattered
 // to every shard and gathered in global (distance, ID) order.
 func (s *ShardedEngine) RangeBatch(qs []Point, r float64) ([][]Result, error) {
@@ -331,10 +399,14 @@ func (s *ShardedEngine) Stats() EngineStats {
 	var agg EngineStats
 	var lat obs.HistogramSnapshot
 	for _, e := range s.engines {
-		queries, evals, batched, snap := e.counters()
-		agg.Queries += queries
-		agg.DistanceEvals += evals
-		agg.BatchedQueries += batched
+		c, snap := e.counters()
+		agg.Queries += c.queries
+		agg.DistanceEvals += c.evals
+		agg.BatchedQueries += c.batched
+		agg.ApproxQueries += c.approxQ
+		agg.ProbedBuckets += c.probed
+		agg.ApproxCandidates += c.approxCand
+		agg.DistinctRows += e.DistinctRows()
 		lat.Merge(snap)
 	}
 	if agg.Queries > 0 {

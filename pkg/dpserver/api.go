@@ -17,10 +17,21 @@ import (
 // KNNRequest is the body of POST /v1/knn: exactly one of Query (single
 // form, eligible for the result cache and the coalescer) or Queries
 // (batched form, submitted to the engine as one batch), plus K.
+//
+// Approx switches the request to the approximate path: the engine probes
+// the NProbe nearest permutation-prefix buckets per query instead of
+// scanning the whole rank table (NProbe ≤ 0 selects the engine default; ≥
+// the directory size degrades to the exact scan with byte-identical
+// answers). Approximate requests bypass the result cache and the
+// coalescer, and the response carries probe accounting in Approx. With
+// Approx false the request is served exactly — byte-identical to a server
+// without the feature.
 type KNNRequest struct {
 	Query   json.RawMessage   `json:"query,omitempty"`
 	Queries []json.RawMessage `json:"queries,omitempty"`
 	K       int               `json:"k"`
+	Approx  bool              `json:"approx,omitempty"`
+	NProbe  int               `json:"nprobe,omitempty"`
 }
 
 // RangeRequest is the body of POST /v1/range: exactly one of Query or
@@ -40,10 +51,30 @@ type Result struct {
 
 // QueryResponse is the body of a successful /v1/knn or /v1/range answer:
 // Results for the single form, Batches (one result list per query, in
-// request order) for the batched form.
+// request order) for the batched form. Approx is present only on
+// approximate kNN answers.
 type QueryResponse struct {
-	Results []Result   `json:"results,omitempty"`
-	Batches [][]Result `json:"batches,omitempty"`
+	Results []Result    `json:"results,omitempty"`
+	Batches [][]Result  `json:"batches,omitempty"`
+	Approx  *ApproxWire `json:"approx,omitempty"`
+}
+
+// ApproxWire is the probe accounting of one approximate /v1/knn request,
+// aggregated over its queries (a single-form request aggregates one).
+type ApproxWire struct {
+	// NProbe echoes the effective request knob (0 = engine default).
+	NProbe int `json:"nprobe"`
+	// ProbedBuckets and TotalBuckets sum the per-query probe sets against
+	// the directory size; Candidates sums the measured candidate sets.
+	ProbedBuckets int `json:"probed_buckets"`
+	TotalBuckets  int `json:"total_buckets"`
+	Candidates    int `json:"candidates"`
+	// CandidateFraction is Candidates over queries·N — the share of the
+	// database actually measured (0 when N is unknown).
+	CandidateFraction float64 `json:"candidate_fraction"`
+	// Exact reports that every query's probe set covered the whole
+	// directory, making the answers byte-identical to an exact request.
+	Exact bool `json:"exact"`
 }
 
 // InsertRequest is the body of POST /v1/insert: exactly one of Point
@@ -101,13 +132,23 @@ type EngineStatsWire struct {
 	Queries int64 `json:"queries"`
 	// BatchedQueries counts queries served through the engine's sub-batch
 	// fast path (batch-native index kernels).
-	BatchedQueries int64   `json:"batched_queries"`
-	DistanceEvals  int64   `json:"distance_evals"`
-	MeanEvals      float64 `json:"mean_evals"`
-	P50Nanos       int64   `json:"p50_ns"`
-	P99Nanos       int64   `json:"p99_ns"`
-	P50            string  `json:"p50"`
-	P99            string  `json:"p99"`
+	BatchedQueries int64 `json:"batched_queries"`
+	// ApproxQueries counts queries served through the approximate path;
+	// ProbedBuckets and ApproxCandidates sum their probe sets and
+	// candidate-set sizes.
+	ApproxQueries    int64 `json:"approx_queries"`
+	ProbedBuckets    int64 `json:"approx_probed_buckets"`
+	ApproxCandidates int64 `json:"approx_candidates"`
+	// DistinctRows is the index's distinct permutation-row count — the rank
+	// table size the prefix-bucket directory is built over (0 when the index
+	// does not expose one).
+	DistinctRows  int     `json:"distinct_rows"`
+	DistanceEvals int64   `json:"distance_evals"`
+	MeanEvals     float64 `json:"mean_evals"`
+	P50Nanos      int64   `json:"p50_ns"`
+	P99Nanos      int64   `json:"p99_ns"`
+	P50           string  `json:"p50"`
+	P99           string  `json:"p99"`
 }
 
 // ServerCounters is the server-level half of GET /v1/stats: HTTP traffic,
@@ -293,13 +334,17 @@ func walWire(ws distperm.WALStats) *WALStatsWire {
 // statsWire converts an engine snapshot to the wire shape.
 func statsWire(st distperm.EngineStats) EngineStatsWire {
 	return EngineStatsWire{
-		Queries:        st.Queries,
-		BatchedQueries: st.BatchedQueries,
-		DistanceEvals:  st.DistanceEvals,
-		MeanEvals:      st.MeanEvals,
-		P50Nanos:       st.P50.Nanoseconds(),
-		P99Nanos:       st.P99.Nanoseconds(),
-		P50:            st.P50.String(),
-		P99:            st.P99.String(),
+		Queries:          st.Queries,
+		BatchedQueries:   st.BatchedQueries,
+		ApproxQueries:    st.ApproxQueries,
+		ProbedBuckets:    st.ProbedBuckets,
+		ApproxCandidates: st.ApproxCandidates,
+		DistinctRows:     st.DistinctRows,
+		DistanceEvals:    st.DistanceEvals,
+		MeanEvals:        st.MeanEvals,
+		P50Nanos:         st.P50.Nanoseconds(),
+		P99Nanos:         st.P99.Nanoseconds(),
+		P50:              st.P50.String(),
+		P99:              st.P99.String(),
 	}
 }

@@ -62,6 +62,38 @@ func (c *Client) KNNBatch(ctx context.Context, qs []distperm.Point, k int) ([][]
 	return fromWireBatches(resp.Batches)
 }
 
+// KNNApprox answers one approximate kNN query: the server probes the
+// nprobe nearest permutation-prefix buckets (0 selects the server default;
+// ≥ the directory size degrades to the exact scan). The returned ApproxWire
+// carries the probe accounting (probed buckets, candidate fraction, and
+// whether the answer degraded to exact).
+func (c *Client) KNNApprox(ctx context.Context, q distperm.Point, k, nprobe int) ([]distperm.Result, *dpserver.ApproxWire, error) {
+	raw, err := dpserver.EncodePoint(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	var resp dpserver.QueryResponse
+	if err := c.post(ctx, "/v1/knn", dpserver.KNNRequest{Query: raw, K: k, Approx: true, NProbe: nprobe}, &resp); err != nil {
+		return nil, nil, err
+	}
+	return fromWire(resp.Results), resp.Approx, nil
+}
+
+// KNNApproxBatch answers one approximate kNN query per point of qs in one
+// request; the ApproxWire aggregates the probe accounting over the batch.
+func (c *Client) KNNApproxBatch(ctx context.Context, qs []distperm.Point, k, nprobe int) ([][]distperm.Result, *dpserver.ApproxWire, error) {
+	raws, err := encodeAll(qs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var resp dpserver.QueryResponse
+	if err := c.post(ctx, "/v1/knn", dpserver.KNNRequest{Queries: raws, K: k, Approx: true, NProbe: nprobe}, &resp); err != nil {
+		return nil, nil, err
+	}
+	outs, err := fromWireBatches(resp.Batches)
+	return outs, resp.Approx, err
+}
+
 // Range answers one range query of radius r.
 func (c *Client) Range(ctx context.Context, q distperm.Point, r float64) ([]distperm.Result, error) {
 	raw, err := dpserver.EncodePoint(q)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"distperm/pkg/distperm"
+	"distperm/pkg/dpserver"
 	"distperm/pkg/obs"
 )
 
@@ -39,6 +40,11 @@ type LoadConfig struct {
 	// between inserting a pool point and deleting a previously inserted
 	// one, so the store's size stays roughly flat over a long run.
 	WriteRatio float64
+	// ApproxNProbe > 0 sends kNN requests through the server's approximate
+	// path with this nprobe; ≤ 0 (the default) sends exact queries. The
+	// report then carries the mean per-request candidate fraction the
+	// server measured. Requires K > 0.
+	ApproxNProbe int
 }
 
 // LatencySummary condenses one endpoint's latency histogram: the request
@@ -79,9 +85,19 @@ type LoadReport struct {
 	// successful request, read from fixed-bucket histograms (memory stays
 	// flat however long the run); resolution is one histogram bucket edge.
 	P50, P95, P99 time.Duration
-	// PerEndpoint breaks the latency down by endpoint ("knn", "range",
-	// "insert", "delete"); endpoints the run never hit are absent.
+	// PerEndpoint breaks the latency down by request shape: single-query
+	// requests land under "knn"/"range" (the cache/coalescer path) and
+	// client-side batches under "knn-batch"/"range-batch" (the direct
+	// engine path), so the two serving paths never blur in one summary;
+	// mutations land under "insert"/"delete". Shapes the run never sent
+	// are absent.
 	PerEndpoint map[string]LatencySummary
+	// ApproxRequests counts kNN requests served through the approximate
+	// path (ApproxNProbe > 0 runs); MeanCandidateFraction averages their
+	// per-request candidate fraction — the share of the database the
+	// server actually measured per query.
+	ApproxRequests        int64
+	MeanCandidateFraction float64
 }
 
 // RunLoad fires queries at cfg.Target from cfg.Concurrency workers until
@@ -102,6 +118,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	}
 	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
 		return LoadReport{}, fmt.Errorf("client: write ratio %g out of range 0..1", cfg.WriteRatio)
+	}
+	if cfg.ApproxNProbe > 0 && cfg.K == 0 {
+		return LoadReport{}, fmt.Errorf("client: approximate load needs kNN queries (set K)")
 	}
 	conc := cfg.Concurrency
 	if conc < 1 {
@@ -149,18 +168,27 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		requests, errors, queries atomic.Int64
 		inserts, deletes          atomic.Int64
 	)
-	// One lock-free latency histogram per endpoint, the same instrument the
-	// server aggregates with, so the client- and server-side percentiles in
-	// the end-of-run comparison share bucket edges.
+	// One lock-free latency histogram per request shape, the same instrument
+	// the server aggregates with, so the client- and server-side percentiles
+	// in the end-of-run comparison share bucket edges. Single and batched
+	// query requests are kept apart — they traverse different serving paths
+	// (cache/coalescer vs direct engine batch) with different latency
+	// profiles.
 	hists := map[string]*obs.Histogram{
-		"knn":    obs.NewHistogram(obs.DefLatencyBuckets),
-		"range":  obs.NewHistogram(obs.DefLatencyBuckets),
-		"insert": obs.NewHistogram(obs.DefLatencyBuckets),
-		"delete": obs.NewHistogram(obs.DefLatencyBuckets),
+		"knn":         obs.NewHistogram(obs.DefLatencyBuckets),
+		"knn-batch":   obs.NewHistogram(obs.DefLatencyBuckets),
+		"range":       obs.NewHistogram(obs.DefLatencyBuckets),
+		"range-batch": obs.NewHistogram(obs.DefLatencyBuckets),
+		"insert":      obs.NewHistogram(obs.DefLatencyBuckets),
+		"delete":      obs.NewHistogram(obs.DefLatencyBuckets),
 	}
 	record := func(endpoint string, d time.Duration) {
 		hists[endpoint].Observe(d.Seconds())
 	}
+	// Candidate-fraction accumulation for approximate runs.
+	var fracMu sync.Mutex
+	var fracSum float64
+	var approxReqs int64
 
 	c := New(cfg.Target)
 	start := time.Now()
@@ -189,6 +217,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				endpoint := "knn"
 				if cfg.K == 0 {
 					endpoint = "range"
+				}
+				if batch > 1 {
+					endpoint += "-batch"
 				}
 				reqStart := time.Now()
 				if cfg.WriteRatio > 0 && wrng.Float64() < cfg.WriteRatio {
@@ -221,11 +252,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					record(endpoint, time.Since(reqStart))
 					continue
 				}
+				var aw *dpserver.ApproxWire
 				if batch == 1 {
 					q := cfg.Queries[i%len(cfg.Queries)]
-					if cfg.K > 0 {
+					switch {
+					case cfg.K > 0 && cfg.ApproxNProbe > 0:
+						_, aw, err = c.KNNApprox(ctx, q, cfg.K, cfg.ApproxNProbe)
+					case cfg.K > 0:
 						_, err = c.KNN(ctx, q, cfg.K)
-					} else {
+					default:
 						_, err = c.Range(ctx, q, cfg.Radius)
 					}
 				} else {
@@ -233,9 +268,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					for j := range qs {
 						qs[j] = cfg.Queries[(i+j)%len(cfg.Queries)]
 					}
-					if cfg.K > 0 {
+					switch {
+					case cfg.K > 0 && cfg.ApproxNProbe > 0:
+						_, aw, err = c.KNNApproxBatch(ctx, qs, cfg.K, cfg.ApproxNProbe)
+					case cfg.K > 0:
 						_, err = c.KNNBatch(ctx, qs, cfg.K)
-					} else {
+					default:
 						_, err = c.RangeBatch(ctx, qs, cfg.Radius)
 					}
 				}
@@ -251,6 +289,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				requests.Add(1)
 				queries.Add(int64(batch))
 				record(endpoint, time.Since(reqStart))
+				if aw != nil {
+					fracMu.Lock()
+					fracSum += aw.CandidateFraction
+					approxReqs++
+					fracMu.Unlock()
+				}
 			}
 		}(w)
 	}
@@ -267,6 +311,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	}
 	if elapsed > 0 {
 		report.QueriesPerSecond = float64(report.Queries) / elapsed.Seconds()
+	}
+	report.ApproxRequests = approxReqs
+	if approxReqs > 0 {
+		report.MeanCandidateFraction = fracSum / float64(approxReqs)
 	}
 	var all obs.HistogramSnapshot
 	report.PerEndpoint = make(map[string]LatencySummary)

@@ -20,6 +20,16 @@ type Backend interface {
 	Close()
 }
 
+// ApproxBackend is the approximate-search surface, discovered by type
+// assertion like the other optional capabilities; *distperm.Engine,
+// *distperm.ShardedEngine, and *distperm.MutableEngine all provide it. A
+// Server whose backend lacks it (or whose index lacks the underlying
+// capability — distperm.ErrNoApprox) answers approx requests 400.
+type ApproxBackend interface {
+	KNNApproxBatch(qs []distperm.Point, k, nprobe int) ([][]distperm.Result, []distperm.ApproxStats, error)
+	ApproxBuckets() int
+}
+
 // MutableBackend extends Backend with the live write path;
 // *distperm.MutableEngine satisfies it. A Server whose backend is mutable
 // serves POST /v1/insert and /v1/delete.

@@ -95,10 +95,13 @@ type Server struct {
 	// mutable is backend's write surface when it has one (the type
 	// assertion happens once, in New); nil means read-only serving.
 	mutable MutableBackend
-	info    IndexInfo
-	co      *Coalescer
-	cache   *Cache
-	mux     *http.ServeMux
+	// approx is backend's approximate-search surface when it has one; nil
+	// means approx requests answer 400.
+	approx ApproxBackend
+	info   IndexInfo
+	co     *Coalescer
+	cache  *Cache
+	mux    *http.ServeMux
 	// proto is a representative database point; incoming queries are
 	// validated against its shape so a malformed request is a 400, not a
 	// metric panic in a worker. nil skips validation (New without a DB).
@@ -146,6 +149,7 @@ func New(backend Backend, info IndexInfo, cfg Config) (*Server, error) {
 	if s.mutable != nil {
 		s.info.Mutable = true
 	}
+	s.approx, _ = backend.(ApproxBackend)
 	s.metrics = newServerMetrics(reg, backend, s.mutable, s.cache)
 	s.co.OnFlush = func(size int, reason string) {
 		s.metrics.batchSize.Observe(float64(size))
@@ -311,6 +315,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("k=%d out of range 1..%d", req.K, s.info.N))
 		return
 	}
+	if req.Approx {
+		s.answerApprox(w, r, req)
+		return
+	}
 	s.answer(w, r, slowQueryRecord{Endpoint: "knn", K: req.K},
 		req.Query, req.Queries,
 		func(q distperm.Point) (string, bool) { return knnKey(q, req.K) },
@@ -416,6 +424,81 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, rec slowQueryRec
 	}
 }
 
+// answerApprox serves an approximate kNN request, single or batched, both
+// routed straight to the backend's ApproxBackend capability: approximate
+// answers depend on nprobe and on the live directory, so they bypass the
+// result cache and the coalescer entirely. The response aggregates the
+// per-query probe accounting into QueryResponse.Approx.
+func (s *Server) answerApprox(w http.ResponseWriter, r *http.Request, req KNNRequest) {
+	if s.approx == nil {
+		s.fail(w, http.StatusBadRequest, "this backend has no approximate-search support")
+		return
+	}
+	single := req.Query != nil
+	var raws []json.RawMessage
+	switch {
+	case single && req.Queries != nil:
+		s.fail(w, http.StatusBadRequest, `"query" and "queries" are mutually exclusive`)
+		return
+	case single:
+		raws = []json.RawMessage{req.Query}
+	case req.Queries != nil:
+		raws = req.Queries
+	default:
+		s.fail(w, http.StatusBadRequest, `one of "query" or "queries" is required`)
+		return
+	}
+	qs := make([]distperm.Point, len(raws))
+	for i, raw := range raws {
+		q, err := s.decodePoint(raw)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Sprintf("queries[%d]: %v", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	rec := slowQueryRecord{Endpoint: "knn", K: req.K, RequestID: requestID(r)}
+	evals, start := s.traceStart()
+	outs, sts, err := s.approx.KNNApproxBatch(qs, req.K, req.NProbe)
+	if err != nil {
+		s.fail(w, backendErrorCode(err), err.Error())
+		return
+	}
+	rec.Queries = len(qs)
+	s.traceEnd(rec, evals, start)
+	aw := &ApproxWire{NProbe: req.NProbe, Exact: true}
+	for _, st := range sts {
+		aw.ProbedBuckets += st.ProbedBuckets
+		aw.Candidates += st.Candidates
+		aw.TotalBuckets = st.TotalBuckets // identical across the batch
+		aw.Exact = aw.Exact && st.Exact
+	}
+	if n := s.liveN(); n > 0 {
+		aw.CandidateFraction = float64(aw.Candidates) / float64(len(qs)*n)
+	}
+	if single {
+		s.bump(func(c *ServerCounters) { c.SingleQueries++ })
+		s.ok(w, QueryResponse{Results: toWire(outs[0]), Approx: aw})
+		return
+	}
+	batches := make([][]Result, len(outs))
+	for i, rs := range outs {
+		batches[i] = toWire(rs)
+	}
+	s.bump(func(c *ServerCounters) { c.BatchQueries += int64(len(qs)) })
+	s.ok(w, QueryResponse{Batches: batches, Approx: aw})
+}
+
+// liveN is the current logical database size — the candidate fraction's
+// denominator: the live count on mutable servers, info.N otherwise (0 when
+// the Server was built without one).
+func (s *Server) liveN() int {
+	if s.mutable != nil {
+		return s.mutable.MutationStats().LiveN
+	}
+	return s.info.N
+}
+
 // traceStart opens a slow-query measurement: the engine's distance-eval
 // counter (so the record can report the evals this query's batch spent)
 // and the clock. Free when the slow-query log is disabled.
@@ -468,10 +551,11 @@ func (s *Server) decodePoint(raw json.RawMessage) (distperm.Point, error) {
 }
 
 // backendErrorCode maps an engine error to an HTTP status: parameter
-// errors (k or radius out of the servable range) are the client's fault,
+// errors (k or radius out of the servable range, approximate search
+// against an index without the capability) are the client's fault,
 // everything else (typically a closing engine) is 503.
 func backendErrorCode(err error) int {
-	if errors.Is(err, distperm.ErrOutOfRange) {
+	if errors.Is(err, distperm.ErrOutOfRange) || errors.Is(err, distperm.ErrNoApprox) {
 		return http.StatusBadRequest
 	}
 	return http.StatusServiceUnavailable

@@ -169,6 +169,18 @@ func registerBackendMetrics(reg *obs.Registry, backend Backend, mutable MutableB
 	reg.CounterFunc("distperm_engine_distance_evals_total",
 		"Distance evaluations spent (the paper's cost model)", nil,
 		func() float64 { return float64(backend.Stats().DistanceEvals) })
+	reg.CounterFunc("distperm_approx_queries_total",
+		"Queries served through the approximate prefix-bucket path", nil,
+		func() float64 { return float64(backend.Stats().ApproxQueries) })
+	reg.CounterFunc("distperm_approx_probed_buckets_total",
+		"Prefix buckets probed by approximate queries", nil,
+		func() float64 { return float64(backend.Stats().ProbedBuckets) })
+	reg.CounterFunc("distperm_approx_candidates_total",
+		"Candidate points measured by approximate queries", nil,
+		func() float64 { return float64(backend.Stats().ApproxCandidates) })
+	reg.GaugeFunc("distperm_engine_distinct_rows",
+		"Distinct permutation rows in the served rank table", nil,
+		func() float64 { return float64(backend.Stats().DistinctRows) })
 	reg.GaugeFunc("distperm_engine_workers",
 		"Worker goroutines in the engine pool(s)", nil,
 		func() float64 { return float64(backend.Workers()) })
